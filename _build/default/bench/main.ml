@@ -1,0 +1,307 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   and provides Bechamel micro-benchmarks for the synthesis kernels.
+
+   Usage:
+     dune exec bench/main.exe                 -- regenerate all tables (fast set)
+     dune exec bench/main.exe table1          -- Table 1 only
+     dune exec bench/main.exe table2          -- Table 2 (fast subset)
+     dune exec bench/main.exe table2-full     -- Table 2, all 15 circuits
+     dune exec bench/main.exe ablation        -- design-choice ablations
+     dune exec bench/main.exe bechamel        -- wall-clock micro-benchmarks
+     dune exec bench/main.exe all             -- everything (fast table2)
+
+   Absolute numbers differ from the paper (synthetic substrates, see
+   DESIGN.md); the shape — which tool wins, by roughly what factor — is
+   the reproduction target and is recorded in EXPERIMENTS.md. *)
+
+let tools : (string * (Aig.t -> Aig.t)) list =
+  [
+    ("SIS", Baselines.sis_like);
+    ("ABC", Baselines.abc_like);
+    ("DC", Baselines.dc_like);
+    ("Lookahead", fun g -> Lookahead.optimize g);
+  ]
+
+type metrics = { gates : int; levels : int; delay : float; power : float }
+
+let measure g =
+  let netlist = Techmap.Mapper.map g in
+  {
+    gates = Aig.num_reachable_ands g;
+    levels = Aig.depth g;
+    delay = Techmap.Mapper.delay netlist;
+    power = Techmap.Power.dynamic_mw netlist;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: best AIG levels for n-bit ripple-carry adders.             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  print_endline
+    "== Table 1: AIG levels after timing optimization, n-bit adders ==";
+  Printf.printf "%-4s %-8s %-6s %-6s %-6s %-10s\n" "n" "Optimum" "SIS" "ABC"
+    "DC" "Lookahead";
+  List.iter
+    (fun n ->
+      let rca = Circuits.Adders.ripple_carry n in
+      let optimum = Circuits.Adders.optimum_levels n in
+      let cols =
+        List.map
+          (fun (_, f) ->
+            let o = f rca in
+            assert (Aig.Cec.equivalent rca o);
+            Aig.depth o)
+          tools
+      in
+      match cols with
+      | [ sis; abc; dc; la ] ->
+        Printf.printf "%-4d %-8d %-6d %-6d %-6d %-10d\n%!" n optimum sis abc
+          dc la
+      | _ -> assert false)
+    [ 2; 4; 8; 16 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the 15-circuit comparison.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fast_subset =
+  [
+    "dalu"; "C432"; "C880"; "C1355"; "C1908"; "sparc_tlu_intctl_flat";
+    "lsu_stb_ctl_flat";
+  ]
+
+let table2 ~full () =
+  Printf.printf
+    "== Table 2: comparison with the best SIS / ABC / DC results%s ==\n"
+    (if full then "" else " (fast subset; use table2-full for all 15)");
+  Printf.printf "%-24s %-7s | %25s | %25s | %25s | %25s\n" "" "" "SIS" "ABC"
+    "DC" "Lookahead";
+  Printf.printf
+    "%-24s %-7s | %5s %4s %7s %6s | %5s %4s %7s %6s | %5s %4s %7s %6s | %5s %4s %7s %6s\n"
+    "Name" "PI/PO" "gates" "lev" "delay" "power" "gates" "lev" "delay" "power"
+    "gates" "lev" "delay" "power" "gates" "lev" "delay" "power";
+  let names =
+    if full then
+      List.map
+        (fun (i : Circuits.Suite.info) -> i.Circuits.Suite.name)
+        Circuits.Suite.all
+    else fast_subset
+  in
+  let sums = Hashtbl.create 8 in
+  let add tool field v =
+    let key = (tool, field) in
+    let prev = try Hashtbl.find sums key with Not_found -> 0.0 in
+    Hashtbl.replace sums key (prev +. v)
+  in
+  List.iter
+    (fun name ->
+      let info = Circuits.Suite.find name in
+      let g = Circuits.Suite.build name in
+      let cells =
+        List.map
+          (fun (tool, f) ->
+            let o = f g in
+            assert (Aig.Cec.equivalent g o);
+            let m = measure o in
+            add tool "gates" (float_of_int m.gates);
+            add tool "levels" (float_of_int m.levels);
+            add tool "delay" m.delay;
+            add tool "power" m.power;
+            m)
+          tools
+      in
+      Printf.printf "%-24s %3d/%-3d" name info.Circuits.Suite.pi
+        info.Circuits.Suite.po;
+      List.iter
+        (fun m ->
+          Printf.printf " | %5d %4d %7.1f %6.3f" m.gates m.levels m.delay
+            m.power)
+        cells;
+      print_newline ();
+      flush stdout)
+    names;
+  let n = float_of_int (List.length names) in
+  Printf.printf "%-24s %7s" "Average" "";
+  List.iter
+    (fun (tool, _) ->
+      Printf.printf " | %5.0f %4.1f %7.1f %6.3f"
+        (Hashtbl.find sums (tool, "gates") /. n)
+        (Hashtbl.find sums (tool, "levels") /. n)
+        (Hashtbl.find sums (tool, "delay") /. n)
+        (Hashtbl.find sums (tool, "power") /. n))
+    tools;
+  print_newline ();
+  (* Headline reductions, paper Sec. 5: levels -40/-56/-22 %,
+     mapped delay -21/-56/-10 %, power +10 % vs DC. *)
+  let avg tool field = Hashtbl.find sums (tool, field) /. n in
+  let reduction field against =
+    100.0 *. (avg against field -. avg "Lookahead" field) /. avg against field
+  in
+  Printf.printf
+    "\nLookahead level reduction: %+.0f%% vs SIS, %+.0f%% vs ABC, %+.0f%% vs \
+     DC (paper: 40/56/22)\n"
+    (reduction "levels" "SIS")
+    (reduction "levels" "ABC")
+    (reduction "levels" "DC");
+  Printf.printf
+    "Lookahead delay reduction: %+.0f%% vs SIS, %+.0f%% vs ABC, %+.0f%% vs DC \
+     (paper: 21/56/10)\n"
+    (reduction "delay" "SIS")
+    (reduction "delay" "ABC")
+    (reduction "delay" "DC");
+  Printf.printf "Lookahead power vs DC    : %+.0f%% (paper: +10%%)\n\n"
+    (100.0
+    *. (avg "Lookahead" "power" -. avg "DC" "power")
+    /. avg "DC" "power")
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices called out in DESIGN.md.            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline "== Ablations (lookahead design choices) ==";
+  let base = Lookahead.Driver.default in
+  let variants =
+    [
+      ("default", base);
+      ( "single-level (no Eqn.2 flattening)",
+        { base with Lookahead.Driver.max_decomp_levels = 1 } );
+      ("cluster k=4", { base with Lookahead.Driver.cluster_k = 4 });
+      ("cluster k=8", { base with Lookahead.Driver.cluster_k = 8 });
+      ( "exact SPCF (small circuits)",
+        { base with Lookahead.Driver.use_exact_spcf = true } );
+      ("one round", { base with Lookahead.Driver.max_rounds = 1 });
+    ]
+  in
+  let circuits =
+    [
+      ("adder-6", Circuits.Adders.ripple_carry 6);
+      ("adder-12", Circuits.Adders.ripple_carry 12);
+      ("C432", Circuits.Suite.build "C432");
+    ]
+  in
+  Printf.printf "%-36s" "variant";
+  List.iter (fun (n, _) -> Printf.printf " %10s" n) circuits;
+  print_newline ();
+  List.iter
+    (fun (vname, options) ->
+      Printf.printf "%-36s" vname;
+      List.iter
+        (fun (_, g) ->
+          let o = Lookahead.optimize ~options g in
+          Printf.printf " %6d lev" (Aig.depth o))
+        circuits;
+      print_newline ();
+      flush stdout)
+    variants;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Extension experiments beyond the paper: other serial-prefix shapes.  *)
+(* ------------------------------------------------------------------ *)
+
+let extension () =
+  print_endline
+    "== Extension: lookahead on other serial-prefix structures ==";
+  Printf.printf "%-18s %8s %10s %10s %10s\n" "circuit" "orig" "DC" "Lookahead"
+    "reference";
+  let cases =
+    [
+      ( "mult-array-4",
+        Circuits.Arith.multiplier_array 4,
+        Some (Aig.depth (Circuits.Arith.multiplier_wallace 4)) );
+      ( "mult-array-6",
+        Circuits.Arith.multiplier_array 6,
+        Some (Aig.depth (Circuits.Arith.multiplier_wallace 6)) );
+      ("comparator-16", Circuits.Arith.comparator 16, None);
+      ("comparator-32", Circuits.Arith.comparator 32, None);
+      ("parity-24", Circuits.Arith.parity_chain 24, None);
+    ]
+  in
+  List.iter
+    (fun (name, g, reference) ->
+      let dc = Baselines.dc_like g in
+      let la = Lookahead.optimize g in
+      assert (Aig.Cec.equivalent g la);
+      Printf.printf "%-18s %8d %10d %10d %10s\n%!" name (Aig.depth g)
+        (Aig.depth dc) (Aig.depth la)
+        (match reference with Some d -> string_of_int d | None -> "-"))
+    cases;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test per table / kernel.             *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  let open Bechamel in
+  let rca8 = Circuits.Adders.ripple_carry 8 in
+  let c432 = Circuits.Suite.build "C432" in
+  let c1908 = Circuits.Suite.build "C1908" in
+  let tests =
+    Test.make_grouped ~name:"tables"
+      [
+        (* Table 1 kernel: lookahead optimization of the adder. *)
+        Test.make ~name:"table1/lookahead-adder8"
+          (Staged.stage (fun () -> ignore (Lookahead.optimize rca8)));
+        Test.make ~name:"table1/dc-adder8"
+          (Staged.stage (fun () -> ignore (Baselines.dc_like rca8)));
+        (* Table 2 kernels: one control and one ECC circuit. *)
+        Test.make ~name:"table2/lookahead-C432"
+          (Staged.stage (fun () -> ignore (Lookahead.optimize c432)));
+        Test.make ~name:"table2/abc-C1908"
+          (Staged.stage (fun () -> ignore (Baselines.abc_like c1908)));
+        Test.make ~name:"table2/techmap-C432"
+          (Staged.stage (fun () ->
+               ignore (Techmap.Mapper.delay (Techmap.Mapper.map c432))));
+        Test.make ~name:"table2/cec-C432"
+          (Staged.stage (fun () -> ignore (Aig.Cec.equivalent c432 c432)));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 10.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "== Bechamel kernels (ns/run) ==";
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] ->
+        Printf.printf "%-32s %12.0f ns  (%.3f s)\n" name est (est /. 1e9)
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let args = if args = [] then [ "all" ] else args in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ~full:false ()
+      | "table2-full" -> table2 ~full:true ()
+      | "ablation" -> ablation ()
+      | "extension" -> extension ()
+      | "bechamel" -> bechamel ()
+      | "all" ->
+        table1 ();
+        table2 ~full:false ();
+        ablation ()
+      | "all-full" ->
+        table1 ();
+        table2 ~full:true ();
+        ablation ();
+        extension ();
+        bechamel ()
+      | other -> Printf.eprintf "unknown target %s\n" other)
+    args

@@ -1,0 +1,201 @@
+(* Command-line driver: optimize a circuit with any of the four tools and
+   report the Table 2 metrics (AIG gates, AIG levels, mapped delay, power
+   at 1 GHz). *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+type source =
+  | Named of string
+  | Blif of string
+  | Bench_file of string
+  | Adder of string * int
+
+let load = function
+  | Named name -> Circuits.Suite.build name
+  | Blif path ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Aig.Io.read_blif text
+  | Bench_file path ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Aig.Io.read_bench text
+  | Adder (kind, n) -> (
+    match kind with
+    | "ripple" -> Circuits.Adders.ripple_carry n
+    | "cla" -> Circuits.Adders.carry_lookahead n
+    | "select" -> Circuits.Adders.carry_select n
+    | "skip" -> Circuits.Adders.carry_skip n
+    | k -> invalid_arg (Printf.sprintf "unknown adder kind %s" k))
+
+let tool_of_name = function
+  | "lookahead" -> fun g -> Lookahead.optimize g
+  | "resub" -> fun g -> Aig.Resub.run (Aig.Balance.run g)
+  | "mfs" -> fun g -> Lookahead.Mfs.run g
+  | "none" -> Fun.id
+  | name -> (
+    match Baselines.by_name name with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "unknown tool %s" name))
+
+let report circuit_name tool_name g optimized =
+  let netlist = Techmap.Mapper.map optimized in
+  Fmt.pr "circuit   : %s@." circuit_name;
+  Fmt.pr "tool      : %s@." tool_name;
+  Fmt.pr "pi/po     : %d/%d@."
+    (Aig.num_inputs optimized)
+    (List.length (Aig.outputs optimized));
+  Fmt.pr "aig gates : %d (was %d)@."
+    (Aig.num_reachable_ands optimized)
+    (Aig.num_reachable_ands g);
+  Fmt.pr "aig levels: %d (was %d)@." (Aig.depth optimized) (Aig.depth g);
+  Fmt.pr "mapped    : %d cells, area %.1f@."
+    (Techmap.Mapper.num_gates netlist)
+    (Techmap.Mapper.area netlist);
+  Fmt.pr "delay     : %.1f ps@." (Techmap.Mapper.delay netlist);
+  Fmt.pr "power     : %.3f mW @@ 1GHz@." (Techmap.Power.dynamic_mw netlist)
+
+let opt_cmd =
+  let circuit =
+    Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME"
+           ~doc:"Benchmark stand-in from the Table 2 suite.")
+  in
+  let blif =
+    Arg.(value & opt (some file) None & info [ "blif" ] ~docv:"FILE"
+           ~doc:"Read the circuit from a BLIF file.")
+  in
+  let bench =
+    Arg.(value & opt (some file) None & info [ "bench" ] ~docv:"FILE"
+           ~doc:"Read the circuit from an ISCAS BENCH file.")
+  in
+  let adder =
+    Arg.(value & opt (some (pair ~sep:':' string int)) None
+         & info [ "adder" ] ~docv:"KIND:N"
+             ~doc:"Generate an adder (ripple|cla|select|skip), e.g. ripple:16.")
+  in
+  let tool =
+    Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
+           ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, or none.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Run SAT equivalence checking against the input.")
+  in
+  let out_blif =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the optimized circuit as BLIF.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
+  let run circuit blif bench adder tool check out_blif verbose =
+    setup_logs verbose;
+    let source, name =
+      match (circuit, blif, bench, adder) with
+      | Some n, None, None, None -> (Named n, n)
+      | None, Some f, None, None -> (Blif f, Filename.basename f)
+      | None, None, Some f, None -> (Bench_file f, Filename.basename f)
+      | None, None, None, Some (k, n) ->
+        (Adder (k, n), Printf.sprintf "%s-adder-%d" k n)
+      | None, None, None, None -> (Adder ("ripple", 8), "ripple-adder-8")
+      | _ -> invalid_arg "choose exactly one circuit source"
+    in
+    let g = load source in
+    let optimized = tool_of_name tool g in
+    report name tool g optimized;
+    if check then begin
+      match Aig.Cec.check g optimized with
+      | Aig.Cec.Equivalent -> Fmt.pr "equivalence: PASS@."
+      | Aig.Cec.Counterexample _ ->
+        Fmt.pr "equivalence: FAIL@.";
+        exit 1
+    end;
+    match out_blif with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Aig.Io.blif_to_string ~model:name optimized);
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Optimize a circuit and report Table 2 metrics.")
+    Term.(
+      const run $ circuit $ blif $ bench $ adder $ tool $ check $ out_blif
+      $ verbose)
+
+let timing_cmd =
+  let circuit =
+    Arg.(value & opt string "C432" & info [ "c"; "circuit" ] ~docv:"NAME"
+           ~doc:"Benchmark stand-in to analyze.")
+  in
+  let tool =
+    Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
+           ~doc:"Optimizer applied before timing analysis.")
+  in
+  let run circuit tool =
+    setup_logs false;
+    let g = Circuits.Suite.build circuit in
+    let optimized = tool_of_name tool g in
+    let netlist = Techmap.Mapper.map optimized in
+    let report = Techmap.Sta.analyze netlist in
+    Fmt.pr "circuit: %s, tool: %s@." circuit tool;
+    Techmap.Sta.pp_report Format.std_formatter (netlist, report)
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc:"Map a circuit and print the STA report.")
+    Term.(const run $ circuit $ tool)
+
+let export_cmd =
+  let circuit =
+    Arg.(value & opt string "C432" & info [ "c"; "circuit" ] ~docv:"NAME"
+           ~doc:"Benchmark stand-in to export.")
+  in
+  let fmt_arg =
+    Arg.(value & opt string "blif" & info [ "f"; "format" ] ~docv:"FMT"
+           ~doc:"Output format: blif, bench, aag, verilog, mapped-verilog.")
+  in
+  let run circuit fmt =
+    setup_logs false;
+    let g = Circuits.Suite.build circuit in
+    match fmt with
+    | "blif" -> print_string (Aig.Io.blif_to_string ~model:circuit g)
+    | "bench" -> Aig.Io.write_bench Format.std_formatter g
+    | "aag" -> print_string (Aig.Aiger.aag_to_string g)
+    | "verilog" -> print_string (Aig.Verilog.to_string ~module_name:circuit g)
+    | "mapped-verilog" ->
+      print_string
+        (Techmap.Verilog.to_string ~module_name:circuit (Techmap.Mapper.map g))
+    | other -> invalid_arg (Printf.sprintf "unknown format %s" other)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a circuit in a standard format.")
+    Term.(const run $ circuit $ fmt_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (i : Circuits.Suite.info) ->
+        Fmt.pr "%-24s %4d/%-4d %-9s %s%s@." i.Circuits.Suite.name
+          i.Circuits.Suite.pi i.Circuits.Suite.po i.Circuits.Suite.family
+          i.Circuits.Suite.description
+          (if i.Circuits.Suite.po_estimated then " (PO count estimated)" else ""))
+      Circuits.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the Table 2 benchmark stand-ins.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "lookahead_opt" ~version:"1.0.0"
+      ~doc:
+        "Timing-driven optimization using lookahead logic circuits (DAC'09 \
+         reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ opt_cmd; timing_cmd; export_cmd; list_cmd ]))

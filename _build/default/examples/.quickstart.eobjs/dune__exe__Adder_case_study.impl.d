@@ -1,0 +1,1 @@
+examples/adder_case_study.ml: Aig Baselines Circuits List Logic Lookahead Printf

@@ -1,0 +1,1 @@
+examples/control_logic.ml: Aig Array Bdd Circuits Format List Logic Lookahead Network Option Techmap Timing

@@ -1,0 +1,1 @@
+examples/export_formats.ml: Aig Buffer Circuits Format Lookahead String Techmap

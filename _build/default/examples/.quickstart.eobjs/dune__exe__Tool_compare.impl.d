@@ -1,0 +1,1 @@
+examples/tool_compare.ml: Aig Array Baselines Circuits List Lookahead Printf Sys Techmap

@@ -1,0 +1,90 @@
+(* The paper's Sec. 4 case study: the n-bit adder.
+
+   Part 1 verifies the four 2-bit decompositions of c_out listed in the
+   paper (carry lookahead, carry select, carry bypass, and the "new"
+   overlapping decomposition) as truth-table identities.
+
+   Part 2 regenerates Table 1: best AIG levels after timing optimization
+   of ripple-carry adders for n = 2, 4, 8, 16 with every tool.
+
+   Run with: dune exec examples/adder_case_study.exe *)
+
+module Tt = Logic.Tt
+
+(* Variables of the 2-bit adder: a1 b1 a2 b2 cin (indices 0..4). *)
+let n = 5
+let a1 = Tt.var n 0
+let b1 = Tt.var n 1
+let a2 = Tt.var n 2
+let b2 = Tt.var n 3
+let cin = Tt.var n 4
+let ( &&& ) = Tt.land_
+let ( ||| ) = Tt.lor_
+let ( ^^^ ) = Tt.lxor_
+let neg = Tt.lnot
+
+(* Generate/propagate per the paper's Sec. 4 (p_i = a_i + b_i). *)
+let g1 = a1 &&& b1
+let p1 = a1 ||| b1
+let g2 = a2 &&& b2
+let p2 = a2 ||| b2
+
+(* Reference carry-out of the 2-bit ripple-carry adder. *)
+let cout = g2 ||| (p2 &&& (g1 ||| (p1 &&& cin)))
+
+(* A decomposition [y = sigma*y1 + ~sigma*y0] (Eqn. 4). The extraction of
+   the paper lost some complement overlines, so each case is checked in
+   both window polarities and the verified one is reported. *)
+let check_two_way name sigma y1 y0 =
+  let form s = (s &&& y1) ||| (neg s &&& y0) in
+  if Tt.equal (form sigma) cout then Printf.printf "  %-16s verified (as printed)\n" name
+  else if Tt.equal (form (neg sigma)) cout then
+    Printf.printf "  %-16s verified (window complemented)\n" name
+  else Printf.printf "  %-16s FAILED\n" name
+
+let () =
+  print_endline "== Sec. 4: decompositions of the 2-bit adder carry-out ==";
+  (* Carry lookahead: two disjoint levels, sigma_i = a_i xor b_i.
+     Flattened: cout = ~s2 a2 + s2 ~s1 a1 + s2 s1 cin. *)
+  let s1 = a1 ^^^ b1 and s2 = a2 ^^^ b2 in
+  let cla = (neg s2 &&& a2) ||| (s2 &&& neg s1 &&& a1) ||| (s2 &&& s1 &&& cin) in
+  Printf.printf "  %-16s %s\n" "carry lookahead"
+    (if Tt.equal cla cout then "verified (as printed)" else "FAILED");
+  (* Carry select: sigma = cin, y1 = g2 + p2 g1, y0 = g2 + p2 p1 ... the
+     paper prints y0 = g2 + p2 p1 and y1 = g2 + p1 g1; the select value
+     under cin=1 is g2 + p2 p1 (carry assuming carry-in one). *)
+  check_two_way "carry select" cin (g2 ||| (p2 &&& p1)) (g2 ||| (p2 &&& g1));
+  (* Carry bypass: sigma = p2 p1 cin, y1 = 1 (bypassed carry), y0 = g2 + p2 g1. *)
+  check_two_way "carry bypass" (p2 &&& p1 &&& cin) (Tt.const_true n)
+    (g2 ||| (p2 &&& g1));
+  (* New overlapping decomposition: sigma = cin + g2 + p2 g1,
+     y1 = g2 + p2 p1, y0 = 0. *)
+  check_two_way "new (overlap)" (cin ||| g2 ||| (p2 &&& g1))
+    (g2 ||| (p2 &&& p1)) (Tt.const_false n);
+  print_newline ();
+
+  print_endline "== Table 1: best AIG levels, n-bit ripple-carry adders ==";
+  Printf.printf "  %-3s %-8s %-5s %-5s %-5s %-10s\n" "n" "Optimum" "SIS" "ABC" "DC" "Lookahead";
+  List.iter
+    (fun bits ->
+      let rca = Circuits.Adders.ripple_carry bits in
+      let optimum = Circuits.Adders.optimum_levels bits in
+      let depth_after f = Aig.depth (f rca) in
+      let sis = depth_after Baselines.sis_like in
+      let abc = depth_after Baselines.abc_like in
+      let dc = depth_after Baselines.dc_like in
+      let la = Aig.depth (Lookahead.optimize rca) in
+      Printf.printf "  %-3d %-8d %-5d %-5d %-5d %-10d\n%!" bits optimum sis abc dc la)
+    [ 2; 4; 8; 16 ];
+  print_newline ();
+
+  print_endline "== Fast adder references (AIG depth) ==";
+  List.iter
+    (fun bits ->
+      Printf.printf
+        "  n=%-3d ripple=%-3d kogge-stone=%-3d select=%-3d skip=%-3d\n" bits
+        (Aig.depth (Circuits.Adders.ripple_carry bits))
+        (Aig.depth (Circuits.Adders.carry_lookahead bits))
+        (Aig.depth (Circuits.Adders.carry_select bits))
+        (Aig.depth (Circuits.Adders.carry_skip bits)))
+    [ 4; 8; 16; 32 ]

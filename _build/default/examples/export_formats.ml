@@ -1,0 +1,55 @@
+(* Round-trip a circuit through every supported interchange format and
+   show the gate-level artifacts a downstream flow would consume.
+
+   Run with: dune exec examples/export_formats.exe *)
+
+let () =
+  let g = Circuits.Adders.carry_select 4 in
+  Format.printf "source: %a@.@." Aig.pp_stats g;
+
+  (* BLIF round trip. *)
+  let blif = Aig.Io.blif_to_string ~model:"csel4" g in
+  let g_blif = Aig.Io.read_blif blif in
+  Format.printf "BLIF       : %5d bytes, reparse equivalent: %b@."
+    (String.length blif)
+    (Aig.Cec.equivalent g g_blif);
+
+  (* ASCII AIGER. *)
+  let aag = Aig.Aiger.aag_to_string g in
+  let g_aag = Aig.Aiger.read_aag aag in
+  Format.printf "AIGER ascii: %5d bytes, reparse equivalent: %b@."
+    (String.length aag)
+    (Aig.Cec.equivalent g g_aag);
+
+  (* Binary AIGER — the compact interchange format. *)
+  let buf = Buffer.create 512 in
+  Aig.Aiger.write_aig_binary buf g;
+  let bin = Buffer.contents buf in
+  let g_bin = Aig.Aiger.read_aig_binary bin in
+  Format.printf "AIGER bin  : %5d bytes, reparse equivalent: %b@."
+    (String.length bin)
+    (Aig.Cec.equivalent g g_bin);
+
+  (* BENCH. *)
+  let bench_buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer bench_buf in
+  Aig.Io.write_bench ppf g;
+  Format.pp_print_flush ppf ();
+  let g_bench = Aig.Io.read_bench (Buffer.contents bench_buf) in
+  Format.printf "BENCH      : %5d bytes, reparse equivalent: %b@.@."
+    (Buffer.length bench_buf)
+    (Aig.Cec.equivalent g g_bench);
+
+  (* Structural Verilog of the optimized circuit. *)
+  let optimized = Lookahead.optimize g in
+  Format.printf "-- structural Verilog (optimized, depth %d -> %d) --@.%s@."
+    (Aig.depth g) (Aig.depth optimized)
+    (Aig.Verilog.to_string ~module_name:"csel4_opt" optimized);
+
+  (* Gate-level Verilog after technology mapping, plus its STA report. *)
+  let netlist = Techmap.Mapper.map optimized in
+  let report = Techmap.Sta.analyze netlist in
+  Format.printf "-- mapped: %d cells, %.1f area --@."
+    (Techmap.Mapper.num_gates netlist)
+    (Techmap.Mapper.area netlist);
+  Techmap.Sta.pp_report Format.std_formatter (netlist, report)

@@ -1,0 +1,37 @@
+(* Compare the four optimizers on benchmark stand-ins, printing one
+   Table 2-style row per tool.
+
+   Run with: dune exec examples/tool_compare.exe [-- circuit ...]      *)
+
+let row name tool optimized =
+  let netlist = Techmap.Mapper.map optimized in
+  Printf.printf "  %-10s %-10s %5d %5d %8.1f %8.3f\n%!" name tool
+    (Aig.num_reachable_ands optimized)
+    (Aig.depth optimized)
+    (Techmap.Mapper.delay netlist)
+    (Techmap.Power.dynamic_mw netlist)
+
+let compare_circuit name =
+  let g = Circuits.Suite.build name in
+  Printf.printf "%s (pi=%d po=%d)\n" name (Aig.num_inputs g)
+    (List.length (Aig.outputs g));
+  Printf.printf "  %-10s %-10s %5s %5s %8s %8s\n" "circuit" "tool" "gates"
+    "lev" "delay" "power";
+  row name "original" g;
+  row name "sis" (Baselines.sis_like g);
+  row name "abc" (Baselines.abc_like g);
+  row name "dc" (Baselines.dc_like g);
+  let optimized = Lookahead.optimize g in
+  row name "lookahead" optimized;
+  (match Aig.Cec.check g optimized with
+   | Aig.Cec.Equivalent -> ()
+   | Aig.Cec.Counterexample _ -> print_endline "  !! equivalence failure");
+  print_newline ()
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "C432"; "C1908"; "sparc_tlu_intctl_flat" ]
+  in
+  List.iter compare_circuit names

@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Aiger Balance Cec Cnf Cuts Graph Io Lev Resub Rewrite Sweep Synth Verilog

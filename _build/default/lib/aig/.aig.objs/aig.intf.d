@@ -1,0 +1,1 @@
+lib/aig/aig.mli: Aiger Balance Cec Cnf Cuts Graph Io Lev Resub Rewrite Sweep Synth Verilog

@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Buffer Char Format Graph Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/aig/cec.ml: Array Cnf Graph Hashtbl Int64 List Printf Random Sat

@@ -1,0 +1,1 @@
+lib/aig/cnf.ml: Graph Hashtbl Sat

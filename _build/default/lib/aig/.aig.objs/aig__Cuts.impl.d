@@ -1,0 +1,1 @@
+lib/aig/cuts.ml: Array Graph Hashtbl List Logic

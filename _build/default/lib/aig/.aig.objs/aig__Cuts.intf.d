@@ -1,0 +1,1 @@
+lib/aig/cuts.mli: Graph Logic

@@ -1,0 +1,1 @@
+lib/aig/io.ml: Buffer Format Graph Hashtbl Lev List Logic Printf String Synth

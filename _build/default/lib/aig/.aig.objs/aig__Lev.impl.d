@@ -1,0 +1,1 @@
+lib/aig/lev.ml: Graph Hashtbl

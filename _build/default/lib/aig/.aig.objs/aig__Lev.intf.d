@@ -1,0 +1,1 @@
+lib/aig/lev.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/resub.ml: Array Cnf Fun Graph Hashtbl Int64 List Random Sat

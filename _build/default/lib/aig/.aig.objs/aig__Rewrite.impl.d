@@ -1,0 +1,1 @@
+lib/aig/rewrite.ml: Array Cuts Graph Hashtbl Lev List Synth

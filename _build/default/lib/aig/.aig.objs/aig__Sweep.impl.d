@@ -1,0 +1,1 @@
+lib/aig/sweep.ml: Array Cnf Graph Hashtbl Int64 List Random Sat

@@ -1,0 +1,1 @@
+lib/aig/sweep.mli: Graph

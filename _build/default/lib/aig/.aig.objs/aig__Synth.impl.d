@@ -1,0 +1,1 @@
+lib/aig/synth.ml: Graph Hashtbl Lev List Logic

@@ -1,0 +1,1 @@
+lib/aig/synth.mli: Graph Lev Logic

@@ -1,0 +1,1 @@
+lib/aig/verilog.ml: Buffer Format Graph Hashtbl List Printf String

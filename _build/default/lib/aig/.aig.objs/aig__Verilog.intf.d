@@ -1,0 +1,1 @@
+lib/aig/verilog.mli: Format Graph

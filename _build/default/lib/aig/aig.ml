@@ -1,0 +1,13 @@
+include Graph
+module Lev = Lev
+module Cuts = Cuts
+module Cnf = Cnf
+module Cec = Cec
+module Balance = Balance
+module Synth = Synth
+module Rewrite = Rewrite
+module Sweep = Sweep
+module Resub = Resub
+module Io = Io
+module Aiger = Aiger
+module Verilog = Verilog

@@ -1,0 +1,26 @@
+(** And-inverter graphs and the passes built on them.
+
+    The core graph API ({!type:t}, {!band}, {!add_output}, {!levels}, …)
+    lives at the top level of this module; see {!module:Graph} for the
+    detailed documentation. Submodules bundle the classic synthesis
+    passes: {!Balance} (delay-driven tree balancing), {!Rewrite}
+    (cut-based resynthesis), {!Sweep} (redundancy elimination),
+    {!Cec} (SAT equivalence checking), {!Cuts}, {!Synth}, {!Cnf},
+    {!Lev}, and {!Io} (BLIF/BENCH). *)
+
+include module type of struct
+  include Graph
+end
+
+module Lev = Lev
+module Cuts = Cuts
+module Cnf = Cnf
+module Cec = Cec
+module Balance = Balance
+module Synth = Synth
+module Rewrite = Rewrite
+module Sweep = Sweep
+module Resub = Resub
+module Io = Io
+module Aiger = Aiger
+module Verilog = Verilog

@@ -1,0 +1,20 @@
+(** AIGER format support (ASCII [aag] and binary [aig], combinational
+    subset — no latches).
+
+    The writer renumbers nodes into AIGER's canonical variable order
+    (inputs first, then AND gates topologically); symbol-table entries
+    carry input and output names. *)
+
+(** Write ASCII AIGER ([aag]). *)
+val write_aag : Format.formatter -> Graph.t -> unit
+
+val aag_to_string : Graph.t -> string
+
+(** Parse ASCII AIGER. Raises [Failure] on latches or malformed input. *)
+val read_aag : string -> Graph.t
+
+(** Write binary AIGER ([aig]) with delta-encoded AND gates. *)
+val write_aig_binary : Buffer.t -> Graph.t -> unit
+
+(** Parse binary AIGER. *)
+val read_aig_binary : string -> Graph.t

@@ -1,0 +1,78 @@
+(* Combine literals into an AND tree, always merging the two shallowest
+   conjuncts. *)
+let and_tree g lev lits =
+  match lits with
+  | [] -> Graph.const_true
+  | _ ->
+    let module PQ = struct
+      (* Small sorted-list priority queue: sizes here are tiny. *)
+      let insert x l =
+        let key (lvl, _) = lvl in
+        let rec go = function
+          | [] -> [ x ]
+          | y :: rest -> if key x <= key y then x :: y :: rest else y :: go rest
+        in
+        go l
+    end in
+    let q = List.fold_left (fun q l -> PQ.insert (Lev.level lev l, l) q) [] lits in
+    let rec reduce = function
+      | [ (_, l) ] -> l
+      | (l1, a) :: (l2, b) :: rest ->
+        let c = Graph.band g a b in
+        ignore l1;
+        ignore l2;
+        reduce (PQ.insert (Lev.level lev c, c) rest)
+      | [] -> Graph.const_true
+    in
+    reduce q
+
+let run src =
+  let dst = Graph.create () in
+  let lev = Lev.create dst in
+  let fanout = Graph.fanout_counts src in
+  let map = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      let id = Graph.node_of_lit l in
+      let l' = Graph.add_input ?name:(Graph.input_name src id) dst in
+      Hashtbl.replace map id l')
+    (Graph.inputs src);
+  (* Collect the maximal conjunction rooted at a literal: expand through
+     uncomplemented single-fanout AND nodes. Multi-fanout nodes stay shared
+     (they are translated on their own), so balancing never duplicates
+     logic. *)
+  let rec conjuncts l acc ~root =
+    let id = Graph.node_of_lit l in
+    if
+      Graph.is_and src id
+      && (not (Graph.is_complemented l))
+      && (root || fanout.(id) <= 1)
+    then begin
+      let f0, f1 = Graph.fanins src id in
+      conjuncts f0 (conjuncts f1 acc ~root:false) ~root:false
+    end
+    else l :: acc
+  in
+  let translate_cache = Hashtbl.create 256 in
+  let rec translate l =
+    let id = Graph.node_of_lit l in
+    let base =
+      match Hashtbl.find_opt translate_cache id with
+      | Some b -> b
+      | None ->
+        let b =
+          if id = 0 then Graph.const_false
+          else if Graph.is_input src id then Hashtbl.find map id
+          else begin
+            let leaves = conjuncts (Graph.lit_of_node id false) [] ~root:true in
+            let leaves' = List.map translate leaves in
+            and_tree dst lev leaves'
+          end
+        in
+        Hashtbl.add translate_cache id b;
+        b
+    in
+    if Graph.is_complemented l then Graph.bnot base else base
+  in
+  List.iter (fun (name, l) -> Graph.add_output dst name (translate l)) (Graph.outputs src);
+  dst

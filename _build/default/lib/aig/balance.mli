@@ -1,0 +1,9 @@
+(** Delay-driven AND-tree balancing (the classic `balance` pass).
+
+    Maximal conjunctions are collected by expanding uncomplemented AND
+    fanins and rebuilt as minimum-height trees: the two lowest-level
+    conjuncts are combined first (Huffman order), which is delay-optimal
+    for a given multiset of leaf levels. *)
+
+(** [run g] returns a balanced copy of [g]. Functionally equivalent. *)
+val run : Graph.t -> Graph.t

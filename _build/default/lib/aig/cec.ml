@@ -1,0 +1,90 @@
+type verdict = Equivalent | Counterexample of bool array
+
+(* Build a miter graph: shared inputs, one XOR literal per output pair.
+   Strashing makes structurally identical cones collapse, so many pairs
+   reduce to constant false without any SAT work. *)
+let miter a b =
+  assert (Graph.num_inputs a = Graph.num_inputs b);
+  let la = Graph.outputs a and lb = Graph.outputs b in
+  assert (List.length la = List.length lb);
+  let g = Graph.create () in
+  let ins =
+    Array.init (Graph.num_inputs a) (fun i ->
+        Graph.add_input ~name:(Printf.sprintf "i%d" i) g)
+  in
+  let map_for src id = ins.(Graph.input_index src id) in
+  let memo_a = Hashtbl.create 256 and memo_b = Hashtbl.create 256 in
+  let diffs =
+    List.map2
+      (fun (_, oa) (_, ob) ->
+        let ca = Graph.copy_cone ~dst:g ~src:a ~map:(map_for a) ~memo:memo_a oa in
+        let cb = Graph.copy_cone ~dst:g ~src:b ~map:(map_for b) ~memo:memo_b ob in
+        Graph.bxor g ca cb)
+      la lb
+  in
+  (g, diffs)
+
+(* Random simulation on the miter: any set bit of any diff word is a
+   counterexample. *)
+let random_counterexample g diffs rounds =
+  let ni = Graph.num_inputs g in
+  let st = Random.State.make [| 0x5eed; ni |] in
+  let rec loop r =
+    if r = 0 then None
+    else begin
+      let words = Array.init ni (fun _ -> Random.State.int64 st Int64.max_int) in
+      let values = Graph.sim g words in
+      let value_of l =
+        let w = values.(Graph.node_of_lit l) in
+        if Graph.is_complemented l then Int64.lognot w else w
+      in
+      let hit =
+        List.fold_left (fun acc d -> Int64.logor acc (value_of d)) 0L diffs
+      in
+      if hit <> 0L then begin
+        let rec bit i =
+          if Int64.logand (Int64.shift_right_logical hit i) 1L = 1L then i
+          else bit (i + 1)
+        in
+        let k = bit 0 in
+        Some
+          (Array.init ni (fun i ->
+               Int64.logand (Int64.shift_right_logical words.(i) k) 1L = 1L))
+      end
+      else loop (r - 1)
+    end
+  in
+  loop rounds
+
+let check a b =
+  let g, diffs = miter a b in
+  let live = List.filter (fun d -> d <> Graph.const_false) diffs in
+  if live = [] then Equivalent
+  else
+    match random_counterexample g live 16 with
+    | Some cex -> Counterexample cex
+    | None ->
+      (* One shared solver; each remaining output pair is checked with a
+         single-literal assumption so learned clauses carry across
+         outputs. *)
+      let solver = Sat.Solver.create () in
+      let sat_lit = Cnf.encode solver g in
+      let extract_cex () =
+        let ni = Graph.num_inputs g in
+        Array.init ni (fun i ->
+            let l = List.nth (Graph.inputs g) i in
+            let v = sat_lit l in
+            if v > 0 then Sat.Solver.value solver v
+            else not (Sat.Solver.value solver (-v)))
+      in
+      let rec go = function
+        | [] -> Equivalent
+        | d :: rest -> (
+          match Sat.Solver.solve ~assumptions:[ sat_lit d ] solver with
+          | Sat.Solver.Unsat -> go rest
+          | Sat.Solver.Sat -> Counterexample (extract_cex ()))
+      in
+      go live
+
+let equivalent a b =
+  match check a b with Equivalent -> true | Counterexample _ -> false

@@ -1,0 +1,16 @@
+(** Combinational equivalence checking.
+
+    The paper verifies every optimized circuit against the original
+    ("an equivalence check is performed after optimization", Sec. 5); this
+    module provides that check: random simulation for fast refutation
+    followed by SAT on a miter. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of bool array  (** input assignment where outputs differ *)
+
+(** [check a b] compares two circuits with the same number of inputs and
+    outputs (matched positionally). *)
+val check : Graph.t -> Graph.t -> verdict
+
+val equivalent : Graph.t -> Graph.t -> bool

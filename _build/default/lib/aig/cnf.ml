@@ -1,0 +1,39 @@
+let encode solver g =
+  let var_of = Hashtbl.create 256 in
+  let sat_var id =
+    match Hashtbl.find_opt var_of id with
+    | Some v -> v
+    | None ->
+      let v = Sat.Solver.new_var solver in
+      Hashtbl.add var_of id v;
+      v
+  in
+  (* Constant node: variable forced false. *)
+  let cvar = sat_var 0 in
+  Sat.Solver.add_clause solver [ -cvar ];
+  let sat_lit l =
+    let v = sat_var (Graph.node_of_lit l) in
+    if Graph.is_complemented l then -v else v
+  in
+  let visited = Hashtbl.create 256 in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      if Graph.is_and g id then begin
+        let f0, f1 = Graph.fanins g id in
+        visit (Graph.node_of_lit f0);
+        visit (Graph.node_of_lit f1);
+        let c = sat_var id and a = sat_lit f0 and b = sat_lit f1 in
+        Sat.Solver.add_clause solver [ -c; a ];
+        Sat.Solver.add_clause solver [ -c; b ];
+        Sat.Solver.add_clause solver [ c; -a; -b ]
+      end
+    end
+  in
+  (* Encode every node, not just the output cones: SAT sweeping queries
+     arbitrary internal nodes and an un-encoded node would be
+     unconstrained. *)
+  for id = 1 to Graph.num_nodes g - 1 do
+    visit id
+  done;
+  sat_lit

@@ -1,0 +1,8 @@
+(** Tseitin encoding of an AIG into a SAT solver. *)
+
+(** [encode solver g] adds one solver variable per AIG node (every node,
+    so internal equivalences can be queried during SAT sweeping) and the
+    AND-gate consistency clauses. Returns a function translating an AIG
+    literal into a solver literal. The constant node is encoded as a
+    fixed-false variable. *)
+val encode : Sat.Solver.t -> Graph.t -> Graph.lit -> int

@@ -1,0 +1,114 @@
+type cut = { leaves : int array; tt : Logic.Tt.t }
+
+let cut_function g l leaves =
+  let n = Array.length leaves in
+  assert (n <= 16);
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun i id -> Hashtbl.replace pos id i) leaves;
+  let memo = Hashtbl.create 32 in
+  let rec go l =
+    let id = Graph.node_of_lit l in
+    let base =
+      match Hashtbl.find_opt pos id with
+      | Some i -> Logic.Tt.var n i
+      | None -> (
+        match Hashtbl.find_opt memo id with
+        | Some t -> t
+        | None ->
+          let t =
+            if id = 0 then Logic.Tt.const_false n
+            else begin
+              assert (Graph.is_and g id);
+              let f0, f1 = Graph.fanins g id in
+              Logic.Tt.land_ (go f0) (go f1)
+            end
+          in
+          Hashtbl.add memo id t;
+          t)
+    in
+    if Graph.is_complemented l then Logic.Tt.lnot base else base
+  in
+  go l
+
+let merge_leaves k a b =
+  (* Merge two sorted arrays; None when the union exceeds k. *)
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make k 0 in
+  let rec go i j n =
+    if i = la && j = lb then Some (Array.sub out 0 n)
+    else if i = la then push b.(j) i (j + 1) n
+    else if j = lb then push a.(i) (i + 1) j n
+    else if a.(i) = b.(j) then push a.(i) (i + 1) (j + 1) n
+    else if a.(i) < b.(j) then push a.(i) (i + 1) j n
+    else push b.(j) i (j + 1) n
+  and push v i j n =
+    if n = k then None
+    else begin
+      out.(n) <- v;
+      go i j (n + 1)
+    end
+  in
+  go 0 0 0
+
+let enumerate g ~k ~per_node =
+  let nn = Graph.num_nodes g in
+  let cuts = Array.make nn [] in
+  let trivial id =
+    { leaves = [| id |]; tt = Logic.Tt.var 1 0 }
+  in
+  let lv = Graph.levels g in
+  let cut_cost c =
+    (* Prefer small cuts with shallow leaves. *)
+    let d = Array.fold_left (fun acc id -> max acc lv.(id)) 0 c.leaves in
+    (d * 100) + Array.length c.leaves
+  in
+  for id = 1 to nn - 1 do
+    if Graph.is_input g id then cuts.(id) <- [ trivial id ]
+    else if Graph.is_and g id then begin
+      let f0, f1 = Graph.fanins g id in
+      let id0 = Graph.node_of_lit f0 and id1 = Graph.node_of_lit f1 in
+      let c0s = if id0 = 0 then [ trivial 0 ] else cuts.(id0) in
+      let c1s = if id1 = 0 then [ trivial 0 ] else cuts.(id1) in
+      let merged = ref [] in
+      List.iter
+        (fun c0 ->
+          List.iter
+            (fun c1 ->
+              match merge_leaves k c0.leaves c1.leaves with
+              | None -> ()
+              | Some leaves ->
+                (* Avoid duplicates by leaf set. *)
+                if
+                  not
+                    (List.exists (fun c -> c.leaves = leaves) !merged)
+                then begin
+                  let tt = cut_function g (Graph.lit_of_node id false) leaves in
+                  merged := { leaves; tt } :: !merged
+                end)
+            c1s)
+        c0s;
+      let sorted = List.sort (fun a b -> compare (cut_cost a) (cut_cost b)) !merged in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let kept = take per_node sorted in
+      (* The direct two-leaf cut must always survive pruning: structural
+         mapping relies on a NAND/AND match existing for every node. *)
+      let direct_leaves =
+        if id0 = id1 then [| id0 |]
+        else if id0 < id1 then [| id0; id1 |]
+        else [| id1; id0 |]
+      in
+      let kept =
+        if List.exists (fun c -> c.leaves = direct_leaves) kept then kept
+        else
+          { leaves = direct_leaves;
+            tt = cut_function g (Graph.lit_of_node id false) direct_leaves }
+          :: kept
+      in
+      cuts.(id) <- trivial id :: kept
+    end
+  done;
+  cuts

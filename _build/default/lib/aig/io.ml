@@ -1,0 +1,286 @@
+let node_name g id =
+  match Graph.input_name g id with
+  | Some s -> s
+  | None -> if Graph.is_input g id then Printf.sprintf "pi%d" (Graph.input_index g id) else Printf.sprintf "n%d" id
+
+let write_blif ?(model = "circuit") ppf g =
+  let open Format in
+  fprintf ppf ".model %s@." model;
+  let input_names =
+    List.map (fun l -> node_name g (Graph.node_of_lit l)) (Graph.inputs g)
+  in
+  fprintf ppf ".inputs %s@." (String.concat " " input_names);
+  fprintf ppf ".outputs %s@."
+    (String.concat " " (List.map fst (Graph.outputs g)));
+  for id = 1 to Graph.num_nodes g - 1 do
+    if Graph.is_and g id then begin
+      let f0, f1 = Graph.fanins g id in
+      (* Constant fanins cannot occur: [Graph.band] folds them away. *)
+      assert (Graph.node_of_lit f0 <> 0 && Graph.node_of_lit f1 <> 0);
+      let n0 = node_name g (Graph.node_of_lit f0) in
+      let n1 = node_name g (Graph.node_of_lit f1) in
+      let b0 = if Graph.is_complemented f0 then "0" else "1" in
+      let b1 = if Graph.is_complemented f1 then "0" else "1" in
+      fprintf ppf ".names %s %s %s@.%s%s 1@." n0 n1 (node_name g id) b0 b1
+    end
+  done;
+  List.iter
+    (fun (name, l) ->
+      let src = node_name g (Graph.node_of_lit l) in
+      if Graph.node_of_lit l = 0 then
+        (* Constant output. *)
+        if Graph.is_complemented l then fprintf ppf ".names %s@.1@." name
+        else fprintf ppf ".names %s@." name
+      else if Graph.is_complemented l then
+        fprintf ppf ".names %s %s@.0 1@." src name
+      else if src <> name then fprintf ppf ".names %s %s@.1 1@." src name)
+    (Graph.outputs g);
+  fprintf ppf ".end@."
+
+let blif_to_string ?model g =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  write_blif ?model ppf g;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* Join BLIF continuation lines ending in backslash; strip comments. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      if line = "" then join acc pending rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\'
+      then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else join ((pending ^ line) :: acc) "" rest
+  in
+  join [] "" raw
+
+type blif_names = { inputs : string list; output : string; rows : (string * char) list }
+
+let read_blif text =
+  let lines = logical_lines text in
+  let inputs = ref [] and outputs = ref [] in
+  let tables = ref [] in
+  let current = ref None in
+  let finish () =
+    match !current with
+    | Some t -> tables := t :: !tables; current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      let toks = tokenize line in
+      match toks with
+      | ".model" :: _ -> ()
+      | ".inputs" :: names -> inputs := !inputs @ names
+      | ".outputs" :: names -> outputs := !outputs @ names
+      | ".names" :: signals ->
+        finish ();
+        (match List.rev signals with
+         | out :: ins_rev ->
+           current := Some { inputs = List.rev ins_rev; output = out; rows = [] }
+         | [] -> failwith "blif: empty .names")
+      | ".latch" :: _ -> failwith "blif: sequential elements unsupported"
+      | [ ".end" ] -> finish ()
+      | [] -> ()
+      | tok :: _ when String.length tok > 0 && tok.[0] = '.' ->
+        failwith (Printf.sprintf "blif: unsupported construct %s" tok)
+      | [ pattern; out ] -> (
+        match !current with
+        | Some t when String.length out = 1 ->
+          current := Some { t with rows = (pattern, out.[0]) :: t.rows }
+        | _ -> failwith "blif: cube row outside .names")
+      | [ single ] -> (
+        (* Constant table row: "1" or "0" with no inputs. *)
+        match !current with
+        | Some t when t.inputs = [] ->
+          current := Some { t with rows = ("", single.[0]) :: t.rows }
+        | _ -> failwith "blif: malformed row")
+      | _ -> failwith "blif: malformed line")
+    lines;
+  finish ();
+  let g = Graph.create () in
+  let env = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace env n (Graph.add_input ~name:n g)) !inputs;
+  let tables = List.rev !tables in
+  let by_output = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace by_output t.output t) tables;
+  let lev = Lev.create g in
+  let rec build name =
+    match Hashtbl.find_opt env name with
+    | Some l -> l
+    | None ->
+      let t =
+        match Hashtbl.find_opt by_output name with
+        | Some t -> t
+        | None -> failwith (Printf.sprintf "blif: undriven signal %s" name)
+      in
+      let fanin_lits = List.map build t.inputs in
+      let n = List.length t.inputs in
+      let cube_of pattern =
+        let lits = ref [] in
+        String.iteri
+          (fun i c ->
+            match c with
+            | '1' -> lits := (i, true) :: !lits
+            | '0' -> lits := (i, false) :: !lits
+            | '-' -> ()
+            | _ -> failwith "blif: bad cube char")
+          pattern;
+        Logic.Cube.of_literals !lits
+      in
+      let on_rows = List.filter (fun (_, v) -> v = '1') t.rows in
+      let off_rows = List.filter (fun (_, v) -> v = '0') t.rows in
+      let l =
+        if on_rows <> [] && off_rows <> [] then
+          failwith "blif: mixed on/off rows unsupported"
+        else if t.rows = [] then Graph.const_false
+        else begin
+          let rows, polarity =
+            if on_rows <> [] then (on_rows, true) else (off_rows, false)
+          in
+          let sop = Logic.Sop.make n (List.map (fun (p, _) -> cube_of p) rows) in
+          let leaf i = List.nth fanin_lits i in
+          let l = Synth.of_sop g lev sop ~leaf in
+          if polarity then l else Graph.bnot l
+        end
+      in
+      Hashtbl.replace env name l;
+      l
+  in
+  List.iter (fun name -> Graph.add_output g name (build name)) !outputs;
+  g
+
+let write_bench ppf g =
+  let open Format in
+  List.iter
+    (fun l -> fprintf ppf "INPUT(%s)@." (node_name g (Graph.node_of_lit l)))
+    (Graph.inputs g);
+  List.iter (fun (name, _) -> fprintf ppf "OUTPUT(%s)@." name) (Graph.outputs g);
+  let emitted_inv = Hashtbl.create 16 in
+  let ref_of l =
+    let id = Graph.node_of_lit l in
+    let base = node_name g id in
+    if Graph.is_complemented l then begin
+      let nm = base ^ "_bar" in
+      if not (Hashtbl.mem emitted_inv nm) then Hashtbl.replace emitted_inv nm base;
+      nm
+    end
+    else base
+  in
+  let pending = ref [] in
+  for id = 1 to Graph.num_nodes g - 1 do
+    if Graph.is_and g id then begin
+      let f0, f1 = Graph.fanins g id in
+      pending := (node_name g id, ref_of f0, ref_of f1) :: !pending
+    end
+  done;
+  (* Resolve output references first so their inverters are recorded before
+     the NOT lines are printed (readers do not require ordering, but the
+     file should still be self-contained). *)
+  let out_lines =
+    List.filter_map
+      (fun (name, l) ->
+        if Graph.node_of_lit l = 0 then
+          Some
+            (Printf.sprintf "%s = %s" name
+               (if Graph.is_complemented l then "VDD" else "GND"))
+        else begin
+          let src = ref_of l in
+          if src <> name then Some (Printf.sprintf "%s = BUFF(%s)" name src)
+          else None
+        end)
+      (Graph.outputs g)
+  in
+  Hashtbl.iter (fun inv base -> fprintf ppf "%s = NOT(%s)@." inv base) emitted_inv;
+  List.iter (fun (n, a, b) -> fprintf ppf "%s = AND(%s, %s)@." n a b) (List.rev !pending);
+  List.iter (fun line -> fprintf ppf "%s@." line) out_lines
+
+let read_bench text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "" && s.[0] <> '#')
+  in
+  let inputs = ref [] and outputs = ref [] and gates = Hashtbl.create 64 in
+  let parse_call s =
+    (* "name = OP(a, b, ...)" *)
+    match String.index_opt s '=' with
+    | None -> None
+    | Some eq ->
+      let name = String.trim (String.sub s 0 eq) in
+      let rhs = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+      (match String.index_opt rhs '(' with
+       | None -> Some (name, String.uppercase_ascii rhs, [])
+       | Some p ->
+         let op = String.uppercase_ascii (String.trim (String.sub rhs 0 p)) in
+         let close = String.rindex rhs ')' in
+         let args = String.sub rhs (p + 1) (close - p - 1) in
+         let args =
+           String.split_on_char ',' args |> List.map String.trim
+           |> List.filter (fun s -> s <> "")
+         in
+         Some (name, op, args))
+  in
+  List.iter
+    (fun line ->
+      if String.length line >= 6 && String.sub line 0 6 = "INPUT(" then begin
+        let close = String.rindex line ')' in
+        inputs := String.trim (String.sub line 6 (close - 6)) :: !inputs
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "OUTPUT(" then begin
+        let close = String.rindex line ')' in
+        outputs := String.trim (String.sub line 7 (close - 7)) :: !outputs
+      end
+      else
+        match parse_call line with
+        | Some (name, op, args) -> Hashtbl.replace gates name (op, args)
+        | None -> failwith (Printf.sprintf "bench: bad line %s" line))
+    lines;
+  let g = Graph.create () in
+  let env = Hashtbl.create 64 in
+  List.iter
+    (fun n -> Hashtbl.replace env n (Graph.add_input ~name:n g))
+    (List.rev !inputs);
+  let rec build name =
+    match Hashtbl.find_opt env name with
+    | Some l -> l
+    | None ->
+      let op, args =
+        match Hashtbl.find_opt gates name with
+        | Some x -> x
+        | None -> failwith (Printf.sprintf "bench: undriven signal %s" name)
+      in
+      let lits = List.map build args in
+      let l =
+        match (op, lits) with
+        | "AND", ls -> Graph.band_list g ls
+        | "NAND", ls -> Graph.bnot (Graph.band_list g ls)
+        | "OR", ls -> Graph.bor_list g ls
+        | "NOR", ls -> Graph.bnot (Graph.bor_list g ls)
+        | "XOR", ls -> List.fold_left (Graph.bxor g) Graph.const_false ls
+        | "XNOR", ls -> Graph.bnot (List.fold_left (Graph.bxor g) Graph.const_false ls)
+        | "NOT", [ a ] -> Graph.bnot a
+        | "BUFF", [ a ] | "BUF", [ a ] -> a
+        | "VDD", [] -> Graph.const_true
+        | "GND", [] -> Graph.const_false
+        | _ -> failwith (Printf.sprintf "bench: unsupported gate %s/%d" op (List.length lits))
+      in
+      Hashtbl.replace env name l;
+      l
+  in
+  List.iter (fun name -> Graph.add_output g name (build name)) (List.rev !outputs);
+  g

@@ -1,0 +1,15 @@
+type t = { g : Graph.t; memo : (int, int) Hashtbl.t }
+
+let create g = { g; memo = Hashtbl.create 256 }
+
+let rec level t l =
+  let id = Graph.node_of_lit l in
+  if id = 0 || Graph.is_input t.g id then 0
+  else
+    match Hashtbl.find_opt t.memo id with
+    | Some v -> v
+    | None ->
+      let f0, f1 = Graph.fanins t.g id in
+      let v = 1 + max (level t f0) (level t f1) in
+      Hashtbl.add t.memo id v;
+      v

@@ -1,0 +1,12 @@
+(** Lazy level tracking for a growing AIG.
+
+    [level] is memoized per node; the graph may only grow between calls
+    (nodes are never rewired), which every constructive pass here
+    respects. *)
+
+type t
+
+val create : Graph.t -> t
+
+(** Unit-delay level of the node under a literal (inputs at level 0). *)
+val level : t -> Graph.lit -> int

@@ -1,0 +1,13 @@
+(** Simulation-guided resubstitution with SAT verification.
+
+    For each deep node, the pass searches for an equivalent re-expression
+    in terms of two existing shallower nodes (any AND/OR/XOR with input
+    polarities): candidates are filtered by random-simulation signatures
+    and proven with the SAT solver before the node is rewired. A classic
+    delay-oriented cleanup that complements cut rewriting (it can jump
+    across cut boundaries). *)
+
+(** [run ?rounds ?max_checks g] returns an equivalent graph.
+    [rounds] controls the signature width (64-bit words);
+    [max_checks] bounds the number of SAT calls. *)
+val run : ?rounds:int -> ?max_checks:int -> Graph.t -> Graph.t

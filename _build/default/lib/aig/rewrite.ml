@@ -1,0 +1,59 @@
+type objective = [ `Delay | `Area ]
+
+let run ?(k = 5) ?(per_node = 6) ~objective src =
+  let cuts = Cuts.enumerate src ~k ~per_node in
+  let dst = Graph.create () in
+  let lev = Lev.create dst in
+  let map = Hashtbl.create 256 in
+  (* map: src node id -> dst literal *)
+  List.iter
+    (fun l ->
+      let id = Graph.node_of_lit l in
+      Hashtbl.replace map id (Graph.add_input ?name:(Graph.input_name src id) dst))
+    (Graph.inputs src);
+  Hashtbl.replace map 0 Graph.const_false;
+  let translate_lit l =
+    let b = Hashtbl.find map (Graph.node_of_lit l) in
+    if Graph.is_complemented l then Graph.bnot b else b
+  in
+  let nn = Graph.num_nodes src in
+  for id = 1 to nn - 1 do
+    if Graph.is_and src id then begin
+      let f0, f1 = Graph.fanins src id in
+      let default = Graph.band dst (translate_lit f0) (translate_lit f1) in
+      let candidates =
+        List.filter_map
+          (fun (c : Cuts.cut) ->
+            if Array.length c.leaves < 3 then None
+            else if Array.exists (fun lid -> not (Hashtbl.mem map lid)) c.leaves
+            then None
+            else begin
+              let before = Graph.num_nodes dst in
+              let leaf i = Hashtbl.find map c.leaves.(i) in
+              let cand = Synth.of_tt dst lev c.tt ~leaf in
+              let added = Graph.num_nodes dst - before in
+              Some (cand, Lev.level lev cand, added)
+            end)
+          cuts.(id)
+      in
+      let dl = Lev.level lev default in
+      let better (cand, cl, added) (best, bl, bsize) =
+        match objective with
+        | `Delay ->
+          if cl < bl || (cl = bl && added < bsize) then (cand, cl, added)
+          else (best, bl, bsize)
+        | `Area ->
+          if (added < bsize && cl <= bl + 1) || (added = bsize && cl < bl) then
+            (cand, cl, added)
+          else (best, bl, bsize)
+      in
+      let chosen, _, _ =
+        List.fold_left (fun acc c -> better c acc) (default, dl, 0) candidates
+      in
+      Hashtbl.replace map id chosen
+    end
+  done;
+  List.iter
+    (fun (name, l) -> Graph.add_output dst name (translate_lit l))
+    (Graph.outputs src);
+  Graph.cleanup dst

@@ -1,0 +1,12 @@
+(** Cut-based resynthesis (the `rewrite`/`refactor` family).
+
+    Every AND node is considered with its k-feasible cuts; the cut function
+    is re-synthesized from a minimum cover ({!Synth.of_tt}) and the better
+    structure — by level for [`Delay], by node count for [`Area] — replaces
+    the plain copy. Graphs are rebuilt functionally, so the pass is safe to
+    iterate. *)
+
+type objective = [ `Delay | `Area ]
+
+(** [run ?k ?per_node ~objective g] is an equivalent rewritten graph. *)
+val run : ?k:int -> ?per_node:int -> objective:objective -> Graph.t -> Graph.t

@@ -1,0 +1,130 @@
+let cleanup = Graph.cleanup
+
+let sat_sweep ?(rounds = 8) ?(max_pairs = 2000) g =
+  let nn = Graph.num_nodes g in
+  let ni = Graph.num_inputs g in
+  if ni = 0 then Graph.cleanup g
+  else begin
+    (* Signatures from several simulation rounds; canonical polarity keeps
+       a node and its complement in one class. *)
+    let st = Random.State.make [| 0xcafe; nn |] in
+    let sigs = Array.make nn [] in
+    for _ = 1 to rounds do
+      let words = Array.init ni (fun _ -> Random.State.int64 st Int64.max_int) in
+      let values = Graph.sim g words in
+      for id = 0 to nn - 1 do
+        sigs.(id) <- values.(id) :: sigs.(id)
+      done
+    done;
+    let canon s =
+      let flipped = List.map Int64.lognot s in
+      if s <= flipped then (s, false) else (flipped, true)
+    in
+    let classes = Hashtbl.create 256 in
+    for id = 0 to nn - 1 do
+      if id = 0 || Graph.is_and g id then begin
+        let key, flip = canon sigs.(id) in
+        let prev = try Hashtbl.find classes key with Not_found -> [] in
+        Hashtbl.replace classes key ((id, flip) :: prev)
+      end
+    done;
+    (* Candidate pairs: each class member against the class representative.
+       The representative is the shallowest member (then the smallest id)
+       so merging never increases the depth of the circuit. *)
+    let lv = Graph.levels g in
+    let pairs = ref [] in
+    Hashtbl.iter
+      (fun _ members ->
+        let ordered =
+          List.sort
+            (fun (a, _) (b, _) -> compare (lv.(a), a) (lv.(b), b))
+            members
+        in
+        match ordered with
+        | [] | [ _ ] -> ()
+        | (rep, rep_flip) :: rest ->
+          List.iter
+            (fun (id, flip) ->
+              if id > rep then pairs := (rep, id, rep_flip <> flip) :: !pairs)
+            rest)
+      classes;
+    let pairs =
+      let sorted = List.sort compare !pairs in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: r -> x :: take (n - 1) r
+      in
+      take max_pairs sorted
+    in
+    if pairs = [] then Graph.cleanup g
+    else begin
+      let solver = Sat.Solver.create () in
+      let sat_lit = Cnf.encode solver g in
+      let subst = Hashtbl.create 64 in
+      (* subst: node id -> replacement literal in the ORIGINAL graph *)
+      let resolve id =
+        let rec go l =
+          let i = Graph.node_of_lit l in
+          match Hashtbl.find_opt subst i with
+          | None -> l
+          | Some l' ->
+            let r = go l' in
+            if Graph.is_complemented l then Graph.bnot r else r
+        in
+        go (Graph.lit_of_node id false)
+      in
+      List.iter
+        (fun (rep, id, flipped) ->
+          if not (Hashtbl.mem subst id) then begin
+            let rep_lit = resolve rep in
+            (* Avoid cyclic substitutions through an already-replaced rep. *)
+            if Graph.node_of_lit rep_lit <> id then begin
+              let a = sat_lit (Graph.lit_of_node id false) in
+              let b = sat_lit (if flipped then Graph.bnot rep_lit else rep_lit) in
+              let ne1 = Sat.Solver.solve ~assumptions:[ a; -b ] solver in
+              let ne2 = Sat.Solver.solve ~assumptions:[ -a; b ] solver in
+              if ne1 = Sat.Solver.Unsat && ne2 = Sat.Solver.Unsat then
+                Hashtbl.replace subst id
+                  (if flipped then Graph.bnot rep_lit else rep_lit)
+            end
+          end)
+        pairs;
+      if Hashtbl.length subst = 0 then Graph.cleanup g
+      else begin
+        (* Rebuild with substitutions applied. *)
+        let dst = Graph.create () in
+        let map = Hashtbl.create 256 in
+        List.iter
+          (fun l ->
+            let id = Graph.node_of_lit l in
+            Hashtbl.replace map id
+              (Graph.add_input ?name:(Graph.input_name g id) dst))
+          (Graph.inputs g);
+        Hashtbl.replace map 0 Graph.const_false;
+        let rec build l =
+          let id = Graph.node_of_lit l in
+          let via_subst = resolve id in
+          let base =
+            if Graph.node_of_lit via_subst <> id then begin
+              let b = build via_subst in
+              b
+            end
+            else
+              match Hashtbl.find_opt map id with
+              | Some b -> b
+              | None ->
+                let f0, f1 = Graph.fanins g id in
+                let b = Graph.band dst (build f0) (build f1) in
+                Hashtbl.replace map id b;
+                b
+          in
+          if Graph.is_complemented l then Graph.bnot base else base
+        in
+        List.iter
+          (fun (name, l) -> Graph.add_output dst name (build l))
+          (Graph.outputs g);
+        dst
+      end
+    end
+  end

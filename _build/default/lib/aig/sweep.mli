@@ -1,0 +1,14 @@
+(** Redundancy elimination — the paper's area-recovery step.
+
+    [sat_sweep] detects functionally equivalent internal nodes (up to
+    complementation) with random simulation and proves candidate merges
+    with the SAT solver before rewiring; [cleanup] removes dangling and
+    structurally duplicate logic. *)
+
+(** Structural cleanup ({!Graph.cleanup}). *)
+val cleanup : Graph.t -> Graph.t
+
+(** [sat_sweep ?rounds ?max_pairs g] merges proven-equivalent nodes.
+    [rounds] is the number of 64-bit random simulation rounds used to
+    partition candidates; [max_pairs] bounds SAT effort. *)
+val sat_sweep : ?rounds:int -> ?max_pairs:int -> Graph.t -> Graph.t

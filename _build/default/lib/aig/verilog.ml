@@ -1,0 +1,62 @@
+let sanitize name =
+  let ok c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "s_" ^ s else s
+
+let write ?(module_name = "circuit") ppf g =
+  let open Format in
+  let node_name id =
+    match Graph.input_name g id with
+    | Some s -> sanitize s
+    | None ->
+      if Graph.is_input g id then Printf.sprintf "pi%d" (Graph.input_index g id)
+      else Printf.sprintf "n%d" id
+  in
+  let ref_of l =
+    if Graph.node_of_lit l = 0 then
+      if Graph.is_complemented l then "1'b1" else "1'b0"
+    else begin
+      let base = node_name (Graph.node_of_lit l) in
+      if Graph.is_complemented l then "~" ^ base else base
+    end
+  in
+  let inputs = List.map (fun l -> node_name (Graph.node_of_lit l)) (Graph.inputs g) in
+  let outputs = List.map (fun (name, _) -> sanitize name) (Graph.outputs g) in
+  fprintf ppf "module %s (@[%s@]);@." (sanitize module_name)
+    (String.concat ", " (inputs @ outputs));
+  List.iter (fun n -> fprintf ppf "  input %s;@." n) inputs;
+  List.iter (fun n -> fprintf ppf "  output %s;@." n) outputs;
+  let reachable = Hashtbl.create 256 in
+  let rec mark id =
+    if not (Hashtbl.mem reachable id) then begin
+      Hashtbl.replace reachable id ();
+      if Graph.is_and g id then begin
+        let f0, f1 = Graph.fanins g id in
+        mark (Graph.node_of_lit f0);
+        mark (Graph.node_of_lit f1)
+      end
+    end
+  in
+  List.iter (fun (_, l) -> mark (Graph.node_of_lit l)) (Graph.outputs g);
+  for id = 1 to Graph.num_nodes g - 1 do
+    if Graph.is_and g id && Hashtbl.mem reachable id then
+      fprintf ppf "  wire %s;@." (node_name id)
+  done;
+  for id = 1 to Graph.num_nodes g - 1 do
+    if Graph.is_and g id && Hashtbl.mem reachable id then begin
+      let f0, f1 = Graph.fanins g id in
+      fprintf ppf "  assign %s = %s & %s;@." (node_name id) (ref_of f0)
+        (ref_of f1)
+    end
+  done;
+  List.iter
+    (fun (name, l) -> fprintf ppf "  assign %s = %s;@." (sanitize name) (ref_of l))
+    (Graph.outputs g);
+  fprintf ppf "endmodule@."
+
+let to_string ?module_name g =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ?module_name ppf g;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Structural Verilog export of an AIG (assign-based, synthesizable). *)
+
+(** [write ?module_name ppf g] emits one [module] with an [assign] per
+    AND gate. Signal names are sanitized to Verilog identifiers. *)
+val write : ?module_name:string -> Format.formatter -> Graph.t -> unit
+
+val to_string : ?module_name:string -> Graph.t -> string

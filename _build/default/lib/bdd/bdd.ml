@@ -1,0 +1,220 @@
+type t =
+  | Leaf of bool
+  | Node of { id : int; v : int; lo : t; hi : t }
+
+type man = {
+  unique : (int * int * int, t) Hashtbl.t;
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  compose_cache : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+  mutable nvars : int;
+}
+
+let create ?(cache_size = 1 lsl 14) () =
+  {
+    unique = Hashtbl.create cache_size;
+    ite_cache = Hashtbl.create cache_size;
+    compose_cache = Hashtbl.create 256;
+    next_id = 2;
+    nvars = 0;
+  }
+
+let bfalse _ = Leaf false
+let btrue _ = Leaf true
+let id = function Leaf false -> 0 | Leaf true -> 1 | Node n -> n.id
+let topvar = function Leaf _ -> max_int | Node n -> n.v
+let equal a b = id a = id b
+let is_false _ f = id f = 0
+let is_true _ f = id f = 1
+
+let mk man v lo hi =
+  if equal lo hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match Hashtbl.find_opt man.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = man.next_id; v; lo; hi } in
+      man.next_id <- man.next_id + 1;
+      Hashtbl.add man.unique key n;
+      n
+
+let var man i =
+  assert (i >= 0);
+  if i >= man.nvars then man.nvars <- i + 1;
+  mk man i (Leaf false) (Leaf true)
+
+let num_vars man = man.nvars
+let allocated man = man.next_id
+
+let cofactors v = function
+  | Leaf _ as f -> (f, f)
+  | Node n -> if n.v = v then (n.lo, n.hi) else (Node n, Node n)
+
+let rec ite man f g h =
+  match f with
+  | Leaf true -> g
+  | Leaf false -> h
+  | Node _ ->
+    if equal g h then g
+    else if id g = 1 && id h = 0 then f
+    else begin
+      let key = (id f, id g, id h) in
+      match Hashtbl.find_opt man.ite_cache key with
+      | Some r -> r
+      | None ->
+        let v = min (topvar f) (min (topvar g) (topvar h)) in
+        let f0, f1 = cofactors v f in
+        let g0, g1 = cofactors v g in
+        let h0, h1 = cofactors v h in
+        let lo = ite man f0 g0 h0 and hi = ite man f1 g1 h1 in
+        let r = mk man v lo hi in
+        Hashtbl.replace man.ite_cache key r;
+        r
+    end
+
+let bnot man f = ite man f (Leaf false) (Leaf true)
+let band man f g = ite man f g (Leaf false)
+let bor man f g = ite man f (Leaf true) g
+let bxor man f g = ite man f (bnot man g) g
+let bimp man f g = ite man f g (Leaf true)
+let beq man f g = ite man f g (bnot man g)
+let implies man f g = is_true man (bimp man f g)
+
+let restrict man f i b =
+  (* Implemented via compose with a constant to reuse one cache. *)
+  let rec go f =
+    match f with
+    | Leaf _ -> f
+    | Node n ->
+      if n.v > i then f
+      else if n.v = i then if b then n.hi else n.lo
+      else begin
+        let key = (id f, i, if b then 1 else 0) in
+        match Hashtbl.find_opt man.compose_cache key with
+        | Some r -> r
+        | None ->
+          let r = mk man n.v (go n.lo) (go n.hi) in
+          Hashtbl.replace man.compose_cache key r;
+          r
+      end
+  in
+  go f
+
+let compose man f i g =
+  let rec go f =
+    match f with
+    | Leaf _ -> f
+    | Node n ->
+      if n.v > i then f
+      else if n.v = i then ite man g n.hi n.lo
+      else begin
+        let key = (id f, i, id g + 2) in
+        match Hashtbl.find_opt man.compose_cache key with
+        | Some r -> r
+        | None ->
+          let lo = go n.lo and hi = go n.hi in
+          (* The substituted variable may rise above n.v in the order, so
+             rebuild with ite on the branch variable. *)
+          let xv = mk man n.v (Leaf false) (Leaf true) in
+          let r = ite man xv hi lo in
+          Hashtbl.replace man.compose_cache key r;
+          r
+      end
+  in
+  go f
+
+let exists man vars f =
+  List.fold_left
+    (fun f i -> bor man (restrict man f i false) (restrict man f i true))
+    f vars
+
+let apply_tt man tt args =
+  assert (Array.length args = Logic.Tt.num_vars tt);
+  (* Shannon-expand the truth table over its variables, binding each
+     variable to the corresponding argument BDD. Memoized on the
+     (sub-)table so shared subfunctions are built once. *)
+  let cache = Hashtbl.create 64 in
+  let rec go tt i =
+    if Logic.Tt.is_const_false tt then Leaf false
+    else if Logic.Tt.is_const_true tt then Leaf true
+    else begin
+      let key = (Logic.Tt.to_hex tt, i) in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          if not (Logic.Tt.depends_on tt i) then go tt (i + 1)
+          else
+            let f0 = go (Logic.Tt.cofactor tt i false) (i + 1) in
+            let f1 = go (Logic.Tt.cofactor tt i true) (i + 1) in
+            ite man args.(i) f1 f0
+        in
+        Hashtbl.replace cache key r;
+        r
+    end
+  in
+  go tt 0
+
+let satcount _man ~nvars f =
+  let cache = Hashtbl.create 64 in
+  (* count f = satisfying fraction of the full space below variable v. *)
+  let rec frac f =
+    match f with
+    | Leaf false -> 0.0
+    | Leaf true -> 1.0
+    | Node n -> (
+      match Hashtbl.find_opt cache n.id with
+      | Some r -> r
+      | None ->
+        let r = 0.5 *. (frac n.lo +. frac n.hi) in
+        Hashtbl.replace cache n.id r;
+        r)
+  in
+  frac f *. (2.0 ** float_of_int nvars)
+
+let any_sat _man f =
+  let rec go f acc =
+    match f with
+    | Leaf true -> Some (List.rev acc)
+    | Leaf false -> None
+    | Node n -> (
+      match go n.hi ((n.v, true) :: acc) with
+      | Some r -> Some r
+      | None -> go n.lo ((n.v, false) :: acc))
+  in
+  go f []
+
+let support f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        Hashtbl.replace vars n.v ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf _ -> 0
+    | Node n ->
+      if Hashtbl.mem seen n.id then 0
+      else begin
+        Hashtbl.add seen n.id ();
+        1 + go n.lo + go n.hi
+      end
+  in
+  go f
+
+let pp ppf f =
+  match f with
+  | Leaf b -> Format.fprintf ppf "bdd:%b" b
+  | Node n -> Format.fprintf ppf "bdd:node(id=%d,var=%d,size=%d)" n.id n.v (size f)

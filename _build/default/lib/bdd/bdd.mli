@@ -1,0 +1,78 @@
+(** Hash-consed reduced ordered binary decision diagrams.
+
+    The manager owns the unique table and the operation caches. Nodes from
+    the same manager compare equal iff they represent the same function
+    (canonicity), so {!equal} is constant time. Variable [0] is at the top
+    of the order; the manager grows its variable count on demand.
+
+    BDDs carry the global node functions of the technology-independent
+    network and the speed-path characteristic function (SPCF); satisfying
+    fractions computed here are the cube weights of the paper's
+    [Simplify] procedure. *)
+
+type man
+type t
+
+(** [create ?cache_size ()] makes a fresh manager. *)
+val create : ?cache_size:int -> unit -> man
+
+val bfalse : man -> t
+val btrue : man -> t
+
+(** [var m i] is the projection of variable [i] (grows the manager). *)
+val var : man -> int -> t
+
+(** Number of variables the manager has seen. *)
+val num_vars : man -> int
+
+(** Total nodes ever allocated in this manager — a growth gauge used to
+    bound BDD effort in the synthesis driver. *)
+val allocated : man -> int
+
+val bnot : man -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val bimp : man -> t -> t -> t
+val beq : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+
+(** Constant-time structural equality (valid within one manager). *)
+val equal : t -> t -> bool
+
+val is_false : man -> t -> bool
+val is_true : man -> t -> bool
+
+(** [implies m f g] decides [f <= g]. *)
+val implies : man -> t -> t -> bool
+
+(** [restrict m f i b] is the cofactor of [f] with [x_i = b]. *)
+val restrict : man -> t -> int -> bool -> t
+
+(** [compose m f i g] substitutes [g] for variable [i] in [f]. *)
+val compose : man -> t -> int -> t -> t
+
+(** [exists m vars f] quantifies the listed variables away. *)
+val exists : man -> int list -> t -> t
+
+(** [apply_tt m tt args] interprets truth table [tt] as a function applied
+    to the argument BDDs: the global function of a network node whose
+    fanins have global functions [args]. [Array.length args] must equal
+    [Tt.num_vars tt]. *)
+val apply_tt : man -> Logic.Tt.t -> t array -> t
+
+(** [satcount m ~nvars f] is the number of satisfying minterms of [f] over
+    a space of [nvars] variables, as a float (spaces can exceed 2^62). *)
+val satcount : man -> nvars:int -> t -> float
+
+(** Some satisfying assignment as [(var, value)] pairs on the variables the
+    function depends on; [None] when the function is false. *)
+val any_sat : man -> t -> (int * bool) list option
+
+(** Variables the function depends on, ascending. *)
+val support : t -> int list
+
+(** Number of internal nodes reachable from [f]. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

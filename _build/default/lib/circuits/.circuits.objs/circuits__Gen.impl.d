@@ -1,0 +1,1 @@
+lib/circuits/gen.ml: Aig Array Fun List Printf Random

@@ -1,0 +1,1 @@
+lib/circuits/gen.mli: Aig

@@ -1,0 +1,113 @@
+type operands = { a : Aig.lit array; b : Aig.lit array; cin : Aig.lit }
+
+let make_operands g n =
+  let a = Array.make n Aig.const_false and b = Array.make n Aig.const_false in
+  for i = 0 to n - 1 do
+    a.(i) <- Aig.add_input ~name:(Printf.sprintf "a%d" i) g;
+    b.(i) <- Aig.add_input ~name:(Printf.sprintf "b%d" i) g
+  done;
+  let cin = Aig.add_input ~name:"cin" g in
+  { a; b; cin }
+
+let full_adder g x y c =
+  let xy = Aig.bxor g x y in
+  let sum = Aig.bxor g xy c in
+  let carry = Aig.bor g (Aig.band g x y) (Aig.band g xy c) in
+  (sum, carry)
+
+let add_sum_outputs g sums cout =
+  Array.iteri (fun i s -> Aig.add_output g (Printf.sprintf "s%d" i) s) sums;
+  Aig.add_output g "cout" cout
+
+let ripple_carry n =
+  let g = Aig.create () in
+  let ops = make_operands g n in
+  let sums = Array.make n Aig.const_false in
+  let carry = ref ops.cin in
+  for i = 0 to n - 1 do
+    let s, c = full_adder g ops.a.(i) ops.b.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  add_sum_outputs g sums !carry;
+  g
+
+let carry_lookahead n =
+  let g = Aig.create () in
+  let ops = make_operands g n in
+  (* Kogge-Stone prefix tree over (generate, propagate). *)
+  let gen = Array.init n (fun i -> Aig.band g ops.a.(i) ops.b.(i)) in
+  let prop = Array.init n (fun i -> Aig.bxor g ops.a.(i) ops.b.(i)) in
+  let gcur = ref (Array.copy gen) and pcur = ref (Array.copy prop) in
+  let d = ref 1 in
+  while !d < n do
+    let gnext = Array.copy !gcur and pnext = Array.copy !pcur in
+    for i = !d to n - 1 do
+      gnext.(i) <- Aig.bor g !gcur.(i) (Aig.band g !pcur.(i) !gcur.(i - !d));
+      pnext.(i) <- Aig.band g !pcur.(i) !pcur.(i - !d)
+    done;
+    gcur := gnext;
+    pcur := pnext;
+    d := !d * 2
+  done;
+  (* carry into position i: G(i-1:0) + P(i-1:0) cin *)
+  let carry_into i =
+    if i = 0 then ops.cin
+    else Aig.bor g !gcur.(i - 1) (Aig.band g !pcur.(i - 1) ops.cin)
+  in
+  let sums = Array.init n (fun i -> Aig.bxor g prop.(i) (carry_into i)) in
+  add_sum_outputs g sums (carry_into n);
+  g
+
+let ripple_block g a b cin lo hi =
+  (* Returns (sums, carry-out) for bit range [lo, hi). *)
+  let sums = ref [] in
+  let carry = ref cin in
+  for i = lo to hi - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    sums := s :: !sums;
+    carry := c
+  done;
+  (List.rev !sums, !carry)
+
+let carry_select ?(block = 4) n =
+  let g = Aig.create () in
+  let ops = make_operands g n in
+  let sums = Array.make n Aig.const_false in
+  let carry = ref ops.cin in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + block) in
+    let s0, c0 = ripple_block g ops.a ops.b Aig.const_false !lo hi in
+    let s1, c1 = ripple_block g ops.a ops.b Aig.const_true !lo hi in
+    List.iteri
+      (fun off (z, o) ->
+        sums.(!lo + off) <- Aig.mux g ~sel:!carry ~t:o ~f:z)
+      (List.combine s0 s1);
+    carry := Aig.mux g ~sel:!carry ~t:c1 ~f:c0;
+    lo := hi
+  done;
+  add_sum_outputs g sums !carry;
+  g
+
+let carry_skip ?(block = 4) n =
+  let g = Aig.create () in
+  let ops = make_operands g n in
+  let sums = Array.make n Aig.const_false in
+  let carry = ref ops.cin in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + block) in
+    let s, c = ripple_block g ops.a ops.b !carry !lo hi in
+    List.iteri (fun off z -> sums.(!lo + off) <- z) s;
+    let props =
+      List.init (hi - !lo) (fun off -> Aig.bxor g ops.a.(!lo + off) ops.b.(!lo + off))
+    in
+    let all_prop = Aig.band_list g props in
+    carry := Aig.mux g ~sel:all_prop ~t:!carry ~f:c;
+    lo := hi
+  done;
+  add_sum_outputs g sums !carry;
+  g
+
+let optimum_levels n = Aig.depth (carry_lookahead n)

@@ -1,0 +1,25 @@
+(** Adder generators for the paper's case study (Sec. 4) and Table 1.
+
+    Inputs are interleaved [a0 b0 a1 b1 ... cin] so that BDD orderings
+    derived from input positions stay compact. Outputs are
+    [s0 .. s(n-1) cout]. *)
+
+(** Linear cascade of full adders — the paper's starting point; carry
+    chain of O(n) levels. *)
+val ripple_carry : int -> Aig.t
+
+(** Parallel-prefix (Kogge-Stone) carry computation — the theoretical
+    optimum reference of Table 1. *)
+val carry_lookahead : int -> Aig.t
+
+(** [carry_select ~block n]: blocks computed for both carry values and
+    selected by the incoming carry. *)
+val carry_select : ?block:int -> int -> Aig.t
+
+(** [carry_skip ~block n]: ripple blocks with a propagate-controlled
+    bypass mux. *)
+val carry_skip : ?block:int -> int -> Aig.t
+
+(** AIG depth of the Kogge-Stone reference, the "Optimum" column of
+    Table 1. *)
+val optimum_levels : int -> int

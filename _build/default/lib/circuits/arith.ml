@@ -1,0 +1,106 @@
+let operand g prefix n =
+  Array.init n (fun i -> Aig.add_input ~name:(Printf.sprintf "%s%d" prefix i) g)
+
+let full_adder g x y c =
+  let xy = Aig.bxor g x y in
+  (Aig.bxor g xy c, Aig.bor g (Aig.band g x y) (Aig.band g xy c))
+
+let multiplier_array n =
+  let g = Aig.create () in
+  let a = operand g "a" n and b = operand g "b" n in
+  let pp i j = Aig.band g a.(i) b.(j) in
+  (* Row-by-row accumulation. Invariant entering row [row]: [acc.(k)]
+     carries the partial-sum bit of weight [row + k]. *)
+  let outputs = Array.make (2 * n) Aig.const_false in
+  outputs.(0) <- pp 0 0;
+  let acc =
+    ref (Array.init n (fun k -> if k + 1 < n then pp (k + 1) 0 else Aig.const_false))
+  in
+  for row = 1 to n - 1 do
+    let row_bits = Array.init n (fun i -> pp i row) in
+    let next = Array.make n Aig.const_false in
+    let carry = ref Aig.const_false in
+    for k = 0 to n - 1 do
+      let s, c = full_adder g row_bits.(k) !acc.(k) !carry in
+      next.(k) <- s;
+      carry := c
+    done;
+    outputs.(row) <- next.(0);
+    (* Re-base for the next row: weights row+1 .. row+n. *)
+    acc := Array.init n (fun k -> if k + 1 < n then next.(k + 1) else !carry)
+  done;
+  for k = 0 to n - 1 do
+    outputs.(n + k) <- !acc.(k)
+  done;
+  Array.iteri (fun i o -> Aig.add_output g (Printf.sprintf "p%d" i) o) outputs;
+  g
+
+let multiplier_wallace n =
+  let g = Aig.create () in
+  let a = operand g "a" n and b = operand g "b" n in
+  (* Columns of partial products by weight. *)
+  let columns = Array.make (2 * n) [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      columns.(i + j) <- Aig.band g a.(i) b.(j) :: columns.(i + j)
+    done
+  done;
+  (* Reduce with 3:2 compressors until every column has <= 2 bits. *)
+  let reduced = ref false in
+  while not !reduced do
+    reduced := true;
+    let next = Array.make (2 * n) [] in
+    Array.iteri
+      (fun w bits ->
+        let rec chunk = function
+          | x :: y :: z :: rest ->
+            reduced := false;
+            let s, c = full_adder g x y z in
+            next.(w) <- s :: next.(w);
+            if w + 1 < 2 * n then next.(w + 1) <- c :: next.(w + 1);
+            chunk rest
+          | leftover -> next.(w) <- leftover @ next.(w)
+        in
+        chunk bits)
+      columns;
+    Array.blit next 0 columns 0 (2 * n)
+  done;
+  (* Final carry-propagate adder over the two remaining rows. *)
+  let carry = ref Aig.const_false in
+  for w = 0 to (2 * n) - 1 do
+    let x, y =
+      match columns.(w) with
+      | [] -> (Aig.const_false, Aig.const_false)
+      | [ x ] -> (x, Aig.const_false)
+      | [ x; y ] -> (x, y)
+      | x :: y :: _ -> (x, y)
+    in
+    let s, c = full_adder g x y !carry in
+    Aig.add_output g (Printf.sprintf "p%d" w) s;
+    carry := c
+  done;
+  g
+
+let comparator n =
+  let g = Aig.create () in
+  let a = operand g "a" n and b = operand g "b" n in
+  (* MSB-first serial chain: lt/gt latch on the first differing bit. *)
+  let lt = ref Aig.const_false and gt = ref Aig.const_false in
+  for i = n - 1 downto 0 do
+    let eq_so_far = Aig.bnot (Aig.bor g !lt !gt) in
+    let ai_lt = Aig.band g (Aig.bnot a.(i)) b.(i) in
+    let ai_gt = Aig.band g a.(i) (Aig.bnot b.(i)) in
+    lt := Aig.bor g !lt (Aig.band g eq_so_far ai_lt);
+    gt := Aig.bor g !gt (Aig.band g eq_so_far ai_gt)
+  done;
+  Aig.add_output g "lt" !lt;
+  Aig.add_output g "eq" (Aig.bnot (Aig.bor g !lt !gt));
+  Aig.add_output g "gt" !gt;
+  g
+
+let parity_chain n =
+  let g = Aig.create () in
+  let xs = operand g "x" n in
+  let p = Array.fold_left (fun acc x -> Aig.bxor g acc x) Aig.const_false xs in
+  Aig.add_output g "parity" p;
+  g

@@ -1,0 +1,20 @@
+(** Additional arithmetic generators used by the extension experiments
+    (beyond the paper's adder case study): multipliers, whose partial
+    product reduction contains many interacting carry chains, and
+    comparators, whose less-than chain is another serial prefix. *)
+
+(** [multiplier_array n] : n x n array multiplier (ripple-carry rows).
+    Inputs a0..a(n-1), b0..b(n-1); outputs p0..p(2n-1). *)
+val multiplier_array : int -> Aig.t
+
+(** [multiplier_wallace n] : Wallace-tree reduction with 3:2 compressors
+    and a final ripple adder — the conventional fast reference. *)
+val multiplier_wallace : int -> Aig.t
+
+(** [comparator n] : outputs [lt], [eq], [gt] for two n-bit operands
+    (serial MSB-first chain, the slow reference the optimizers attack). *)
+val comparator : int -> Aig.t
+
+(** [parity n] : single XOR-parity output over n inputs, built as a
+    linear chain (depth n-1). *)
+val parity_chain : int -> Aig.t

@@ -1,0 +1,185 @@
+let log2_ceil n =
+  let rec go k v = if v >= n then k else go (k + 1) (2 * v) in
+  go 0 1
+
+let rotator ~data ~extra =
+  let g = Aig.create () in
+  let bits = Array.init data (fun i -> Aig.add_input ~name:(Printf.sprintf "d%d" i) g) in
+  let nshift = log2_ceil data in
+  let shift = Array.init nshift (fun i -> Aig.add_input ~name:(Printf.sprintf "sh%d" i) g) in
+  let mask = Array.init extra (fun i -> Aig.add_input ~name:(Printf.sprintf "m%d" i) g) in
+  (* Logarithmic rotate stages. *)
+  let cur = ref (Array.copy bits) in
+  for s = 0 to nshift - 1 do
+    let amount = 1 lsl s in
+    let next =
+      Array.init data (fun i ->
+          Aig.mux g ~sel:shift.(s) ~t:!cur.((i + amount) mod data) ~f:!cur.(i))
+    in
+    cur := next
+  done;
+  for i = 0 to data - 1 do
+    let v =
+      if extra = 0 then !cur.(i) else Aig.bxor g !cur.(i) mask.(i mod extra)
+    in
+    Aig.add_output g (Printf.sprintf "q%d" i) v
+  done;
+  g
+
+let alu ~width ~control =
+  let g = Aig.create () in
+  let a = Array.init width (fun i -> Aig.add_input ~name:(Printf.sprintf "a%d" i) g) in
+  let b = Array.init width (fun i -> Aig.add_input ~name:(Printf.sprintf "b%d" i) g) in
+  let ctl = Array.init control (fun i -> Aig.add_input ~name:(Printf.sprintf "c%d" i) g) in
+  let op0 = ctl.(0 mod control) and op1 = ctl.(1 mod control) in
+  let cin = ctl.(2 mod control) in
+  (* Invert b for subtraction under op1. *)
+  let bx = Array.map (fun l -> Aig.bxor g l op1) b in
+  let sums = Array.make width Aig.const_false in
+  let carry = ref (Aig.bor g cin op1) in
+  for i = 0 to width - 1 do
+    let x = a.(i) and y = bx.(i) in
+    let xy = Aig.bxor g x y in
+    sums.(i) <- Aig.bxor g xy !carry;
+    carry := Aig.bor g (Aig.band g x y) (Aig.band g xy !carry)
+  done;
+  let logic_and = Array.init width (fun i -> Aig.band g a.(i) b.(i)) in
+  let logic_or = Array.init width (fun i -> Aig.bor g a.(i) b.(i)) in
+  let logic_xor = Array.init width (fun i -> Aig.bxor g a.(i) b.(i)) in
+  (* Fold remaining control bits in as an enable mask. *)
+  let enable =
+    let rest = Array.to_list (Array.sub ctl (min 3 control) (max 0 (control - 3))) in
+    match rest with [] -> Aig.const_true | _ -> Aig.bnot (Aig.band_list g rest)
+  in
+  for i = 0 to width - 1 do
+    let logic_sel = Aig.mux g ~sel:op1 ~t:logic_xor.(i) ~f:(Aig.mux g ~sel:cin ~t:logic_or.(i) ~f:logic_and.(i)) in
+    let v = Aig.mux g ~sel:op0 ~t:sums.(i) ~f:logic_sel in
+    Aig.add_output g (Printf.sprintf "y%d" i) (Aig.band g enable v)
+  done;
+  g
+
+let ecc ?(extra = 0) ~data () =
+  let g = Aig.create () in
+  let d = Array.init data (fun i -> Aig.add_input ~name:(Printf.sprintf "d%d" i) g) in
+  let ns = log2_ceil (data + 1) in
+  let syn_in = Array.init ns (fun i -> Aig.add_input ~name:(Printf.sprintf "p%d" i) g) in
+  let lane = Array.init extra (fun i -> Aig.add_input ~name:(Printf.sprintf "x%d" i) g) in
+  (* Hamming parity groups: parity bit j covers data positions whose
+     (1-based) index has bit j set. *)
+  let parity j =
+    let members =
+      List.filter_map
+        (fun i -> if ((i + 1) lsr j) land 1 = 1 then Some d.(i) else None)
+        (List.init data Fun.id)
+    in
+    List.fold_left (Aig.bxor g) Aig.const_false members
+  in
+  let syndrome = Array.init ns (fun j -> Aig.bxor g (parity j) syn_in.(j)) in
+  (* Correct: flip data bit i when the syndrome equals i+1. *)
+  for i = 0 to data - 1 do
+    let matches =
+      List.init ns (fun j ->
+          let bit = ((i + 1) lsr j) land 1 = 1 in
+          if bit then syndrome.(j) else Aig.bnot syndrome.(j))
+    in
+    let flip = Aig.band_list g matches in
+    let v = Aig.bxor g d.(i) flip in
+    let v = if extra = 0 then v else Aig.bxor g v lane.(i mod extra) in
+    Aig.add_output g (Printf.sprintf "q%d" i) v
+  done;
+  g
+
+let priority_controller ~channels ~po =
+  let g = Aig.create () in
+  let req = Array.init channels (fun i -> Aig.add_input ~name:(Printf.sprintf "r%d" i) g) in
+  let en = Array.init channels (fun i -> Aig.add_input ~name:(Printf.sprintf "e%d" i) g) in
+  let master = Aig.add_input ~name:"master_en" g in
+  let mode = Aig.add_input ~name:"mode" g in
+  let active = Array.init channels (fun i -> Aig.band g req.(i) en.(i)) in
+  (* Priority chain: channel i wins when active and no lower channel is. *)
+  let grant = Array.make channels Aig.const_false in
+  let blocked = ref Aig.const_false in
+  for i = 0 to channels - 1 do
+    grant.(i) <- Aig.band g active.(i) (Aig.bnot !blocked);
+    blocked := Aig.bor g !blocked active.(i)
+  done;
+  let any = !blocked in
+  (* Encoded grant index. *)
+  let nbits = log2_ceil channels in
+  let outputs = ref [] in
+  for j = 0 to nbits - 1 do
+    let members =
+      List.filter_map
+        (fun i -> if (i lsr j) land 1 = 1 then Some grant.(i) else None)
+        (List.init channels Fun.id)
+    in
+    outputs := Aig.bor_list g members :: !outputs
+  done;
+  outputs := Aig.band g any master :: !outputs;
+  outputs := Aig.mux g ~sel:mode ~t:any ~f:(Aig.bnot any) :: !outputs;
+  (* Pad or trim to [po] outputs with parity combinations. *)
+  let base = List.rev !outputs in
+  let rec extend acc k prev =
+    if List.length acc >= po then acc
+    else begin
+      let v = Aig.bxor g prev grant.(k mod channels) in
+      extend (acc @ [ v ]) (k + 1) v
+    end
+  in
+  let all = extend base 0 any in
+  List.iteri
+    (fun i v -> if i < po then Aig.add_output g (Printf.sprintf "o%d" i) v)
+    all;
+  g
+
+let control ~seed ~pi ~po ~block_inputs ~levels =
+  let g = Aig.create () in
+  let st = Random.State.make [| seed; pi; po |] in
+  let ins = Array.init pi (fun i -> Aig.add_input ~name:(Printf.sprintf "i%d" i) g) in
+  (* Outputs grouped into blocks that read a bounded window of inputs. *)
+  let num_blocks = max 1 ((po + 7) / 8) in
+  let outputs = ref [] in
+  for b = 0 to num_blocks - 1 do
+    (* Choose a contiguous-ish input window plus a few random taps. *)
+    let base = if pi <= block_inputs then 0 else Random.State.int st (pi - block_inputs) in
+    let window =
+      Array.init (min block_inputs pi) (fun i -> ins.((base + i) mod pi))
+    in
+    let pool = ref (Array.to_list window) in
+    let pick () =
+      let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+      if Random.State.bool st then Aig.bnot l else l
+    in
+    (* Priority chain through the window for a deep path. *)
+    let chain = ref (pick ()) in
+    Array.iter
+      (fun w ->
+        let gate = Random.State.int st 3 in
+        chain :=
+          (match gate with
+           | 0 -> Aig.bor g (Aig.band g w (pick ())) (Aig.band g (Aig.bnot w) !chain)
+           | 1 -> Aig.band g !chain (Aig.bor g w (pick ()))
+           | _ -> Aig.bor g !chain (Aig.band g w (pick ()))))
+      window;
+    pool := !chain :: !pool;
+    (* Random layers. *)
+    for _ = 1 to levels do
+      let layer =
+        List.init
+          (4 + Random.State.int st 4)
+          (fun _ ->
+            match Random.State.int st 4 with
+            | 0 -> Aig.band g (pick ()) (pick ())
+            | 1 -> Aig.bor g (pick ()) (pick ())
+            | 2 -> Aig.bxor g (pick ()) (pick ())
+            | _ -> Aig.mux g ~sel:(pick ()) ~t:(pick ()) ~f:(pick ()))
+      in
+      pool := layer @ !pool
+    done;
+    let block_pos = min 8 (po - (b * 8)) in
+    for i = 0 to block_pos - 1 do
+      outputs := (Printf.sprintf "o%d" ((b * 8) + i), pick ()) :: !outputs
+    done
+  done;
+  List.iter (fun (name, l) -> Aig.add_output g name l) (List.rev !outputs);
+  g

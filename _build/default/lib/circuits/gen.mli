@@ -1,0 +1,38 @@
+(** Parameterized circuit generators used by the benchmark stand-ins.
+
+    Real MCNC/ISCAS/OpenSPARC netlists are not redistributable in this
+    environment; these generators produce deterministic circuits of the
+    same structural classes (see DESIGN.md, "Substitutions"): barrel
+    rotators, ALUs, error-correcting XOR trees, priority/interrupt logic
+    and block-structured random control logic whose per-output cones have
+    bounded input support. *)
+
+(** [rotator ~data ~extra] : barrel rotator over [data] bits with
+    [ceil(log2 data)] shift inputs and [extra] mask inputs XOR-folded
+    into the result. PI = data + log2(data) + extra, PO = data. *)
+val rotator : data:int -> extra:int -> Aig.t
+
+(** [alu ~width ~ops] : two [width]-bit operands plus control; computes
+    add/sub/and/or/xor selected by a decoded opcode, plus compare
+    flags folded in. PO = width. *)
+val alu : width:int -> control:int -> Aig.t
+
+(** [ecc ?extra ~data ()] : Hamming-style check / correct pipeline over
+    [data] bits with explicit syndrome logic (XOR-tree dominated, the
+    C1355/C1908 class). [extra] lane inputs are XOR-folded into the
+    corrected outputs. PI = data + syndrome width + extra, PO = data. *)
+val ecc : ?extra:int -> data:int -> unit -> Aig.t
+
+(** [priority_controller ~channels ~po] : interrupt-style priority encode
+    with enable masking and acknowledge logic (the C432 class).
+    PI = 2*channels + 2, PO = po. *)
+val priority_controller : channels:int -> po:int -> Aig.t
+
+(** [control ~seed ~pi ~po ~block_inputs ~levels] : block-structured
+    random control logic. Outputs are grouped into blocks; each block
+    reads at most [block_inputs] primary inputs and mixes them through
+    [levels] layers of AND/OR/XOR/MUX idioms with deep priority chains,
+    so critical paths are long but every output cone has bounded
+    support. Deterministic in [seed]. *)
+val control :
+  seed:int -> pi:int -> po:int -> block_inputs:int -> levels:int -> Aig.t

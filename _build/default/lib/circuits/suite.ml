@@ -1,0 +1,58 @@
+type info = {
+  name : string;
+  pi : int;
+  po : int;
+  po_estimated : bool;
+  family : string;
+  description : string;
+}
+
+let mk ?(po_estimated = false) name pi po family description =
+  { name; pi; po; po_estimated; family; description }
+
+let all =
+  [
+    mk "rot" 135 107 "MCNC" "barrel rotator with mask lanes";
+    mk "dalu" 75 16 "MCNC" "dedicated 16-bit ALU";
+    mk "i10" 257 224 "MCNC" "large irregular control logic";
+    mk "C432" 36 7 "ISCAS" "27-channel interrupt controller class";
+    mk "C880" 60 26 "ISCAS" "8-bit ALU class control";
+    mk "C1355" 41 32 "ISCAS" "32-bit single-error-correcting network";
+    mk "C1908" 33 25 "ISCAS" "25-bit SEC class network";
+    mk ~po_estimated:true "sparc_exu_ecl_flat" 572 320 "OpenSPARC" "execution-unit control";
+    mk ~po_estimated:true "lsu_stb_ctl_flat" 182 90 "OpenSPARC" "store-buffer control";
+    mk ~po_estimated:true "sparc_ifu_dcl_flat" 136 70 "OpenSPARC" "fetch data-cache control";
+    mk ~po_estimated:true "sparc_ifu_dec_flat" 131 95 "OpenSPARC" "instruction decode";
+    mk ~po_estimated:true "lsu_excpctl_flat" 251 110 "OpenSPARC" "exception control";
+    mk ~po_estimated:true "sparc_tlu_intctl_flat" 82 40 "OpenSPARC" "trap-unit interrupt control";
+    mk ~po_estimated:true "sparc_ifu_fcl_flat" 465 210 "OpenSPARC" "fetch control";
+    mk ~po_estimated:true "tlu_hyperv_flat" 449 180 "OpenSPARC" "hypervisor trap control";
+  ]
+
+let find name =
+  match List.find_opt (fun i -> String.trim i.name = String.trim name) all with
+  | Some i -> i
+  | None -> raise Not_found
+
+let seed_of_name name =
+  (* Stable small hash so stand-ins are reproducible run to run. *)
+  String.fold_left (fun acc c -> (acc * 131) + Char.code c) 7 name land 0xFFFFFF
+
+let build name =
+  let info = find name in
+  match String.trim info.name with
+  | "rot" -> Gen.rotator ~data:107 ~extra:21
+  | "dalu" -> Gen.alu ~width:16 ~control:43
+  | "i10" ->
+    Gen.control ~seed:(seed_of_name "i10") ~pi:257 ~po:224 ~block_inputs:18
+      ~levels:5
+  | "C432" -> Gen.priority_controller ~channels:17 ~po:7
+  | "C880" ->
+    Gen.control ~seed:(seed_of_name "C880") ~pi:60 ~po:26 ~block_inputs:16
+      ~levels:6
+  | "C1355" -> Gen.ecc ~extra:3 ~data:32 ()
+  | "C1908" -> Gen.ecc ~extra:3 ~data:25 ()
+  | name ->
+    (* OpenSPARC control blocks: block-structured control logic. *)
+    Gen.control ~seed:(seed_of_name name) ~pi:info.pi ~po:info.po
+      ~block_inputs:16 ~levels:5

@@ -1,0 +1,24 @@
+(** The 15-circuit benchmark suite of the paper's Table 2.
+
+    Each entry is a deterministic stand-in of the same structural class
+    and the same primary-input count as the original MCNC / ISCAS /
+    OpenSPARC T1 circuit (see DESIGN.md for the substitution rationale).
+    Primary-output counts for the OpenSPARC blocks were not preserved in
+    the paper text available to this reproduction; representative values
+    are used and flagged in [po_estimated]. *)
+
+type info = {
+  name : string;
+  pi : int;  (** primary inputs, as in the paper's Table 2 *)
+  po : int;
+  po_estimated : bool;
+  family : string;  (** MCNC / ISCAS / OpenSPARC *)
+  description : string;
+}
+
+val all : info list
+
+(** Build the stand-in circuit; raises [Not_found] for unknown names. *)
+val build : string -> Aig.t
+
+val find : string -> info

@@ -1,0 +1,1 @@
+lib/core/lookahead.ml: Driver Mfs Reconstruct Reduce Secondary Simplify

@@ -1,0 +1,1 @@
+lib/core/lookahead.mli: Aig Driver Mfs Reconstruct Reduce Secondary Simplify

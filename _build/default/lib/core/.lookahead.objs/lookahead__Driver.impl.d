@@ -1,0 +1,1 @@
+lib/core/driver.ml: Aig Array Bdd Hashtbl List Logic Logs Network Reconstruct Reduce Secondary Timing Unix

@@ -1,0 +1,1 @@
+lib/core/mfs.ml: Aig Array Bdd List Logic Network Timing

@@ -1,0 +1,1 @@
+lib/core/mfs.mli: Aig Bdd Network

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Aig Array Bdd Hashtbl Lazy List Logic Network

@@ -1,0 +1,1 @@
+lib/core/reduce.ml: Array Hashtbl List Logic Network Simplify

@@ -1,0 +1,1 @@
+lib/core/secondary.ml: Array Bdd List Logic Network

@@ -1,0 +1,1 @@
+lib/core/secondary.mli: Bdd Network

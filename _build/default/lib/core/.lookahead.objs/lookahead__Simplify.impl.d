@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Array Bdd List Logic Network

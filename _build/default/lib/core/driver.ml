@@ -1,0 +1,329 @@
+type options = {
+  cluster_k : int;
+  max_rounds : int;
+  max_decomp_levels : int;
+  spcf_max_nodes : int;
+  max_cone_inputs : int;
+  bdd_node_limit : int;
+  time_limit_s : float;
+  use_exact_spcf : bool;
+  balance_first : bool;
+}
+
+let default =
+  {
+    cluster_k = 6;
+    max_rounds = 12;
+    max_decomp_levels = 24;
+    spcf_max_nodes = 24;
+    max_cone_inputs = 64;
+    bdd_node_limit = 12_000_000;
+    time_limit_s = 90.0;
+    use_exact_spcf = false;
+    balance_first = true;
+  }
+
+type stats = {
+  rounds_run : int;
+  outputs_decomposed : int;
+  initial_depth : int;
+  final_depth : int;
+}
+
+let log = Logs.Src.create "lookahead" ~doc:"lookahead synthesis driver"
+
+module Log = (val Logs.src_log log)
+
+(* Number of primary inputs in the support of an output's cone. *)
+let cone_support net oid =
+  List.length
+    (List.filter (fun id -> Network.is_input net id) (Network.cone net oid))
+
+let spcf_of opts man net globals ~levels ~out ~delta g out_index =
+  if opts.use_exact_spcf && Network.num_inputs net <= 14 then begin
+    (* Exact floating-mode SPCF on the AIG (unit-delay threshold at the
+       AIG depth), converted to a BDD over the primary inputs. *)
+    let tt = Timing.Spcf.exact g ~out:out_index ~delta:(Aig.depth g) in
+    Bdd.apply_tt man tt
+      (Array.init (Network.num_inputs net) (fun i -> Bdd.var man i))
+  end
+  else
+    Timing.Spcf.approx man net globals ~levels ~out ~delta
+      ~max_nodes:opts.spcf_max_nodes ()
+
+(* Recursive multi-level decomposition of one output: peel a window off
+   the current residue network, then recurse into the secondary circuit.
+   Returns the decomposition levels (outermost first) and the final
+   residue. *)
+let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
+  let oid = o.Network.node in
+  let rec go net globals depth_left ~stalls acc =
+    if depth_left = 0 || Bdd.allocated man > opts.bdd_node_limit then
+      (List.rev acc, net)
+    else begin
+      let levels = Network.Levels.compute net in
+      let l_out = levels.(oid) in
+      if l_out <= 1 then (List.rev acc, net)
+      else begin
+        let spcf =
+          spcf_of opts man net globals ~levels ~out:o ~delta:l_out g out_index
+        in
+        if Bdd.is_false man spcf then (List.rev acc, net)
+        else begin
+          let spcf_count =
+            Bdd.satcount man ~nvars:(Network.num_inputs net) spcf
+          in
+          let primary = Network.copy net in
+          let outcome =
+            Reduce.run man ~globals ~spcf ~spcf_count primary ~out:o
+              ~target:l_out
+          in
+          if outcome.Reduce.marked = [] then begin
+            Log.debug (fun m ->
+                m "decompose %s: stop (no simplification at level %d)"
+                  o.Network.name l_out);
+            (List.rev acc, net)
+          end
+          else begin
+            let sigma =
+              List.fold_left
+                (fun s (id, w) ->
+                  Bdd.band man s (Network.Globals.tt_image man globals net id w))
+                (Bdd.btrue man) outcome.Reduce.marked
+            in
+            Log.debug (fun m ->
+                m "decompose %s: residue level %d, %d node(s) marked, sigma size %d"
+                  o.Network.name l_out
+                  (List.length outcome.Reduce.marked)
+                  (Bdd.size sigma));
+            if Bdd.is_false man sigma then (List.rev acc, net)
+            else begin
+              let level =
+                {
+                  Reconstruct.residue = net;
+                  residue_globals = globals;
+                  primary;
+                  windows = outcome.Reduce.marked;
+                }
+              in
+              if Bdd.is_true man sigma then
+                (* The simplified circuit is valid everywhere: the windows
+                   are vacuous and the primary replaces the output. *)
+                (List.rev (level :: acc), primary)
+              else begin
+                let secondary = Network.copy net in
+                Secondary.run man ~globals ~care:(Bdd.bnot man sigma) secondary
+                  ~out:o;
+                let sec_levels = Network.Levels.compute secondary in
+                let residue_changed =
+                  List.exists
+                    (fun id ->
+                      not
+                        (Logic.Tt.equal (Network.node net id).Network.func
+                           (Network.node secondary id).Network.func))
+                    (Network.cone secondary oid)
+                in
+                let stalled = sec_levels.(oid) >= l_out in
+                if stalled && ((not residue_changed) || stalls >= 1) then begin
+                  (* The residue stopped making progress: keep this level
+                     and stop. A few stalled-but-changed iterations are
+                     allowed — the next window often needs the fresh
+                     don't-cares to cut through — but not unboundedly. *)
+                  Log.debug (fun m ->
+                      m "decompose %s: stop (residue stalled at level %d)"
+                        o.Network.name sec_levels.(oid));
+                  (List.rev (level :: acc), secondary)
+                end
+                else begin
+                  let sec_globals = Network.Globals.of_net man secondary in
+                  go secondary sec_globals (depth_left - 1)
+                    ~stalls:(if stalled then stalls + 1 else 0)
+                    (level :: acc)
+                end
+              end
+            end
+          end
+        end
+      end
+    end
+  in
+  go net0 globals0 opts.max_decomp_levels ~stalls:0 []
+
+(* One optimization round over all critical outputs. Returns the new
+   graph and the number of outputs reconstructed. [deadline] makes the
+   flow an anytime algorithm: outputs past the budget fall back to their
+   original cones. *)
+let one_round opts ~deadline g =
+  let net = Network.of_aig ~k:opts.cluster_k g in
+  let levels = Network.Levels.compute net in
+  let outs = Network.outputs net in
+  let l_t =
+    List.fold_left
+      (fun acc (o : Network.output) -> max acc levels.(o.Network.node))
+      0 outs
+  in
+  if l_t = 0 then (g, 0)
+  else begin
+    let old_levels = Aig.levels g in
+    let old_outputs = Aig.outputs g in
+    (* Destination graph shared by all outputs so common logic strashes. *)
+    let dst = Aig.create () in
+    let lev = Aig.Lev.create dst in
+    let in_lits =
+      Array.of_list
+        (List.map
+           (fun l ->
+             Aig.add_input ?name:(Aig.input_name g (Aig.node_of_lit l)) dst)
+           (Aig.inputs g))
+    in
+    let input_map i = in_lits.(i) in
+    let copy_memo = Hashtbl.create 256 in
+    let copy_original l =
+      Aig.copy_cone ~dst ~src:g
+        ~map:(fun id -> in_lits.(Aig.input_index g id))
+        ~memo:copy_memo l
+    in
+    let decomposed = ref 0 in
+    let aig_depth = Aig.depth g in
+    List.iteri
+      (fun out_index (o : Network.output) ->
+        let _, old_lit = List.nth old_outputs out_index in
+        let old_level = old_levels.(Aig.node_of_lit old_lit) in
+        let fallback () = copy_original old_lit in
+        let lit =
+          if old_level < aig_depth then fallback ()
+          else if Network.is_input net o.Network.node then fallback ()
+          else if cone_support net o.Network.node > opts.max_cone_inputs then begin
+            Log.debug (fun m ->
+                m "skip %s: cone support exceeds %d" o.Network.name
+                  opts.max_cone_inputs);
+            fallback ()
+          end
+          else if Unix.gettimeofday () > deadline then begin
+            Log.debug (fun m ->
+                m "skip %s: optimization time budget exhausted" o.Network.name);
+            fallback ()
+          end
+          else begin
+            (* A fresh BDD manager per output keeps memory bounded: all
+               BDDs of one output's decomposition die with its manager. *)
+            let man = Bdd.create () in
+            let globals = Network.Globals.of_net man net in
+            let decomp_levels, final_residue =
+              decompose_output opts man g out_index o net globals
+            in
+            if decomp_levels = [] then fallback ()
+            else begin
+              let pieces =
+                { Reconstruct.levels = decomp_levels; final_residue; out = o }
+              in
+              match
+                Reconstruct.build man ~y_bdd:globals.(o.Network.node) dst lev
+                  ~input_map pieces
+              with
+              | Some l when Aig.Lev.level lev l < old_level ->
+                incr decomposed;
+                Log.debug (fun m ->
+                    m "output %s: %d decomposition level(s), level %d -> %d"
+                      o.Network.name
+                      (List.length decomp_levels)
+                      old_level (Aig.Lev.level lev l));
+                l
+              | Some l ->
+                Log.debug (fun m ->
+                    m "output %s: reconstruction level %d >= old %d, rejected"
+                      o.Network.name (Aig.Lev.level lev l) old_level);
+                fallback ()
+              | None ->
+                Log.debug (fun m ->
+                    m "output %s: no valid reconstruction form" o.Network.name);
+                fallback ()
+            end
+          end
+        in
+        Aig.add_output dst o.Network.name lit)
+      outs;
+    (Aig.cleanup dst, !decomposed)
+  end
+
+(* Conventional delay-oriented cleanup (balance + cut rewriting to a
+   bounded fixpoint). The paper's technique complements standard logic
+   optimization — it was run inside ABC on conventionally optimized
+   circuits — so the driver applies the same polish before and after the
+   decomposition rounds. *)
+let polish g =
+  let step g =
+    Aig.Balance.run (Aig.Rewrite.run ~k:6 ~per_node:8 ~objective:`Delay g)
+  in
+  let rec fixpoint i g =
+    if i = 0 then g
+    else begin
+      let g' = step g in
+      if
+        Aig.depth g' < Aig.depth g
+        || (Aig.depth g' = Aig.depth g
+            && Aig.num_reachable_ands g' < Aig.num_reachable_ands g)
+      then fixpoint (i - 1) g'
+      else g
+    end
+  in
+  fixpoint 6 (step g)
+
+let optimize_with_stats ?(options = default) g0 =
+  let g = if options.balance_first then Aig.Balance.run g0 else g0 in
+  let initial_depth = Aig.depth g0 in
+  let deadline = Unix.gettimeofday () +. options.time_limit_s in
+  (* Inner loop: decomposition rounds while the depth improves. *)
+  let rec rounds i g touched =
+    if i >= options.max_rounds || Unix.gettimeofday () > deadline then
+      (g, i, touched)
+    else begin
+      let g', n = one_round options ~deadline g in
+      let g' = Aig.Balance.run g' in
+      Log.debug (fun m ->
+          m "round %d: depth %d -> %d (%d output(s) reconstructed)" (i + 1)
+            (Aig.depth g) (Aig.depth g') n);
+      if Aig.depth g' < Aig.depth g then rounds (i + 1) g' (touched + n)
+      else (g, i, touched)
+    end
+  in
+  (* Outer loop: alternate decomposition with conventional delay
+     rewriting. Decomposition must come first — rewriting can obscure the
+     regular structure the window search exploits. *)
+  let rec outer budget g rr touched =
+    let g1, r, n = rounds 0 g 0 in
+    let g2 = polish g1 in
+    let g' = if Aig.depth g2 <= Aig.depth g1 then g2 else g1 in
+    if budget > 0 && Aig.depth g' < Aig.depth g
+       && Unix.gettimeofday () <= deadline
+    then outer (budget - 1) g' (rr + r) (touched + n)
+    else (g', rr + r, touched + n)
+  in
+  let best, rounds_run, outputs_decomposed = outer 3 g 0 0 in
+  (* Never lose to plain conventional rewriting: when no useful
+     decomposition exists, fall back to the polished circuit. *)
+  let conventional = polish g in
+  let best =
+    if
+      Aig.depth conventional < Aig.depth best
+      || (Aig.depth conventional = Aig.depth best
+          && Aig.num_reachable_ands conventional < Aig.num_reachable_ands best)
+    then conventional
+    else best
+  in
+  let best = Aig.Sweep.sat_sweep best in
+  (* The paper performs an equivalence check after optimization; a failed
+     check would indicate a bug, so enforce it. *)
+  (match Aig.Cec.check g0 best with
+   | Aig.Cec.Equivalent -> ()
+   | Aig.Cec.Counterexample _ ->
+     invalid_arg "Lookahead.Driver.optimize: internal equivalence failure");
+  ( best,
+    {
+      rounds_run;
+      outputs_decomposed;
+      initial_depth;
+      final_depth = Aig.depth best;
+    } )
+
+let optimize ?options g = fst (optimize_with_stats ?options g)

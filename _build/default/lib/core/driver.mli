@@ -1,0 +1,48 @@
+(** Top-level lookahead optimization flow (Sec. 3.1, applied iteratively).
+
+    One round performs one level of timing-driven decomposition on every
+    critical output: cluster the AIG into a technology-independent
+    network (`renode`), compute global functions and the SPCF, run
+    primary and secondary simplification, reconstruct
+    [y = Σ·y0 + ¬Σ·y1] with implication-rule selection, and rebuild the
+    AIG. Rounds repeat while the depth improves (producing the multi-level
+    decomposition Σ1…Σl of Eqn. 2); area recovery
+    ({!Aig.Sweep.sat_sweep}) runs at the end, as in the paper. *)
+
+type options = {
+  cluster_k : int;  (** max fanins of a network node (renode k) *)
+  max_rounds : int;  (** decomposition levels attempted *)
+  max_decomp_levels : int;
+      (** recursion depth of the per-output peeling (Σ1…Σl of Eqn. 2) *)
+  spcf_max_nodes : int;  (** late nodes unioned into the SPCF *)
+  max_cone_inputs : int;  (** skip outputs with larger input support *)
+  bdd_node_limit : int;
+      (** stop peeling an output once its BDD manager has allocated this
+          many nodes *)
+  time_limit_s : float;
+      (** wall-clock budget: once exceeded, remaining outputs and rounds
+          fall back to conventional rewriting (anytime behaviour) *)
+  use_exact_spcf : bool;
+      (** use the exact floating-mode SPCF when the circuit is small
+          enough (otherwise the node-based approximation) *)
+  balance_first : bool;  (** run {!Aig.Balance} before decomposing *)
+}
+
+val default : options
+
+(** Statistics of one optimization run. *)
+type stats = {
+  rounds_run : int;
+  outputs_decomposed : int;
+  initial_depth : int;
+  final_depth : int;
+}
+
+(** [optimize ?options g] returns the optimized circuit. The result is
+    guaranteed equivalent: every accepted reconstruction is validated
+    against the original global functions, and a final SAT equivalence
+    check is asserted. *)
+val optimize : ?options:options -> Aig.t -> Aig.t
+
+(** Same, also returning run statistics. *)
+val optimize_with_stats : ?options:options -> Aig.t -> Aig.t * stats

@@ -1,0 +1,9 @@
+module Simplify = Simplify
+module Reduce = Reduce
+module Secondary = Secondary
+module Reconstruct = Reconstruct
+module Driver = Driver
+module Mfs = Mfs
+
+let optimize = Driver.optimize
+let optimize_with_stats = Driver.optimize_with_stats

@@ -1,0 +1,22 @@
+(** Lookahead logic circuits — the paper's primary contribution.
+
+    [optimize] converts a circuit into a lookahead logic circuit:
+    a timing-driven generalized Shannon decomposition
+    [y = Σ1·y0 + ¬Σ1·y1] is discovered per critical output by
+    simplifying the technology-independent network under SPCF guidance
+    ({!Simplify}, {!Reduce}), deriving [y1] by don't-care minimization
+    against the window complement ({!Secondary}), and reconstructing with
+    implication-rule selection ({!Reconstruct}). Iterating the flow
+    ({!Driver}) yields the multi-level decomposition of Eqn. 2. *)
+
+module Simplify = Simplify
+module Reduce = Reduce
+module Secondary = Secondary
+module Reconstruct = Reconstruct
+module Driver = Driver
+module Mfs = Mfs
+
+(** [optimize ?options g] — see {!Driver.optimize}. *)
+val optimize : ?options:Driver.options -> Aig.t -> Aig.t
+
+val optimize_with_stats : ?options:Driver.options -> Aig.t -> Aig.t * Driver.stats

@@ -1,0 +1,66 @@
+let simplify_network man net =
+  let globals = Network.Globals.of_net man net in
+  let levels = Network.Levels.compute net in
+  let outs = Network.outputs net in
+  List.iter
+    (fun id ->
+      if not (Network.is_input net id) then begin
+        let nd = Network.node net id in
+        let k = Array.length nd.Network.fanins in
+        if k > 0 && k <= 8 then begin
+          (* Observability: where some output sees the node. *)
+          let observable =
+            List.fold_left
+              (fun acc (o : Network.output) ->
+                Bdd.bor man acc
+                  (Timing.Spcf.boolean_difference man net globals ~wrt:id
+                     ~out:o))
+              (Bdd.bfalse man) outs
+          in
+          let dc = ref (Logic.Tt.const_false k) in
+          for m = 0 to (1 lsl k) - 1 do
+            let image = Network.Globals.minterm_image man globals net id m in
+            (* Satisfiability dc: image empty. Observability dc: image
+               never observable. *)
+            if Bdd.is_false man (Bdd.band man image observable) then
+              dc := Logic.Tt.lor_ !dc (Logic.Tt.of_minterms k [ m ])
+          done;
+          if not (Logic.Tt.is_const_false !dc) then begin
+            let on = nd.Network.func in
+            let lower = Logic.Tt.land_ on (Logic.Tt.lnot !dc) in
+            let upper = Logic.Tt.lor_ on !dc in
+            let fanin_level i = levels.(nd.Network.fanins.(i)) in
+            let cost sop =
+              (Network.Levels.sop_depth sop ~fanin_level, Logic.Sop.num_literals sop)
+            in
+            let pos = Logic.Minimize.isop ~lower ~upper in
+            let neg =
+              Logic.Minimize.isop ~lower:(Logic.Tt.lnot upper)
+                ~upper:(Logic.Tt.lnot lower)
+            in
+            let func =
+              if cost pos <= cost neg then Logic.Sop.to_tt pos
+              else Logic.Tt.lnot (Logic.Sop.to_tt neg)
+            in
+            if not (Logic.Tt.equal func nd.Network.func) then begin
+              Network.set_func net id func;
+              (* Later nodes must see the updated global functions: a
+                 change inside the ODC of the *original* network could
+                 otherwise compose unsoundly with a second change. *)
+              let fresh = Network.Globals.of_net man net in
+              Array.blit fresh 0 globals 0 (Array.length globals)
+            end
+          end
+        end
+      end)
+    (Network.topo_order net)
+
+let run ?(k = 6) g =
+  let net = Network.of_aig ~k g in
+  let man = Bdd.create () in
+  simplify_network man net;
+  let out = Aig.cleanup (Network.to_aig net) in
+  match Aig.Cec.check g out with
+  | Aig.Cec.Equivalent -> out
+  | Aig.Cec.Counterexample _ ->
+    invalid_arg "Lookahead.Mfs.run: internal equivalence failure"

@@ -1,0 +1,25 @@
+(** Don't-care-based network simplification ("mfs"-style), the classic
+    function-based optimization the paper builds on (its reference [5]
+    performs partial collapsing + node simplification).
+
+    Each node of the technology-independent network is re-minimized
+    against its complete don't-care set:
+
+    - {e satisfiability} don't-cares — local input vectors whose global
+      image is empty (the fanins can never produce them);
+    - {e observability} don't-cares — input minterms on which no primary
+      output is sensitive to the node (complement of the union of Boolean
+      differences).
+
+    The node function is re-covered with two-level minimization choosing
+    the cheaper polarity. Sound for the same reason the lookahead
+    secondary simplification is: a node only changes on minterms no
+    output can observe. *)
+
+(** [run ?k g] clusters, simplifies every node, and rebuilds.
+    Result is equivalent (SAT-checked internally). *)
+val run : ?k:int -> Aig.t -> Aig.t
+
+(** Network-level entry point used by [run] and the tests: simplifies
+    [net] in place against its own outputs. *)
+val simplify_network : Bdd.man -> Network.t -> unit

@@ -1,0 +1,170 @@
+type level = {
+  residue : Network.t;
+  residue_globals : Bdd.t array;
+  primary : Network.t;
+  windows : (int * Logic.Tt.t) list;
+}
+
+type pieces = {
+  levels : level list;
+  final_residue : Network.t;
+  out : Network.output;
+}
+
+let emit_node dst lev cache net ~input_map id =
+  let rec go id =
+    match Hashtbl.find_opt cache id with
+    | Some l -> l
+    | None ->
+      let l =
+        if Network.is_input net id then input_map (Network.input_index net id)
+        else begin
+          let nd = Network.node net id in
+          if Array.length nd.Network.fanins = 0 then
+            if Logic.Tt.is_const_true nd.Network.func then Aig.const_true
+            else Aig.const_false
+          else
+            Aig.Synth.of_tt dst lev nd.Network.func ~leaf:(fun i ->
+                go nd.Network.fanins.(i))
+        end
+      in
+      Hashtbl.add cache id l;
+      l
+  in
+  go id
+
+(* BDD and AIG realizations of one level's pieces. *)
+type piece_values = {
+  sigma_bdd : Bdd.t;
+  y0_bdd : Bdd.t;
+  sigma_lit : Aig.lit Lazy.t;
+  y0_lit : Aig.lit Lazy.t;
+}
+
+let level_values man dst lev ~input_map ~oid l =
+  let sigma_bdd =
+    List.fold_left
+      (fun acc (id, w) ->
+        Bdd.band man acc
+          (Network.Globals.tt_image man l.residue_globals l.residue id w))
+      (Bdd.btrue man) l.windows
+  in
+  let prim_globals = Network.Globals.of_net man l.primary in
+  let cache_res = Hashtbl.create 64 and cache_prim = Hashtbl.create 64 in
+  let sigma_lit =
+    lazy
+      (let parts =
+         List.map
+           (fun (id, w) ->
+             let nd = Network.node l.residue id in
+             Aig.Synth.of_tt dst lev w ~leaf:(fun i ->
+                 emit_node dst lev cache_res l.residue ~input_map
+                   nd.Network.fanins.(i)))
+           l.windows
+       in
+       Aig.Synth.and_tree dst lev parts)
+  in
+  let y0_lit =
+    lazy (emit_node dst lev cache_prim l.primary ~input_map oid)
+  in
+  { sigma_bdd; y0_bdd = prim_globals.(oid); sigma_lit; y0_lit }
+
+(* Single-level implication-rule form enumeration. *)
+let single_level_forms man dst v ~res_bdd ~res_lit =
+  let bnot = Bdd.bnot man and band = Bdd.band man and bor = Bdd.bor man in
+  let s = v.sigma_bdd and y0 = v.y0_bdd and y1 = res_bdd in
+  let sl () = Lazy.force v.sigma_lit
+  and l0 () = Lazy.force v.y0_lit
+  and l1 () = Lazy.force res_lit in
+  [
+    ((lazy y0), fun () -> l0 ());
+    ((lazy y1), fun () -> l1 ());
+    ( lazy (bor (band s y0) (band (bnot s) y1)),
+      fun () -> Aig.mux dst ~sel:(sl ()) ~t:(l0 ()) ~f:(l1 ()) );
+    ( lazy (bor y0 (band (bnot s) y1)),
+      fun () -> Aig.bor dst (l0 ()) (Aig.band dst (Aig.bnot (sl ())) (l1 ())) );
+    ( lazy (bor y1 (band s y0)),
+      fun () -> Aig.bor dst (l1 ()) (Aig.band dst (sl ()) (l0 ())) );
+    ( lazy (band (bor (bnot s) y0) (bor s y1)),
+      fun () ->
+        Aig.band dst
+          (Aig.bor dst (Aig.bnot (sl ())) (l0 ()))
+          (Aig.bor dst (sl ()) (l1 ())) );
+    ( lazy (band y0 (bor s y1)),
+      fun () -> Aig.band dst (l0 ()) (Aig.bor dst (sl ()) (l1 ())) );
+    ( lazy (band y1 (bor (bnot s) y0)),
+      fun () -> Aig.band dst (l1 ()) (Aig.bor dst (Aig.bnot (sl ())) (l0 ())) );
+    ( lazy (bor y0 y1),
+      fun () -> Aig.bor dst (l0 ()) (l1 ()) );
+    ( lazy (band y0 y1),
+      fun () -> Aig.band dst (l0 ()) (l1 ()) );
+    (* Constant-arm special cases (0/1-approximations of the paper's
+       implication rules). *)
+    ( lazy (band (bnot s) y1),
+      fun () -> Aig.band dst (Aig.bnot (sl ())) (l1 ()) );
+    ( lazy (band s y0),
+      fun () -> Aig.band dst (sl ()) (l0 ()) );
+    ( lazy (bor s y1),
+      fun () -> Aig.bor dst (sl ()) (l1 ()) );
+    ( lazy (bor (bnot s) y0),
+      fun () -> Aig.bor dst (Aig.bnot (sl ())) (l0 ()) );
+  ]
+
+let build man ~y_bdd dst lev ~input_map p =
+  let oid = p.out.Network.node in
+  let values =
+    List.map (level_values man dst lev ~input_map ~oid) p.levels
+  in
+  let res_globals = Network.Globals.of_net man p.final_residue in
+  let res_bdd = res_globals.(oid) in
+  let cache_final = Hashtbl.create 64 in
+  let res_lit =
+    lazy (emit_node dst lev cache_final p.final_residue ~input_map oid)
+  in
+  (* Flattened Eqn. 2 value, for validation. *)
+  let flattened_bdd =
+    List.fold_right
+      (fun v inner ->
+        Bdd.bor man
+          (Bdd.band man v.sigma_bdd v.y0_bdd)
+          (Bdd.band man (Bdd.bnot man v.sigma_bdd) inner))
+      values res_bdd
+  in
+  if not (Bdd.equal flattened_bdd y_bdd) then None
+  else begin
+    let finish l = Some (if p.out.Network.negated then Aig.bnot l else l) in
+    match values with
+    | [] -> finish (Lazy.force res_lit)
+    | [ v ] ->
+      (* Enumerate the implication-rule forms and keep the shallowest
+         valid one. *)
+      let best = ref None in
+      List.iter
+        (fun (form_bdd, builder) ->
+          if Bdd.equal (Lazy.force form_bdd) y_bdd then begin
+            let l = builder () in
+            let d = Aig.Lev.level lev l in
+            match !best with
+            | Some (_, bd) when bd <= d -> ()
+            | _ -> best := Some (l, d)
+          end)
+        (single_level_forms man dst v ~res_bdd ~res_lit);
+      (match !best with None -> None | Some (l, _) -> finish l)
+    | _ ->
+      (* Flattened sum of prefix products with balanced trees:
+         y = Σ1 y1 + ¬Σ1 Σ2 y2 + ... + ¬Σ1..¬Σl y_res. *)
+      let terms = ref [] in
+      let prefix = ref [] in
+      List.iter
+        (fun v ->
+          let s = Lazy.force v.sigma_lit in
+          let term =
+            Aig.Synth.and_tree dst lev (s :: Lazy.force v.y0_lit :: !prefix)
+          in
+          terms := term :: !terms;
+          prefix := Aig.bnot s :: !prefix)
+        values;
+      let last = Aig.Synth.and_tree dst lev (Lazy.force res_lit :: !prefix) in
+      terms := last :: !terms;
+      finish (Aig.Synth.or_tree dst lev !terms)
+  end

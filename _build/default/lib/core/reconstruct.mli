@@ -1,0 +1,55 @@
+(** Reconstruction of an output from its decomposition levels
+    (Eqns. 2 and 4) with implication-based simplification.
+
+    A multi-level decomposition
+    [y = Σ1·y0_1 + ¬Σ1·(Σ2·y0_2 + ¬Σ2·( ... y_res))] is emitted in the
+    {e flattened} sum-of-prefix-products form of Eqn. 2 with balanced
+    AND/OR trees — this flattening is what turns the recursive peeling of
+    a ripple-carry chain into the parallel-prefix (carry-lookahead)
+    structure. For a single-level decomposition the paper's
+    implication-rule simplifications are realized by enumerating
+    candidate forms, validating each against the output's global BDD, and
+    keeping the shallowest (losing candidates are strashed garbage,
+    removed by cleanup). *)
+
+(** One decomposition level. [residue] is the network that was decomposed
+    (the windows' fanins live there); [residue_globals] its global
+    functions; [primary] computes [y0] (valid where the windows all
+    hold). *)
+type level = {
+  residue : Network.t;
+  residue_globals : Bdd.t array;
+  primary : Network.t;
+  windows : (int * Logic.Tt.t) list;
+}
+
+type pieces = {
+  levels : level list;  (** outermost decomposition first *)
+  final_residue : Network.t;  (** computes the last [y_res] *)
+  out : Network.output;
+}
+
+(** [emit_node dst lev cache net ~input_map id] synthesizes node [id] of
+    [net] into AIG [dst]; [input_map] takes an input position to an AIG
+    literal; [cache] memoizes per network. *)
+val emit_node :
+  Aig.t ->
+  Aig.Lev.t ->
+  (int, Aig.lit) Hashtbl.t ->
+  Network.t ->
+  input_map:(int -> Aig.lit) ->
+  int ->
+  Aig.lit
+
+(** [build man ~y_bdd dst lev ~input_map pieces] returns the literal of
+    the reconstructed output in [dst] (output polarity applied), or
+    [None] when no candidate verified against [y_bdd] (the original
+    output's global function). *)
+val build :
+  Bdd.man ->
+  y_bdd:Bdd.t ->
+  Aig.t ->
+  Aig.Lev.t ->
+  input_map:(int -> Aig.lit) ->
+  pieces ->
+  Aig.lit option

@@ -1,0 +1,65 @@
+type outcome = { marked : (int * Logic.Tt.t) list; achieved_level : int }
+
+let run man ~globals ~spcf ~spcf_count net ~out ~target =
+  let oid = out.Network.node in
+  let levels = ref (Network.Levels.compute net) in
+  let marked = Hashtbl.create 16 in
+  let windows = ref [] in
+  let cone = Network.cone net oid in
+  (* Deepest unmarked internal node of the cone — the walk's entry point
+     each time a descent bottoms out. *)
+  let deepest_unmarked () =
+    List.fold_left
+      (fun acc id ->
+        if Network.is_input net id || Hashtbl.mem marked id then acc
+        else
+          match acc with
+          | Some best when !levels.(best) >= !levels.(id) -> acc
+          | _ -> Some id)
+      None cone
+  in
+  let simplify_node id =
+    Hashtbl.replace marked id ();
+    let r =
+      Simplify.run man ~globals ~spcf ~spcf_count net ~levels:!levels id
+    in
+    if r.Simplify.changed then begin
+      Network.set_func net id r.Simplify.func;
+      windows := (id, r.Simplify.window) :: !windows;
+      levels := Network.Levels.compute net
+    end
+  in
+  (* Among the critical fanins of [id], the deepest unmarked internal
+     node, if any. *)
+  let next_candidate id =
+    let nd = Network.node net id in
+    let crit = Network.Levels.critical_inputs net ~levels:!levels id in
+    List.fold_left
+      (fun acc pos ->
+        let f = nd.Network.fanins.(pos) in
+        if Network.is_input net f || Hashtbl.mem marked f then acc
+        else
+          match acc with
+          | Some best when !levels.(best) >= !levels.(f) -> acc
+          | _ -> Some f)
+      None crit
+  in
+  let budget = ref (2 * List.length cone) in
+  let rec descend id =
+    if !levels.(oid) >= target && !budget > 0 then begin
+      decr budget;
+      simplify_node id;
+      if !levels.(oid) >= target then begin
+        match next_candidate id with
+        | Some f -> descend f
+        | None -> (
+          (* Chain exhausted; restart from the deepest unmarked node so
+             parallel critical paths are also attacked. *)
+          match deepest_unmarked () with
+          | Some f -> descend f
+          | None -> ())
+      end
+    end
+  in
+  (match deepest_unmarked () with Some id -> descend id | None -> ());
+  { marked = List.rev !windows; achieved_level = !levels.(oid) }

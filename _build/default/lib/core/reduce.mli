@@ -1,0 +1,28 @@
+(** Primary simplification of the technology-independent network —
+    Fig. 2 of the paper.
+
+    Starting at the deepest node of a critical output's fanin cone, nodes
+    are simplified ({!Simplify}) and the walk descends through critical
+    fanins until the output level drops below the network level (or no
+    candidates remain). The edited network computes [y0]; the returned
+    windows define the window function [Σ1]. *)
+
+type outcome = {
+  marked : (int * Logic.Tt.t) list;
+      (** simplified node ids with their agreement windows *)
+  achieved_level : int;  (** level of the output after simplification *)
+}
+
+(** [run man ~globals ~spcf ~spcf_count net ~out ~target] edits [net] in
+    place (node functions only). [globals] are the global functions of
+    the original network; [target] is the level the output must drop
+    below (the paper's [l_T]). *)
+val run :
+  Bdd.man ->
+  globals:Bdd.t array ->
+  spcf:Bdd.t ->
+  spcf_count:float ->
+  Network.t ->
+  out:Network.output ->
+  target:int ->
+  outcome

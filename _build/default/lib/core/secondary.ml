@@ -1,0 +1,40 @@
+let run man ~globals ~care net ~out =
+  let oid = out.Network.node in
+  let cone = Network.cone net oid in
+  let levels = Network.Levels.compute net in
+  List.iter
+    (fun id ->
+      if not (Network.is_input net id) then begin
+        let nd = Network.node net id in
+        let k = Array.length nd.Network.fanins in
+        if k > 0 && k <= 10 then begin
+          (* Local don't-cares: minterms of the node's input space whose
+             image never intersects the care set. *)
+          let dc = ref (Logic.Tt.const_false k) in
+          for m = 0 to (1 lsl k) - 1 do
+            let image = Network.Globals.minterm_image man globals net id m in
+            if Bdd.is_false man (Bdd.band man image care) then
+              dc := Logic.Tt.lor_ !dc (Logic.Tt.of_minterms k [ m ])
+          done;
+          if not (Logic.Tt.is_const_false !dc) then begin
+            let on = nd.Network.func in
+            let lower = Logic.Tt.land_ on (Logic.Tt.lnot !dc) in
+            let upper = Logic.Tt.lor_ on !dc in
+            let fanin_level i = levels.(nd.Network.fanins.(i)) in
+            let depth_of sop = Network.Levels.sop_depth sop ~fanin_level in
+            (* Pick the cheaper polarity of the minimized cover. *)
+            let pos = Logic.Minimize.isop ~lower ~upper in
+            let neg =
+              Logic.Minimize.isop ~lower:(Logic.Tt.lnot upper)
+                ~upper:(Logic.Tt.lnot lower)
+            in
+            let func =
+              if depth_of pos <= depth_of neg then Logic.Sop.to_tt pos
+              else Logic.Tt.lnot (Logic.Sop.to_tt neg)
+            in
+            if not (Logic.Tt.equal func nd.Network.func) then
+              Network.set_func net id func
+          end
+        end
+      end)
+    cone

@@ -1,0 +1,22 @@
+(** Secondary simplification (Sec. 3.1): derive the network for [y1].
+
+    With the window function fixed by the primary pass, the circuit only
+    has to be correct on the complement of the window. Every node of the
+    output's cone is re-minimized against that care set: a local minterm
+    whose global image misses the care set becomes a don't-care, and the
+    node function is re-covered by two-level minimization. The only
+    objective is level reduction (the paper: "the Boolean function of
+    every node is simplified and all cubes with weight equal to zero are
+    replaced with a don't care"). *)
+
+(** [run man ~globals ~care net ~out] edits [net] (a fresh copy of the
+    original) in place. [globals] are the original global functions —
+    the wiring of [net] must be identical to the network they were
+    computed on. *)
+val run :
+  Bdd.man ->
+  globals:Bdd.t array ->
+  care:Bdd.t ->
+  Network.t ->
+  out:Network.output ->
+  unit

@@ -1,0 +1,145 @@
+type result = { func : Logic.Tt.t; window : Logic.Tt.t; changed : bool }
+
+let unchanged b =
+  { func = b; window = Logic.Tt.const_true (Logic.Tt.num_vars b); changed = false }
+
+(* The agreement window of a simplified node, made independent of the
+   fanins the simplification eliminated: [forall eliminated, b == b~].
+   Quantifying is what keeps the window function shallow — in the adder
+   case study it turns the raw agreement of [g + p*c -> g] (which still
+   mentions the late carry [c]) into [~p + g], the paper's propagate-based
+   window. A smaller window is always sound: it only shrinks the region
+   where the fast circuit is used. *)
+let quantified_window b func =
+  let agree = Logic.Tt.equiv b func in
+  let eliminated =
+    List.filter
+      (fun i -> not (Logic.Tt.depends_on func i))
+      (Logic.Tt.support b)
+  in
+  List.fold_left
+    (fun acc i -> Logic.Tt.lnot (Logic.Tt.exists (Logic.Tt.lnot acc) i))
+    agree eliminated
+
+let run man ~globals ~spcf ~spcf_count net ~levels id =
+  let nd = Network.node net id in
+  let b = nd.Network.func in
+  let k = Array.length nd.Network.fanins in
+  let nvars = Bdd.num_vars man in
+  if k = 0 || Logic.Tt.is_const_false b || Logic.Tt.is_const_true b then unchanged b
+  else begin
+    let l_j = Network.Levels.node_level net ~levels id in
+    if l_j = 0 then unchanged b
+    else begin
+      let fanin_level i = levels.(nd.Network.fanins.(i)) in
+      let level_of tt =
+        if Logic.Tt.is_const_false tt || Logic.Tt.is_const_true tt then 0
+        else begin
+          let on, off = Logic.Minimize.min_sops tt in
+          min
+            (Network.Levels.sop_depth on ~fanin_level)
+            (Network.Levels.sop_depth off ~fanin_level)
+        end
+      in
+      let weight cube =
+        if spcf_count <= 0.0 then 0.0
+        else begin
+          let image = Network.Globals.cube_image man globals net id cube in
+          Bdd.satcount man ~nvars (Bdd.band man spcf image) /. spcf_count
+        end
+      in
+      let cube_depth c =
+        Network.Levels.tree_depth
+          (List.map (fun (i, _) -> fanin_level i) (Logic.Cube.literals c))
+      in
+      (* Fanins whose level reduction is necessary to speed the node up:
+         a preserved cube must not mention them, otherwise neither the
+         simplified node nor the window escapes the late signals. Cubes
+         touching critical fanins are sacrificed wholesale; the minterms
+         they carry route to the residue circuit. *)
+      let crit = Network.Levels.critical_inputs net ~levels id in
+      let avoids_crit c =
+        List.for_all (fun (i, _) -> not (List.mem i crit)) (Logic.Cube.literals c)
+      in
+      let on_sop, off_sop = Logic.Minimize.min_sops b in
+      let weigh sop =
+        List.filter_map
+          (fun c -> if avoids_crit c then Some (c, weight c) else None)
+          sop.Logic.Sop.cubes
+      in
+      let on_w = weigh on_sop and off_w = weigh off_sop in
+      let all_zero ws = List.for_all (fun (_, w) -> w = 0.0) ws in
+      (* Preservation order: light (non-critical) and shallow cubes first.
+         The heavy, deep cubes fall off the end of the level budget, so the
+         speed paths they carry are routed to the residue y1. *)
+      let preservation_order ws =
+        List.sort
+          (fun (c1, w1) (c2, w2) ->
+            match compare w1 w2 with
+            | 0 -> compare (cube_depth c1) (cube_depth c2)
+            | c -> c)
+          ws
+      in
+      (* Greedy accumulation: apply [extend base cube] and keep it whenever
+         the node level stays strictly below the original. *)
+      let accumulate base extend cubes =
+        List.fold_left
+          (fun acc (c, _) ->
+            let cand = extend acc c in
+            if level_of cand < l_j then cand else acc)
+          base cubes
+      in
+      let func =
+        if all_zero on_w && not (all_zero off_w) then
+          (* SPCF never exercises the on-set: the on-set is safe to keep;
+             default to constant 1 and carve the off-set back. *)
+          accumulate (Logic.Tt.const_true k)
+            (fun acc c -> Logic.Tt.land_ acc (Logic.Tt.lnot (Logic.Cube.to_tt k c)))
+            (preservation_order off_w)
+        else if all_zero off_w && not (all_zero on_w) then
+          accumulate (Logic.Tt.const_false k)
+            (fun acc c -> Logic.Tt.lor_ acc (Logic.Cube.to_tt k c))
+            (preservation_order on_w)
+        else begin
+          (* Both polarities carry SPCF weight (or neither): pin cubes of
+             either polarity in preservation order, completing the rest by
+             two-level minimization, under the same level constraint. *)
+          let tagged =
+            List.map (fun (c, w) -> ((c, w), true)) on_w
+            @ List.map (fun (c, w) -> ((c, w), false)) off_w
+          in
+          let sorted =
+            List.sort
+              (fun ((c1, w1), _) ((c2, w2), _) ->
+                match compare w1 w2 with
+                | 0 -> compare (cube_depth c1) (cube_depth c2)
+                | c -> c)
+              tagged
+          in
+          let completion pinned_on pinned_off =
+            Logic.Sop.to_tt
+              (Logic.Minimize.isop ~lower:pinned_on
+                 ~upper:(Logic.Tt.lnot pinned_off))
+          in
+          let pinned_on, pinned_off =
+            List.fold_left
+              (fun (pon, poff) ((c, _), polarity) ->
+                let ct = Logic.Cube.to_tt k c in
+                let pon' = if polarity then Logic.Tt.lor_ pon ct else pon in
+                let poff' = if polarity then poff else Logic.Tt.lor_ poff ct in
+                if level_of (completion pon' poff') < l_j then (pon', poff')
+                else (pon, poff))
+              (Logic.Tt.const_false k, Logic.Tt.const_false k)
+              sorted
+          in
+          completion pinned_on pinned_off
+        end
+      in
+      if Logic.Tt.equal func b || level_of func >= l_j then unchanged b
+      else begin
+        let window = quantified_window b func in
+        if Logic.Tt.is_const_false window then unchanged b
+        else { func; window; changed = true }
+      end
+    end
+  end

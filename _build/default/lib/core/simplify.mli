@@ -1,0 +1,43 @@
+(** Node simplification guided by the SPCF — Fig. 1 of the paper.
+
+    Given a node [j] of the technology-independent network, the procedure
+    rebuilds a cheaper function [b~_j] for it, choosing which behaviour to
+    preserve by cube weight: the fraction of SPCF minterms whose global
+    image lands in the cube. Cubes are preserved in order of increasing
+    weight (then increasing depth) while the node level stays strictly
+    below its original level; the heavy, deep cubes fall outside the
+    budget, so the timing-critical minterms they carry are routed to the
+    residue circuit [y1] — exactly how the carry chain peels off a
+    propagate stage in the paper's adder derivation (Eqn. 3). Three cases
+    as in Fig. 1: when one polarity carries no SPCF weight the function
+    defaults to that polarity's constant and re-covers the other side;
+    otherwise cubes of both polarities are pinned and the remainder is
+    completed by two-level minimization.
+
+    The [window] of the result is the agreement region [b~_j == b_j] over
+    the node's local inputs, universally quantified over the fanins the
+    simplification eliminated, so the window logic never re-introduces the
+    late signals. The conjunction of globalized windows of all simplified
+    nodes is the window function [Σ1] of the decomposition (Fig. 2). *)
+
+type result = {
+  func : Logic.Tt.t;  (** simplified node function [b~_j] *)
+  window : Logic.Tt.t;  (** agreement region over the node's fanins *)
+  changed : bool;  (** false when no simplification was possible *)
+}
+
+(** [run man ~globals ~spcf ~spcf_count net ~levels id] simplifies node
+    [id]. [globals] must be the global functions of the {e original}
+    network (images of changed cubes must be computed against unmodified
+    fanin behaviour for the decomposition to stay sound); [levels] are the
+    current node levels of the working network. The working network is not
+    modified — the caller applies [func] with {!Network.set_func}. *)
+val run :
+  Bdd.man ->
+  globals:Bdd.t array ->
+  spcf:Bdd.t ->
+  spcf_count:float ->
+  Network.t ->
+  levels:int array ->
+  int ->
+  result

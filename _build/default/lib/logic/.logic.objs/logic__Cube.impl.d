@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Format List Stdlib String Tt

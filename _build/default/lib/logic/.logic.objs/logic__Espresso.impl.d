@@ -1,0 +1,1 @@
+lib/logic/espresso.ml: Array Cube Fun List Minimize Sop Tt

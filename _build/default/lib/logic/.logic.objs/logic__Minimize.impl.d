@@ -1,0 +1,1 @@
+lib/logic/minimize.ml: Array Cube Fun Hashtbl List Set Sop Tt

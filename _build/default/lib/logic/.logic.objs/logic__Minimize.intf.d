@@ -1,0 +1,1 @@
+lib/logic/minimize.mli: Cube Sop Tt

@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Cube Format List Tt

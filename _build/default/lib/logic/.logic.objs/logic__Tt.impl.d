@@ -1,0 +1,1 @@
+lib/logic/tt.ml: Array Buffer Format Hashtbl Int64 List Printf Random Stdlib

@@ -1,0 +1,1 @@
+lib/logic/tt.mli: Format Random

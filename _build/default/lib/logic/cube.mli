@@ -1,0 +1,55 @@
+(** Cubes (product terms) over up to 30 variables.
+
+    A cube fixes a subset of the variables to constants and leaves the rest
+    free. Cubes are the unit of manipulation in the paper's [Simplify]
+    procedure (Fig. 1): node functions are covered by prime-implicant cubes
+    whose weights against the speed-path characteristic function guide the
+    simplification. *)
+
+type t = {
+  mask : int;  (** bit [i] set when variable [i] is bound *)
+  bits : int;  (** value of variable [i] when bound; 0 elsewhere *)
+}
+
+(** The universal cube (no literal). *)
+val top : t
+
+(** [of_literals lits] builds a cube from [(var, value)] pairs. *)
+val of_literals : (int * bool) list -> t
+
+val literals : t -> (int * bool) list
+
+(** Number of literals. *)
+val num_literals : t -> int
+
+(** [mem c m] is true when minterm [m] lies inside cube [c]. *)
+val mem : t -> int -> bool
+
+(** [contains c d] is true when cube [d] is a subset of cube [c]. *)
+val contains : t -> t -> bool
+
+(** [intersect c d] is the product of the two cubes, or [None] when they
+    conflict on some variable. *)
+val intersect : t -> t -> t option
+
+(** [cofactor c i b] restricts the cube to the half-space [x_i = b]:
+    [None] when the cube requires [x_i = not b], otherwise the cube with
+    the literal on [i] removed. *)
+val cofactor : t -> int -> bool -> t option
+
+(** [with_literal c i b] adds the literal [x_i = b]. *)
+val with_literal : t -> int -> bool -> t
+
+(** Truth table of the cube over [n] variables. *)
+val to_tt : int -> t -> Tt.t
+
+(** Number of minterms of the cube in an [n]-variable space. *)
+val minterm_count : int -> t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Print as a position string like "1-0-" over [n] variables (variable 0
+    leftmost). *)
+val to_string : int -> t -> string

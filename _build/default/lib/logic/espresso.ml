@@ -1,0 +1,119 @@
+let cube_tt n c = Cube.to_tt n c
+
+(* Expand one cube to a prime implicant of on+dc: drop literals greedily
+   (largest coverage gain first) while the cube stays inside on+dc. *)
+let expand_cube n care c =
+  let inside cube = Tt.is_const_false (Tt.land_ (cube_tt n cube) (Tt.lnot care)) in
+  let rec loop c =
+    let candidates =
+      List.filter_map
+        (fun (i, _) ->
+          let c' =
+            { Cube.mask = c.Cube.mask land lnot (1 lsl i);
+              bits = c.Cube.bits land lnot (1 lsl i) }
+          in
+          if inside c' then Some c' else None)
+        (Cube.literals c)
+    in
+    match candidates with
+    | [] -> c
+    | c' :: _ -> loop c'
+  in
+  loop c
+
+let expand ~off (cover : Sop.t) =
+  let n = cover.Sop.n in
+  let care = Tt.lnot off in
+  Sop.drop_contained
+    (Sop.make n (List.map (expand_cube n care) cover.Sop.cubes))
+
+let irredundant ~on ~dc (cover : Sop.t) =
+  let n = cover.Sop.n in
+  let keep kept c rest =
+    (* c is redundant when its on-set minterms are covered by the other
+       cubes plus the don't-care set. *)
+    let others =
+      List.fold_left
+        (fun acc d -> Tt.lor_ acc (cube_tt n d))
+        (Tt.const_false n) (kept @ rest)
+    in
+    let contribution = Tt.land_ (cube_tt n c) on in
+    not (Tt.is_const_false (Tt.land_ contribution (Tt.lnot (Tt.lor_ others dc))))
+  in
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: rest -> if keep kept c rest then loop (c :: kept) rest else loop kept rest
+  in
+  Sop.make n (loop [] cover.Sop.cubes)
+
+let reduce ~on ~dc (cover : Sop.t) =
+  let n = cover.Sop.n in
+  ignore dc;
+  let reduce_cube others c =
+    (* The smallest cube covering the on-set minterms that only this cube
+       covers. Adding back literals one at a time while the unique
+       contribution stays covered. *)
+    let unique =
+      Tt.land_ (Tt.land_ (cube_tt n c) on) (Tt.lnot others)
+    in
+    if Tt.is_const_false unique then c
+    else begin
+      (* Supercube of the unique part within c: for each free variable of
+         c, bind it when the unique part is constant in it. *)
+      List.fold_left
+        (fun c i ->
+          if c.Cube.mask land (1 lsl i) <> 0 then c
+          else begin
+            let u1 = Tt.land_ unique (Tt.var n i) in
+            let u0 = Tt.land_ unique (Tt.lnot (Tt.var n i)) in
+            if Tt.is_const_false u0 && not (Tt.is_const_false u1) then
+              Cube.with_literal c i true
+            else if Tt.is_const_false u1 && not (Tt.is_const_false u0) then
+              Cube.with_literal c i false
+            else c
+          end)
+        c
+        (List.init n Fun.id)
+    end
+  in
+  let arr = Array.of_list cover.Sop.cubes in
+  let cubes =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           let others =
+             Array.to_list arr
+             |> List.filteri (fun j _ -> j <> i)
+             |> List.fold_left
+                  (fun acc d -> Tt.lor_ acc (cube_tt n d))
+                  (Tt.const_false n)
+           in
+           reduce_cube others c)
+         arr)
+  in
+  Sop.make n cubes
+
+let cost (s : Sop.t) = (Sop.num_cubes s, Sop.num_literals s)
+
+let minimize ~on ~dc =
+  assert (Tt.is_const_false (Tt.land_ on dc));
+  let n = Tt.num_vars on in
+  if Tt.is_const_false on then Sop.const_false n
+  else if Tt.is_const_true (Tt.lor_ on dc) then Sop.const_true n
+  else begin
+    let off = Tt.lnot (Tt.lor_ on dc) in
+    (* Seed with the ISOP cover. *)
+    let start = Minimize.isop ~lower:on ~upper:(Tt.lor_ on dc) in
+    let step cover =
+      irredundant ~on ~dc (expand ~off (reduce ~on ~dc cover))
+    in
+    let rec loop best i =
+      if i = 0 then best
+      else begin
+        let next = step best in
+        if cost next < cost best then loop next (i - 1) else best
+      end
+    in
+    let first = irredundant ~on ~dc (expand ~off start) in
+    loop first 6
+  end

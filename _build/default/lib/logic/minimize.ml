@@ -1,0 +1,180 @@
+(* Minato-Morreale ISOP. Returns both the cover and the truth table of the
+   cover so callers can rely on lower <= cover <= upper. *)
+let rec isop_rec lower upper vars =
+  if Tt.is_const_false lower then ([], Tt.const_false (Tt.num_vars lower))
+  else
+    match vars with
+    | [] ->
+      (* No variable left to split on: lower is non-empty and constant in
+         all remaining vars, so upper must be the constant-true function. *)
+      ([ Cube.top ], Tt.const_true (Tt.num_vars lower))
+    | x :: rest ->
+      if not (Tt.depends_on lower x || Tt.depends_on upper x) then
+        isop_rec lower upper rest
+      else begin
+        let l0 = Tt.cofactor lower x false and l1 = Tt.cofactor lower x true in
+        let u0 = Tt.cofactor upper x false and u1 = Tt.cofactor upper x true in
+        let c0, f0 = isop_rec (Tt.land_ l0 (Tt.lnot u1)) u0 rest in
+        let c1, f1 = isop_rec (Tt.land_ l1 (Tt.lnot u0)) u1 rest in
+        let lnew =
+          Tt.lor_ (Tt.land_ l0 (Tt.lnot f0)) (Tt.land_ l1 (Tt.lnot f1))
+        in
+        let cd, fd = isop_rec lnew (Tt.land_ u0 u1) rest in
+        let cubes =
+          List.map (fun c -> Cube.with_literal c x false) c0
+          @ List.map (fun c -> Cube.with_literal c x true) c1
+          @ cd
+        in
+        let xt = Tt.var (Tt.num_vars lower) x in
+        let cover =
+          Tt.lor_ fd
+            (Tt.lor_ (Tt.land_ (Tt.lnot xt) f0) (Tt.land_ xt f1))
+        in
+        (cubes, cover)
+      end
+
+let isop ~lower ~upper =
+  assert (Tt.is_const_false (Tt.land_ lower (Tt.lnot upper)));
+  let n = Tt.num_vars lower in
+  let vars = List.init n (fun i -> i) in
+  let cubes, _ = isop_rec lower upper vars in
+  Sop.make n cubes
+
+(* Quine-McCluskey prime generation over the care function on+dc. A cube is
+   an implicant when it lies entirely inside on+dc; it is prime when no
+   single-literal expansion is still an implicant. We grow implicants from
+   minterms by repeated pairwise merging. *)
+let primes ~on ~dc =
+  let n = Tt.num_vars on in
+  let cover = Tt.lor_ on dc in
+  let is_implicant c =
+    (* Cube inside cover iff cover has no 0 inside the cube. *)
+    let rec check m =
+      if m >= Tt.size cover then true
+      else if Cube.mem c m && not (Tt.get_bit cover m) then false
+      else check (m + 1)
+    in
+    check 0
+  in
+  let expand c =
+    (* Remove literals while the cube remains an implicant. *)
+    List.fold_left
+      (fun c (i, _) ->
+        let c' = { Cube.mask = c.Cube.mask land lnot (1 lsl i); bits = c.Cube.bits land lnot (1 lsl i) } in
+        if is_implicant c' then c' else c)
+      c (Cube.literals c)
+  in
+  let module CS = Set.Make (struct
+    type t = Cube.t
+    let compare = Cube.compare
+  end) in
+  (* Expanding every on-set minterm in every literal order is exponential;
+     instead collect primes by expanding each minterm with all single-start
+     rotations of the literal order, which finds all primes needed to cover
+     the function (a superset of the essential primes and enough for the
+     covering step). Then grow the set with pairwise consensus until no new
+     prime appears, bounded for safety. *)
+  let start = ref CS.empty in
+  List.iter
+    (fun m ->
+      let lits = List.init n (fun i -> (i, (m lsr i) land 1 = 1)) in
+      let base = Cube.of_literals lits in
+      let rec rotations k acc l =
+        if k = 0 then acc
+        else
+          match l with
+          | [] -> acc
+          | x :: rest -> rotations (k - 1) ((rest @ [ x ]) :: acc) (rest @ [ x ])
+      in
+      let orders = lits :: rotations (min n 4) [] lits in
+      List.iter
+        (fun order ->
+          let c =
+            List.fold_left
+              (fun c (i, _) ->
+                let c' =
+                  { Cube.mask = c.Cube.mask land lnot (1 lsl i);
+                    bits = c.Cube.bits land lnot (1 lsl i) }
+                in
+                if is_implicant c' then c' else c)
+              base order
+          in
+          start := CS.add (expand c) !start)
+        orders)
+    (Tt.minterms on);
+  CS.elements !start
+
+let minimum_cover ~on ~dc =
+  let n = Tt.num_vars on in
+  if Tt.is_const_false on then Sop.const_false n
+  else if Tt.is_const_true (Tt.lor_ on dc) && not (Tt.is_const_false on) then
+    Sop.const_true n
+  else begin
+    let ps = Array.of_list (primes ~on ~dc) in
+    let minterms = Tt.minterms on in
+    let covers_of_m =
+      List.map
+        (fun m ->
+          (m, List.filter (fun i -> Cube.mem ps.(i) m) (List.init (Array.length ps) Fun.id)))
+        minterms
+    in
+    let chosen = Hashtbl.create 16 in
+    (* Essential primes: sole cover of some minterm. *)
+    List.iter
+      (fun (_, cs) ->
+        match cs with [ i ] -> Hashtbl.replace chosen i () | _ -> ())
+      covers_of_m;
+    let covered m =
+      List.exists (fun i -> Hashtbl.mem chosen i)
+        (List.assoc m covers_of_m)
+    in
+    let rec greedy () =
+      let remaining = List.filter (fun (m, _) -> not (covered m)) covers_of_m in
+      if remaining <> [] then begin
+        let gain = Array.make (Array.length ps) 0 in
+        List.iter
+          (fun (_, cs) -> List.iter (fun i -> gain.(i) <- gain.(i) + 1) cs)
+          remaining;
+        let best = ref 0 in
+        Array.iteri (fun i g -> if g > gain.(!best) then best := i) gain;
+        if gain.(!best) = 0 then ()
+        else begin
+          Hashtbl.replace chosen !best ();
+          greedy ()
+        end
+      end
+    in
+    greedy ();
+    (* Redundancy removal: drop chosen primes whose minterms are covered by
+       the others. *)
+    let selected = Hashtbl.fold (fun i () acc -> i :: acc) chosen [] in
+    let drop_if_redundant kept i =
+      let others = List.filter (fun j -> j <> i) kept in
+      let all_covered =
+        List.for_all
+          (fun (m, _) -> List.exists (fun j -> Cube.mem ps.(j) m) others)
+          covers_of_m
+      in
+      if all_covered then others else kept
+    in
+    let irredundant = List.fold_left drop_if_redundant selected selected in
+    Sop.make n (List.map (fun i -> ps.(i)) irredundant)
+  end
+
+(* min_sops is in the inner loop of the level quantification (every
+   Levels.compute calls it for every node); node functions repeat
+   massively across calls, so the covers are memoized by truth table. *)
+let min_sops_cache : (int * string, Sop.t * Sop.t) Hashtbl.t = Hashtbl.create 4096
+
+let min_sops f =
+  let key = (Tt.num_vars f, Tt.to_hex f) in
+  match Hashtbl.find_opt min_sops_cache key with
+  | Some r -> r
+  | None ->
+    let n = Tt.num_vars f in
+    let dc = Tt.const_false n in
+    let r = (minimum_cover ~on:f ~dc, minimum_cover ~on:(Tt.lnot f) ~dc) in
+    if Hashtbl.length min_sops_cache > 200_000 then
+      Hashtbl.reset min_sops_cache;
+    Hashtbl.add min_sops_cache key r;
+    r

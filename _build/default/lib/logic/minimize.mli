@@ -1,0 +1,28 @@
+(** Two-level minimization: irredundant covers and prime-based minimum
+    covers for node-local functions.
+
+    The paper's level-quantification and [Simplify] steps operate on
+    "minimum SOP" representations of the on-set and off-set of each node
+    (Sec. 3.1). [isop] gives the classic Minato-Morreale irredundant
+    sum-of-products between a lower and an upper bound; [minimum_cover]
+    computes all primes (Quine-McCluskey style) and extracts an
+    essential-plus-greedy cover, which is minimum or near-minimum for the
+    small functions that appear as network nodes. *)
+
+(** [isop ~lower ~upper] is an irredundant cover [c] with
+    [lower <= c <= upper]. Requires [lower <= upper]. *)
+val isop : lower:Tt.t -> upper:Tt.t -> Sop.t
+
+(** [primes ~on ~dc] is the set of all prime implicants of the incompletely
+    specified function with the given on-set and don't-care set. *)
+val primes : on:Tt.t -> dc:Tt.t -> Cube.t list
+
+(** [minimum_cover ~on ~dc] covers every on-set minterm with primes:
+    essential primes first, then a greedy covering, then redundancy
+    removal. *)
+val minimum_cover : on:Tt.t -> dc:Tt.t -> Sop.t
+
+(** [min_sops f] is the pair (cover of the on-set, cover of the off-set)
+    using [minimum_cover] with empty don't-care sets — the paper's 1-SOP
+    and 0-SOP of a node function. *)
+val min_sops : Tt.t -> Sop.t * Sop.t

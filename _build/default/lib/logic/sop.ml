@@ -1,0 +1,48 @@
+type t = { n : int; cubes : Cube.t list }
+
+let make n cubes = { n; cubes }
+let const_false n = { n; cubes = [] }
+let const_true n = { n; cubes = [ Cube.top ] }
+let num_cubes s = List.length s.cubes
+let num_literals s = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 s.cubes
+let eval s m = List.exists (fun c -> Cube.mem c m) s.cubes
+
+let to_tt s =
+  List.fold_left
+    (fun acc c -> Tt.lor_ acc (Cube.to_tt s.n c))
+    (Tt.const_false s.n) s.cubes
+
+let drop_contained s =
+  let keep c =
+    not
+      (List.exists
+         (fun d -> (not (Cube.equal c d)) && Cube.contains d c)
+         s.cubes)
+  in
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | c :: rest ->
+      if List.exists (Cube.equal c) seen then dedup seen rest
+      else dedup (c :: seen) rest
+  in
+  { s with cubes = dedup [] (List.filter keep s.cubes) }
+
+let disj a b =
+  assert (a.n = b.n);
+  drop_contained { n = a.n; cubes = a.cubes @ b.cubes }
+
+let conj a b =
+  assert (a.n = b.n);
+  let cubes =
+    List.concat_map
+      (fun c -> List.filter_map (fun d -> Cube.intersect c d) b.cubes)
+      a.cubes
+  in
+  drop_contained { n = a.n; cubes }
+
+let pp ppf s =
+  if s.cubes = [] then Format.pp_print_string ppf "0"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+      Cube.pp ppf s.cubes

@@ -1,0 +1,26 @@
+(** Sums of products (cube covers). *)
+
+type t = { n : int; cubes : Cube.t list }
+
+val make : int -> Cube.t list -> t
+val const_false : int -> t
+val const_true : int -> t
+
+(** Number of cubes. *)
+val num_cubes : t -> int
+
+(** Total literal count, the classic SOP cost. *)
+val num_literals : t -> int
+
+val eval : t -> int -> bool
+val to_tt : t -> Tt.t
+
+(** Remove cubes contained in another cube of the cover. *)
+val drop_contained : t -> t
+
+(** Disjunction and conjunction of covers (conjunction distributes and can
+    blow up; used only on small node-local functions). *)
+val disj : t -> t -> t
+val conj : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,183 @@
+type t = { n : int; words : int64 array }
+
+(* Precomputed single-word patterns for variables 0..5: variable [i] is the
+   bit pattern with period [2^i]. *)
+let var_masks =
+  [| 0xAAAAAAAAAAAAAAAAL; 0xCCCCCCCCCCCCCCCCL; 0xF0F0F0F0F0F0F0F0L;
+     0xFF00FF00FF00FF00L; 0xFFFF0000FFFF0000L; 0xFFFFFFFF00000000L |]
+
+let words_for n = if n <= 6 then 1 else 1 lsl (n - 6)
+
+(* Bits beyond [2^n] in the single-word case must stay zero so that
+   [equal]/[count_ones] are exact. *)
+let live_mask n =
+  if n >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let normalize t =
+  if t.n < 6 then t.words.(0) <- Int64.logand t.words.(0) (live_mask t.n);
+  t
+
+let create n =
+  assert (n >= 0 && n <= 20);
+  { n; words = Array.make (words_for n) 0L }
+
+let num_vars t = t.n
+let size t = 1 lsl t.n
+let const_false = create
+
+let const_true n =
+  let t = { n; words = Array.make (words_for n) (-1L) } in
+  normalize t
+
+let var n i =
+  assert (i >= 0 && i < n);
+  let t = create n in
+  if i < 6 then begin
+    Array.fill t.words 0 (Array.length t.words) var_masks.(i);
+    ignore (normalize t)
+  end else begin
+    let period = 1 lsl (i - 6) in
+    for w = 0 to Array.length t.words - 1 do
+      if w land period <> 0 then t.words.(w) <- -1L
+    done
+  end;
+  t
+
+let get_bit t m =
+  assert (m >= 0 && m < size t);
+  Int64.logand (Int64.shift_right_logical t.words.(m lsr 6) (m land 63)) 1L
+  = 1L
+
+let set_bit t m b =
+  assert (m >= 0 && m < size t);
+  let words = Array.copy t.words in
+  let bit = Int64.shift_left 1L (m land 63) in
+  let w = m lsr 6 in
+  words.(w) <-
+    (if b then Int64.logor words.(w) bit
+     else Int64.logand words.(w) (Int64.lognot bit));
+  { t with words }
+
+let map2 f a b =
+  assert (a.n = b.n);
+  let words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) in
+  normalize { n = a.n; words }
+
+let map1 f a =
+  let words = Array.map f a.words in
+  normalize { n = a.n; words }
+
+let lnot = map1 Int64.lognot
+let land_ = map2 Int64.logand
+let lor_ = map2 Int64.logor
+let lxor_ = map2 Int64.logxor
+let equiv a b = lnot (lxor_ a b)
+let equal a b = a.n = b.n && a.words = b.words
+let is_const_false t = Array.for_all (fun w -> w = 0L) t.words
+let is_const_true t = equal t (const_true t.n)
+
+let cofactor t i b =
+  assert (i >= 0 && i < t.n);
+  if i < 6 then begin
+    let mask = if b then var_masks.(i) else Int64.lognot var_masks.(i) in
+    let shift = 1 lsl i in
+    let spread w =
+      let kept = Int64.logand w mask in
+      if b then Int64.logor kept (Int64.shift_right_logical kept shift)
+      else Int64.logor kept (Int64.shift_left kept shift)
+    in
+    map1 spread t
+  end else begin
+    let period = 1 lsl (i - 6) in
+    let words = Array.copy t.words in
+    for w = 0 to Array.length words - 1 do
+      let src = if b then w lor period else w land Stdlib.lnot period in
+      words.(w) <- t.words.(src)
+    done;
+    normalize { n = t.n; words }
+  end
+
+let depends_on t i = not (equal (cofactor t i false) (cofactor t i true))
+
+let support t =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if depends_on t i then i :: acc else acc)
+  in
+  loop (t.n - 1) []
+
+let count_ones t =
+  let count_word w =
+    let rec loop w acc =
+      if w = 0L then acc
+      else loop (Int64.logand w (Int64.sub w 1L)) (acc + 1)
+    in
+    loop w 0
+  in
+  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+
+let exists t i = lor_ (cofactor t i false) (cofactor t i true)
+
+let compose t i g =
+  let f0 = cofactor t i false and f1 = cofactor t i true in
+  lor_ (land_ g f1) (land_ (lnot g) f0)
+
+let of_fun n f =
+  let t = create n in
+  for m = 0 to (1 lsl n) - 1 do
+    if f m then begin
+      let w = m lsr 6 in
+      t.words.(w) <- Int64.logor t.words.(w) (Int64.shift_left 1L (m land 63))
+    end
+  done;
+  t
+
+let permute t perm =
+  assert (Array.length perm = t.n);
+  of_fun t.n (fun m ->
+      (* Build the source minterm by moving bit [i] of the result position
+         back to original variable [i]. *)
+      let src = ref 0 in
+      for i = 0 to t.n - 1 do
+        if (m lsr perm.(i)) land 1 = 1 then src := !src lor (1 lsl i)
+      done;
+      get_bit t !src)
+
+let of_minterms n ms =
+  let t = create n in
+  List.iter
+    (fun m ->
+      assert (m >= 0 && m < 1 lsl n);
+      let w = m lsr 6 in
+      t.words.(w) <- Int64.logor t.words.(w) (Int64.shift_left 1L (m land 63)))
+    ms;
+  t
+
+let minterms t =
+  let rec loop m acc =
+    if m < 0 then acc else loop (m - 1) (if get_bit t m then m :: acc else acc)
+  in
+  loop (size t - 1) []
+
+let random st n =
+  let t = create n in
+  for w = 0 to Array.length t.words - 1 do
+    t.words.(w) <- Random.State.int64 st Int64.max_int;
+    if Random.State.bool st then t.words.(w) <- Int64.lognot t.words.(w)
+  done;
+  normalize t
+
+let to_hex t =
+  let buf = Buffer.create (Array.length t.words * 16) in
+  for w = Array.length t.words - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%016Lx" t.words.(w))
+  done;
+  Buffer.contents buf
+
+let pp ppf t = Format.fprintf ppf "tt<%d>:%s" t.n (to_hex t)
+let hash t = Hashtbl.hash (t.n, t.words)
+
+let compare a b =
+  match Stdlib.compare a.n b.n with
+  | 0 -> Stdlib.compare a.words b.words
+  | c -> c

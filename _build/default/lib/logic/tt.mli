@@ -1,0 +1,86 @@
+(** Bit-packed truth tables.
+
+    A value of type {!t} represents a completely specified Boolean function
+    of [num_vars] variables as a packed bit vector of [2^num_vars] bits.
+    Variable [i] has period [2^i]: bit [m] of the table is the value of the
+    function on the minterm whose [i]-th input is [(m lsr i) land 1].
+
+    Truth tables are the working representation for node-local functions in
+    the technology-independent network (typically 8 or fewer inputs). *)
+
+type t
+
+(** [create n] is the constant-false function of [n] variables
+    (0 <= n <= 20). *)
+val create : int -> t
+
+val num_vars : t -> int
+
+(** Number of minterms, [2^num_vars]. *)
+val size : t -> int
+
+val const_false : int -> t
+val const_true : int -> t
+
+(** [var n i] is the projection function of variable [i] among [n]. *)
+val var : int -> int -> t
+
+(** [get_bit f m] is the value of [f] on minterm [m]. *)
+val get_bit : t -> int -> bool
+
+(** [set_bit f m b] is [f] with minterm [m] set to [b] (functional). *)
+val set_bit : t -> int -> bool -> t
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+
+(** [equiv f g] is the function that is true where [f = g]. *)
+val equiv : t -> t -> t
+
+val equal : t -> t -> bool
+val is_const_false : t -> bool
+val is_const_true : t -> bool
+
+(** [cofactor f i b] fixes variable [i] to [b]; the result still has
+    [num_vars] variables but no longer depends on [i]. *)
+val cofactor : t -> int -> bool -> t
+
+(** [depends_on f i] is true when [f] is not constant in variable [i]. *)
+val depends_on : t -> int -> bool
+
+(** Indices of the variables [f] actually depends on, ascending. *)
+val support : t -> int list
+
+(** Number of minterms on which the function is true. *)
+val count_ones : t -> int
+
+(** [exists f i] is the existential quantification of variable [i]. *)
+val exists : t -> int -> t
+
+(** [compose f i g] substitutes function [g] for variable [i] in [f]. *)
+val compose : t -> int -> t -> t
+
+(** [permute f perm] renames variable [i] to [perm.(i)]; [perm] must be a
+    permutation of [0 .. num_vars - 1]. *)
+val permute : t -> int array -> t
+
+(** [of_minterms n ms] is the function of [n] variables true exactly on the
+    listed minterms. *)
+val of_minterms : int -> int list -> t
+
+val minterms : t -> int list
+
+(** [of_fun n f] tabulates [f] over the [2^n] minterms. *)
+val of_fun : int -> (int -> bool) -> t
+
+(** Random table over [n] variables using the given state. *)
+val random : Random.State.t -> int -> t
+
+(** Hex dump, most significant word first; for debugging and hashing. *)
+val to_hex : t -> string
+
+val pp : Format.formatter -> t -> unit
+val hash : t -> int
+val compare : t -> t -> int

@@ -1,0 +1,1 @@
+lib/network/network.ml: Globals Graph Levels

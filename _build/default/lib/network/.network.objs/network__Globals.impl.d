@@ -1,0 +1,1 @@
+lib/network/globals.ml: Array Bdd Graph List Logic

@@ -1,0 +1,1 @@
+lib/network/globals.mli: Bdd Graph Logic

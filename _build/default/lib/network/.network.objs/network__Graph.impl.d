@@ -1,0 +1,1 @@
+lib/network/graph.ml: Aig Array Format Fun Hashtbl Lazy List Logic

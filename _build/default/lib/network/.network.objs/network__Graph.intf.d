@@ -1,0 +1,1 @@
+lib/network/graph.mli: Aig Format Logic

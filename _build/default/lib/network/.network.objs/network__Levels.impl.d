@@ -1,0 +1,1 @@
+lib/network/levels.ml: Array Fun Graph List Logic

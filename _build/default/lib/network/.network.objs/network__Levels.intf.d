@@ -1,0 +1,1 @@
+lib/network/levels.mli: Graph Logic

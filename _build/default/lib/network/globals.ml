@@ -1,0 +1,41 @@
+let of_net man net =
+  let n = Graph.num_nodes net in
+  let globals = Array.make n (Bdd.bfalse man) in
+  List.iter
+    (fun id ->
+      if Graph.is_input net id then
+        globals.(id) <- Bdd.var man (Graph.input_index net id)
+      else begin
+        let nd = Graph.node net id in
+        let args = Array.map (fun f -> globals.(f)) nd.Graph.fanins in
+        globals.(id) <- Bdd.apply_tt man nd.Graph.func args
+      end)
+    (Graph.topo_order net);
+  globals
+
+let fanin_globals globals net id =
+  let nd = Graph.node net id in
+  Array.map (fun f -> globals.(f)) nd.Graph.fanins
+
+let cube_image man globals net id cube =
+  let args = fanin_globals globals net id in
+  List.fold_left
+    (fun acc (i, b) ->
+      let gi = args.(i) in
+      Bdd.band man acc (if b then gi else Bdd.bnot man gi))
+    (Bdd.btrue man)
+    (Logic.Cube.literals cube)
+
+let minterm_image man globals net id m =
+  let args = fanin_globals globals net id in
+  let acc = ref (Bdd.btrue man) in
+  Array.iteri
+    (fun i gi ->
+      let lit = if (m lsr i) land 1 = 1 then gi else Bdd.bnot man gi in
+      acc := Bdd.band man !acc lit)
+    args;
+  !acc
+
+let tt_image man globals net id tt =
+  let args = fanin_globals globals net id in
+  Bdd.apply_tt man tt args

@@ -1,0 +1,22 @@
+(** Global node functions: the Boolean function each network node computes
+    over the primary inputs, represented as BDDs. Used to globalize cubes
+    of node-local functions (the [glob(c)] sets that weight cubes against
+    the SPCF in the paper's [Simplify]). *)
+
+(** Per-node global functions; BDD variable [i] is primary input [i]. *)
+val of_net : Bdd.man -> Graph.t -> Bdd.t array
+
+(** [cube_image man globals net id cube] is the set of primary-input
+    minterms on which the fanin values of node [id] fall inside [cube]
+    (a cube over the node's fanin positions). *)
+val cube_image :
+  Bdd.man -> Bdd.t array -> Graph.t -> int -> Logic.Cube.t -> Bdd.t
+
+(** [minterm_image man globals net id m] is the image of a single local
+    input vector [m] of node [id]. *)
+val minterm_image : Bdd.man -> Bdd.t array -> Graph.t -> int -> int -> Bdd.t
+
+(** [tt_image man globals net id tt] is the union of the images of the
+    local minterms where [tt] is true (computed by applying [tt] to the
+    fanin globals). *)
+val tt_image : Bdd.man -> Bdd.t array -> Graph.t -> int -> Logic.Tt.t -> Bdd.t

@@ -1,0 +1,74 @@
+(** The technology-independent network [T] of the paper (Sec. 3):
+    a DAG whose internal nodes carry complex Boolean functions (stored as
+    truth tables over their fanins). The lookahead synthesis algorithm
+    works by editing these node functions in place.
+
+    Node ids are dense and topologically ordered at construction; edits
+    never change the wiring, only the functions, so the order stays
+    valid. New nodes (window logic, reconstruction muxes) are appended
+    and may reference any existing node. *)
+
+type t
+
+type node = {
+  fanins : int array;  (** node ids *)
+  func : Logic.Tt.t;  (** over the fanins, in order *)
+}
+
+(** An output is a node with a polarity. *)
+type output = { name : string; node : int; negated : bool }
+
+val create : unit -> t
+
+(** [add_input net] appends a primary input node and returns its id. *)
+val add_input : ?name:string -> t -> int
+
+(** [add_node net fanins func] appends an internal node.
+    [Tt.num_vars func] must equal [Array.length fanins]. *)
+val add_node : t -> int array -> Logic.Tt.t -> int
+
+val add_output : t -> string -> ?negated:bool -> int -> unit
+val set_output : t -> int -> node:int -> negated:bool -> unit
+
+val num_nodes : t -> int
+val num_inputs : t -> int
+val is_input : t -> int -> bool
+val node : t -> int -> node
+val outputs : t -> output list
+val inputs : t -> int list
+val input_index : t -> int -> int
+
+(** Replace the function of a node (fanins unchanged). *)
+val set_func : t -> int -> Logic.Tt.t -> unit
+
+(** Deep copy (functions are immutable, wiring arrays are copied). *)
+val copy : t -> t
+
+(** Ids in topological order (inputs first). *)
+val topo_order : t -> int list
+
+(** Ids of the transitive fanin cone of a node (node included),
+    topological order. *)
+val cone : t -> int -> int list
+
+(** Fanout lists per node id. *)
+val fanouts : t -> int list array
+
+(** Evaluate the network on an input assignment; returns values for all
+    nodes. *)
+val eval_nodes : t -> bool array -> bool array
+
+val eval : t -> bool array -> bool array
+
+(** Convert an AIG into a network with one two-input AND node per AIG
+    node — the trivial clustering. *)
+val of_aig_direct : Aig.t -> t
+
+(** [of_aig ~k aig] clusters the AIG into nodes with at most [k] inputs
+    using depth-minimizing cut covering (the paper's `renode` step). *)
+val of_aig : ?k:int -> Aig.t -> t
+
+(** Factor every node function back into an AIG ({!Aig.Synth.of_tt}). *)
+val to_aig : t -> Aig.t
+
+val pp_stats : Format.formatter -> t -> unit

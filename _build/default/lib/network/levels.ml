@@ -1,0 +1,71 @@
+let tree_depth levels =
+  let insert x l =
+    let rec go = function
+      | [] -> [ x ]
+      | y :: rest -> if x <= y then x :: y :: rest else y :: go rest
+    in
+    go l
+  in
+  let sorted = List.sort compare levels in
+  let rec reduce = function
+    | [] -> 0
+    | [ d ] -> d
+    | a :: b :: rest -> reduce (insert (1 + max a b) rest)
+  in
+  reduce sorted
+
+let cube_depth cube ~fanin_level =
+  tree_depth (List.map (fun (i, _) -> fanin_level i) (Logic.Cube.literals cube))
+
+let sop_depth (sop : Logic.Sop.t) ~fanin_level =
+  match sop.Logic.Sop.cubes with
+  | [] -> 0
+  | cubes -> tree_depth (List.map (fun c -> cube_depth c ~fanin_level) cubes)
+
+let node_level net ~levels id =
+  if Graph.is_input net id then 0
+  else begin
+    let nd = Graph.node net id in
+    if Array.length nd.Graph.fanins = 0 then 0
+    else if
+      Logic.Tt.is_const_false nd.Graph.func
+      || Logic.Tt.is_const_true nd.Graph.func
+    then 0
+    else begin
+      let fanin_level i = levels.(nd.Graph.fanins.(i)) in
+      let on, off = Logic.Minimize.min_sops nd.Graph.func in
+      min (sop_depth on ~fanin_level) (sop_depth off ~fanin_level)
+    end
+  end
+
+let compute net =
+  let levels = Array.make (Graph.num_nodes net) 0 in
+  List.iter (fun id -> levels.(id) <- node_level net ~levels id) (Graph.topo_order net);
+  levels
+
+let depth net =
+  let levels = compute net in
+  List.fold_left
+    (fun acc (o : Graph.output) -> max acc levels.(o.Graph.node))
+    0 (Graph.outputs net)
+
+let output_levels net ~levels =
+  List.map (fun (o : Graph.output) -> (o, levels.(o.Graph.node))) (Graph.outputs net)
+
+let critical_inputs net ~levels id =
+  if Graph.is_input net id then []
+  else begin
+    let nd = Graph.node net id in
+    let k = Array.length nd.Graph.fanins in
+    if k = 0 then []
+    else begin
+      let maxlev =
+        Array.fold_left (fun acc f -> max acc levels.(f)) 0 nd.Graph.fanins
+      in
+      if maxlev = 0 then []
+      else
+        List.filter
+          (fun i -> levels.(nd.Graph.fanins.(i)) = maxlev)
+          (List.init k Fun.id)
+    end
+  end

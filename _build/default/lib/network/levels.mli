@@ -1,0 +1,39 @@
+(** Logic-level quantification for the technology-independent network
+    (Sec. 3.1, "Quantifying logic levels in T").
+
+    The level of a node is computed from the minimum SOP covers of its
+    on-set and off-set: each prime-implicant cube contributes an optimal
+    AND-tree depth over its literals' fanin levels; the cover contributes
+    an optimal OR-tree over the cube depths; the node level is the
+    smaller of the on-set and off-set values (the cheaper polarity).
+    Optimal tree depth for a level multiset is obtained by always merging
+    the two shallowest items (Huffman order). *)
+
+(** [tree_depth levels] is the depth of an optimal binary tree whose
+    leaves arrive at the given levels; [0] for the empty and singleton
+    cases where no gate is needed. *)
+val tree_depth : int list -> int
+
+(** [sop_depth sop ~fanin_level] is the optimal OR-of-AND depth of a
+    cover given the level of each SOP variable. *)
+val sop_depth : Logic.Sop.t -> fanin_level:(int -> int) -> int
+
+(** [node_level net ~levels id] is the level of node [id] given the
+    levels of its fanins (read from [levels]). Inputs are level 0. *)
+val node_level : Graph.t -> levels:int array -> int -> int
+
+(** Levels of all nodes in topological order. *)
+val compute : Graph.t -> int array
+
+(** Level of the deepest output. *)
+val depth : Graph.t -> int
+
+(** [output_level net ~levels] per-output levels. *)
+val output_levels : Graph.t -> levels:int array -> (Graph.output * int) list
+
+(** [critical_inputs net ~levels id] are the fanin positions whose level
+    reduction is a necessary condition for reducing the node's level —
+    operationally, the positions carrying the maximum fanin level. When
+    every fanin is at level 0 (the node's own structure dominates) no
+    input is critical. *)
+val critical_inputs : Graph.t -> levels:int array -> int -> int list

@@ -1,0 +1,3 @@
+include Graph
+module Levels = Levels
+module Globals = Globals

@@ -1,0 +1,12 @@
+(** Technology-independent networks (the paper's [T]) and their analyses.
+
+    The graph API is at the top level (see {!module:Graph}); {!Levels}
+    implements the paper's logic-level quantification and critical-input
+    computation, {!Globals} the BDD global functions and cube images. *)
+
+include module type of struct
+  include Graph
+end
+
+module Levels = Levels
+module Globals = Globals

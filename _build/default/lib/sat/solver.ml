@@ -1,0 +1,375 @@
+(* CDCL solver. Internal literal encoding: variable v (1-based) yields
+   literals 2v (positive) and 2v+1 (negative); [neg l = l lxor 1].
+   Assignment values: 0 = false, 1 = true, -1 = unassigned (per variable). *)
+
+type clause = { lits : int array; mutable learnt : bool; mutable act : float }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable learnts : clause list;
+  mutable watches : clause list array; (* indexed by internal literal *)
+  mutable assign : int array; (* per variable *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable trail : int array; (* internal literals, in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int list; (* trail sizes at decision points *)
+  mutable qhead : int;
+  mutable ok : bool;
+  mutable conflicts : int;
+  mutable last_conflicts : int;
+  mutable seen : bool array;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = [];
+    learnts = [];
+    watches = Array.make 4 [];
+    assign = Array.make 2 (-1);
+    level = Array.make 2 0;
+    reason = Array.make 2 None;
+    activity = Array.make 2 0.0;
+    var_inc = 1.0;
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_lim = [];
+    qhead = 0;
+    ok = true;
+    conflicts = 0;
+    last_conflicts = 0;
+    seen = Array.make 2 false;
+  }
+
+let grow_array a n default =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) default in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let ensure_var s v =
+  assert (v > 0);
+  if v > s.nvars then begin
+    s.nvars <- v;
+    s.assign <- grow_array s.assign (v + 1) (-1);
+    s.level <- grow_array s.level (v + 1) 0;
+    s.reason <- grow_array s.reason (v + 1) None;
+    s.activity <- grow_array s.activity (v + 1) 0.0;
+    s.seen <- grow_array s.seen (v + 1) false;
+    s.watches <- grow_array s.watches (2 * v + 2) []
+  end;
+  v
+
+let new_var s = ensure_var s (s.nvars + 1)
+let num_vars s = s.nvars
+let num_clauses s = List.length s.clauses
+let last_conflicts s = s.last_conflicts
+
+let to_internal l =
+  assert (l <> 0);
+  if l > 0 then 2 * l else (2 * -l) + 1
+
+let var_of l = l lsr 1
+let neg l = l lxor 1
+
+(* Value of an internal literal: 1 true, 0 false, -1 unassigned. *)
+let lit_value s l =
+  let a = s.assign.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let push_trail s l =
+  if s.trail_size >= Array.length s.trail then begin
+    let b = Array.make (2 * Array.length s.trail) 0 in
+    Array.blit s.trail 0 b 0 s.trail_size;
+    s.trail <- b
+  end;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let decision_level s = List.length s.trail_lim
+
+let enqueue s l reason =
+  s.assign.(var_of l) <- 1 lxor (l land 1);
+  s.level.(var_of l) <- decision_level s;
+  s.reason.(var_of l) <- reason;
+  push_trail s l
+
+let watch s l c = s.watches.(l) <- c :: s.watches.(l)
+
+let attach_clause s c =
+  watch s (neg c.lits.(0)) c;
+  watch s (neg c.lits.(1)) c
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+(* Propagate all enqueued assignments; return the conflicting clause if a
+   conflict arises. *)
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < s.trail_size do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    (* l became true; visit clauses watching (neg l). *)
+    let cs = s.watches.(l) in
+    s.watches.(l) <- [];
+    let rec process = function
+      | [] -> ()
+      | c :: rest -> (
+        (* Ensure the false literal is lits.(1). *)
+        if c.lits.(0) = neg l then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- neg l
+        end;
+        if lit_value s c.lits.(0) = 1 then begin
+          (* Clause already satisfied; keep watching. *)
+          s.watches.(l) <- c :: s.watches.(l);
+          process rest
+        end
+        else begin
+          (* Search a new watch. *)
+          let found = ref false in
+          let i = ref 2 in
+          while (not !found) && !i < Array.length c.lits do
+            if lit_value s c.lits.(!i) <> 0 then begin
+              let tmp = c.lits.(1) in
+              c.lits.(1) <- c.lits.(!i);
+              c.lits.(!i) <- tmp;
+              watch s (neg c.lits.(1)) c;
+              found := true
+            end;
+            incr i
+          done;
+          if !found then process rest
+          else begin
+            (* Unit or conflicting. *)
+            s.watches.(l) <- c :: s.watches.(l);
+            if lit_value s c.lits.(0) = 0 then begin
+              conflict := Some c;
+              (* Restore remaining watches untouched. *)
+              List.iter (fun c' -> s.watches.(l) <- c' :: s.watches.(l)) rest
+            end
+            else begin
+              enqueue s c.lits.(0) (Some c);
+              process rest
+            end
+          end
+        end)
+    in
+    process cs
+  done;
+  !conflict
+
+let add_clause s lits =
+  if s.ok then begin
+    List.iter (fun l -> ignore (ensure_var s (abs l))) lits;
+    let lits = List.sort_uniq compare lits in
+    let tautology = List.exists (fun l -> List.mem (-l) lits) lits in
+    if not tautology then begin
+      (* Remove literals already false at level 0; stop if satisfied. *)
+      let lits =
+        List.filter
+          (fun l ->
+            not (s.level.(abs l) = 0 && lit_value s (to_internal l) = 0))
+          lits
+      in
+      let satisfied =
+        List.exists
+          (fun l -> s.level.(abs l) = 0 && lit_value s (to_internal l) = 1)
+          lits
+      in
+      if not satisfied then
+        match lits with
+        | [] -> s.ok <- false
+        | [ l ] ->
+          let il = to_internal l in
+          (match lit_value s il with
+           | 1 -> ()
+           | 0 -> s.ok <- false
+           | _ ->
+             enqueue s il None;
+             if propagate s <> None then s.ok <- false)
+        | _ ->
+          let c =
+            { lits = Array.of_list (List.map to_internal lits);
+              learnt = false; act = 0.0 }
+          in
+          s.clauses <- c :: s.clauses;
+          attach_clause s c
+    end
+  end
+
+let backtrack s target =
+  if decision_level s > target then begin
+    (* trail_lim head is the trail size recorded at the most recent
+       decision; popping [drop] levels leaves the size recorded at the
+       oldest popped one. *)
+    let drop = decision_level s - target in
+    let rec drop_lims lims k last =
+      match (lims, k) with
+      | lims, 0 -> (lims, last)
+      | x :: rest, k -> drop_lims rest (k - 1) x
+      | [], _ -> ([], last)
+    in
+    let lims, boundary = drop_lims s.trail_lim drop s.trail_size in
+    for i = s.trail_size - 1 downto boundary do
+      let v = var_of s.trail.(i) in
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None
+    done;
+    s.trail_size <- boundary;
+    s.qhead <- boundary;
+    s.trail_lim <- lims
+  end
+
+(* First-UIP conflict analysis. Returns (learnt clause lits, backtrack
+   level). learnt.(0) is the asserting literal. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 in
+  let btlevel = ref 0 in
+  let index = ref (s.trail_size - 1) in
+  let reason_lits c skip =
+    Array.to_list c.lits |> List.filter (fun l -> l <> skip)
+  in
+  let cur = ref (reason_lits confl (-1)) in
+  let continue = ref true in
+  while !continue do
+    List.iter
+      (fun q ->
+        let v = var_of q in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump_var s v;
+          if s.level.(v) >= decision_level s then incr counter
+          else begin
+            learnt := q :: !learnt;
+            if s.level.(v) > !btlevel then btlevel := s.level.(v)
+          end
+        end)
+      !cur;
+    (* Pick the next trail literal marked seen. *)
+    let rec find i = if s.seen.(var_of s.trail.(i)) then i else find (i - 1) in
+    index := find !index;
+    p := s.trail.(!index);
+    s.seen.(var_of !p) <- false;
+    decr counter;
+    index := !index - 1;
+    if !counter = 0 then continue := false
+    else
+      cur :=
+        (match s.reason.(var_of !p) with
+         | Some c -> reason_lits c !p
+         | None -> [])
+  done;
+  let lits = neg !p :: !learnt in
+  List.iter (fun q -> s.seen.(var_of q) <- false) !learnt;
+  (lits, !btlevel)
+
+let pick_branch s =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to s.nvars do
+    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+type result = Sat | Unsat
+
+let record_learnt s lits =
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] -> enqueue s l None
+  | l0 :: _ ->
+    (* Watch the asserting literal and a literal from the backtrack
+       level (the second-highest level literal must be at position 1). *)
+    let arr = Array.of_list lits in
+    (* Move a max-level literal (other than position 0) to slot 1. *)
+    let besti = ref 1 in
+    for i = 2 to Array.length arr - 1 do
+      if s.level.(var_of arr.(i)) > s.level.(var_of arr.(!besti)) then besti := i
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!besti);
+    arr.(!besti) <- tmp;
+    let c = { lits = arr; learnt = true; act = 0.0 } in
+    s.learnts <- c :: s.learnts;
+    attach_clause s c;
+    enqueue s l0 (Some c)
+
+let solve ?(assumptions = []) s =
+  s.last_conflicts <- 0;
+  if not s.ok then Unsat
+  else begin
+    let result = ref None in
+    backtrack s 0;
+    (* Plant assumptions as decisions; a conflict inside them is Unsat. *)
+    let assumption_level = ref 0 in
+    (try
+       List.iter
+         (fun l ->
+           ignore (ensure_var s (abs l));
+           let il = to_internal l in
+           match lit_value s il with
+           | 1 -> ()
+           | 0 -> raise Exit
+           | _ ->
+             s.trail_lim <- s.trail_size :: s.trail_lim;
+             enqueue s il None;
+             if propagate s <> None then raise Exit)
+         assumptions;
+       assumption_level := decision_level s
+     with Exit -> result := Some Unsat);
+    let restart_budget = ref 100 in
+    while !result = None do
+      match propagate s with
+      | Some confl ->
+        s.conflicts <- s.conflicts + 1;
+        s.last_conflicts <- s.last_conflicts + 1;
+        s.var_inc <- s.var_inc *. 1.052;
+        if decision_level s <= !assumption_level then result := Some Unsat
+        else begin
+          let lits, btlevel = analyze s confl in
+          let btlevel = max btlevel !assumption_level in
+          backtrack s btlevel;
+          record_learnt s lits;
+          decr restart_budget;
+          if !restart_budget <= 0 then begin
+            restart_budget := 100 + (s.conflicts / 10);
+            backtrack s !assumption_level
+          end
+        end
+      | None ->
+        let v = pick_branch s in
+        if v = 0 then result := Some Sat
+        else begin
+          s.trail_lim <- s.trail_size :: s.trail_lim;
+          (* Phase: default to false. *)
+          enqueue s ((2 * v) + 1) None
+        end
+    done;
+    (match !result with
+     | Some Sat -> () (* keep trail so [value] can read the model *)
+     | Some Unsat -> backtrack s 0
+     | None -> assert false);
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s v =
+  assert (v > 0 && v <= s.nvars);
+  s.assign.(v) = 1

@@ -1,0 +1,38 @@
+(** A small CDCL SAT solver (watched literals, first-UIP learning, VSIDS
+    style activities, geometric restarts).
+
+    Variables are positive integers starting at 1; a literal is a non-zero
+    integer whose sign selects the polarity (DIMACS convention). The solver
+    backs the combinational equivalence checks that the paper performs
+    after every optimization run, and the redundancy-elimination pass used
+    for area recovery. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+(** Ensure variables up to [v] exist; returns [v] for convenience. *)
+val ensure_var : t -> int -> int
+
+(** Fresh variable. *)
+val new_var : t -> int
+
+(** Add a clause of literals. Adding the empty clause makes the instance
+    trivially unsatisfiable. *)
+val add_clause : t -> int list -> unit
+
+(** [solve ?assumptions s] decides satisfiability under the optional
+    assumption literals. The solver state stays usable afterwards
+    (incremental). *)
+val solve : ?assumptions:int list -> t -> result
+
+(** After [Sat]: model value of a variable. *)
+val value : t -> int -> bool
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+(** Number of conflicts in the last [solve] call, for diagnostics. *)
+val last_conflicts : t -> int

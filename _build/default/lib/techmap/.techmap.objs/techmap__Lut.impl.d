@@ -1,0 +1,1 @@
+lib/techmap/lut.ml: Aig Array Hashtbl Int64 List Logic Random

@@ -1,0 +1,1 @@
+lib/techmap/lut.mli: Aig Logic

@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Aig Array Fun Hashtbl Int64 Lazy Library List Logic Random

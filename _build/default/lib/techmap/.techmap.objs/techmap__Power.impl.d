@@ -1,0 +1,1 @@
+lib/techmap/power.ml: Aig Array Hashtbl Int64 Library List Mapper Random

@@ -1,0 +1,1 @@
+lib/techmap/power.mli: Mapper

@@ -1,0 +1,1 @@
+lib/techmap/sta.ml: Array Format Hashtbl Library List Mapper

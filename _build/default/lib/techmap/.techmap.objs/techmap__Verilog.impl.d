@@ -1,0 +1,1 @@
+lib/techmap/verilog.ml: Aig Array Buffer Format Fun Library List Logic Mapper Printf String

@@ -1,0 +1,55 @@
+type cell = {
+  name : string;
+  arity : int;
+  func : Logic.Tt.t;
+  area : float;
+  intrinsic : float;
+  load_factor : float;
+  input_cap : float;
+}
+
+let tt n f = Logic.Tt.of_fun n f
+let bit m i = (m lsr i) land 1 = 1
+
+let mk name arity f area intrinsic load_factor input_cap =
+  { name; arity; func = tt arity f; area; intrinsic; load_factor; input_cap }
+
+let cells =
+  [
+    mk "INV" 1 (fun m -> not (bit m 0)) 1.0 8.0 3.2 1.0;
+    mk "BUF" 1 (fun m -> bit m 0) 1.5 14.0 2.4 1.0;
+    mk "NAND2" 2 (fun m -> not (bit m 0 && bit m 1)) 1.4 12.0 3.6 1.2;
+    mk "NAND3" 3 (fun m -> not (bit m 0 && bit m 1 && bit m 2)) 1.9 17.0 4.2 1.4;
+    mk "NAND4" 4
+      (fun m -> not (bit m 0 && bit m 1 && bit m 2 && bit m 3))
+      2.4 23.0 4.8 1.6;
+    mk "NOR2" 2 (fun m -> not (bit m 0 || bit m 1)) 1.4 14.0 4.4 1.2;
+    mk "NOR3" 3 (fun m -> not (bit m 0 || bit m 1 || bit m 2)) 1.9 21.0 5.4 1.4;
+    mk "NOR4" 4
+      (fun m -> not (bit m 0 || bit m 1 || bit m 2 || bit m 3))
+      2.4 29.0 6.4 1.6;
+    mk "AND2" 2 (fun m -> bit m 0 && bit m 1) 1.8 18.0 3.0 1.1;
+    mk "OR2" 2 (fun m -> bit m 0 || bit m 1) 1.8 20.0 3.0 1.1;
+    mk "XOR2" 2 (fun m -> bit m 0 <> bit m 1) 2.6 26.0 4.0 1.8;
+    mk "XNOR2" 2 (fun m -> bit m 0 = bit m 1) 2.6 26.0 4.0 1.8;
+    mk "MUX2" 3
+      (fun m -> if bit m 2 then bit m 1 else bit m 0)
+      2.8 24.0 3.6 1.5;
+    mk "AOI21" 3 (fun m -> not ((bit m 0 && bit m 1) || bit m 2)) 1.9 16.0 4.4 1.3;
+    mk "OAI21" 3 (fun m -> not ((bit m 0 || bit m 1) && bit m 2)) 1.9 16.0 4.4 1.3;
+    mk "AOI22" 4
+      (fun m -> not ((bit m 0 && bit m 1) || (bit m 2 && bit m 3)))
+      2.4 20.0 5.0 1.4;
+    mk "OAI22" 4
+      (fun m -> not ((bit m 0 || bit m 1) && (bit m 2 || bit m 3)))
+      2.4 20.0 5.0 1.4;
+  ]
+
+let find name =
+  match List.find_opt (fun c -> c.name = name) cells with
+  | Some c -> c
+  | None -> raise Not_found
+
+let inverter = find "INV"
+let vdd = 1.0
+let clock_hz = 1.0e9

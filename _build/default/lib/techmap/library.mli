@@ -1,0 +1,34 @@
+(** A synthetic 70nm-class standard-cell library.
+
+    The paper maps to a commercial 70nm library; that library is not
+    redistributable, so this one provides cells of the usual CMOS menu
+    with logical-effort-style timing: a gate's delay is
+    [intrinsic + load_factor * fanout_caps]. Absolute numbers are
+    representative (inverter FO4 around 25 ps); the evaluation only
+    relies on ratios between optimizers, which survive any reasonable
+    library (see DESIGN.md). *)
+
+type cell = {
+  name : string;
+  arity : int;
+  func : Logic.Tt.t;  (** over [arity] inputs *)
+  area : float;  (** normalized to INV = 1 *)
+  intrinsic : float;  (** ps *)
+  load_factor : float;  (** ps per fF of output load *)
+  input_cap : float;  (** fF per input pin *)
+}
+
+(** All cells of the library (INV, BUF, NAND2-4, NOR2-4, AND2, OR2,
+    XOR2, XNOR2, MUX2, AOI21, OAI21, AOI22, OAI22). *)
+val cells : cell list
+
+val inverter : cell
+
+(** Supply voltage (V) and the nominal clock (Hz) used for the power
+    numbers of Table 2. *)
+val vdd : float
+
+val clock_hz : float
+
+(** [find name] looks a cell up by name. *)
+val find : string -> cell

@@ -1,0 +1,113 @@
+type lut = { func : Logic.Tt.t; leaves : int array; root : int }
+
+type netlist = {
+  luts : lut list;
+  primary_outputs : (string * Aig.lit) list;
+  source : Aig.t;
+}
+
+let map ?(k = 4) g =
+  let cuts = Aig.Cuts.enumerate g ~k ~per_node:8 in
+  let nn = Aig.num_nodes g in
+  let arrival = Array.make nn 0 in
+  let best : Aig.Cuts.cut option array = Array.make nn None in
+  for id = 1 to nn - 1 do
+    if Aig.is_and g id then begin
+      let eval (c : Aig.Cuts.cut) =
+        ( Array.fold_left (fun acc leaf -> max acc arrival.(leaf)) 0 c.leaves + 1,
+          Array.length c.leaves )
+      in
+      let choice =
+        List.fold_left
+          (fun acc (c : Aig.Cuts.cut) ->
+            if c.leaves = [| id |] then acc
+            else
+              match acc with
+              | None -> Some (c, eval c)
+              | Some (_, bcost) ->
+                let cost = eval c in
+                if cost < bcost then Some (c, cost) else acc)
+          None cuts.(id)
+      in
+      match choice with
+      | Some (c, (a, _)) ->
+        arrival.(id) <- a;
+        best.(id) <- Some c
+      | None -> assert false
+    end
+  done;
+  let luts = ref [] in
+  let covered = Hashtbl.create 256 in
+  let rec require id =
+    if (not (Hashtbl.mem covered id)) && Aig.is_and g id then begin
+      Hashtbl.replace covered id ();
+      let c = match best.(id) with Some c -> c | None -> assert false in
+      Array.iter require c.leaves;
+      luts := { func = c.tt; leaves = c.leaves; root = id } :: !luts
+    end
+  in
+  let primary_outputs = Aig.outputs g in
+  List.iter (fun (_, l) -> require (Aig.node_of_lit l)) primary_outputs;
+  (* The recursion pushes parents before children; restore topological
+     order by sorting on node id (ids are topological in the AIG). *)
+  let luts = List.sort (fun a b -> compare a.root b.root) !luts in
+  { luts; primary_outputs; source = g }
+
+let num_luts n = List.length n.luts
+
+let depth n =
+  let dep = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      let d =
+        Array.fold_left
+          (fun acc leaf ->
+            max acc (try Hashtbl.find dep leaf with Not_found -> 0))
+          0 l.leaves
+      in
+      Hashtbl.replace dep l.root (d + 1))
+    n.luts;
+  List.fold_left
+    (fun acc (_, l) ->
+      max acc
+        (try Hashtbl.find dep (Aig.node_of_lit l) with Not_found -> 0))
+    0 n.primary_outputs
+
+let check ?(rounds = 8) n =
+  let g = n.source in
+  let ni = Aig.num_inputs g in
+  let st = Random.State.make [| 0x107 land max_int; ni |] in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let words = Array.init ni (fun _ -> Random.State.int64 st Int64.max_int) in
+    let values = Aig.sim g words in
+    let lut_values = Hashtbl.create 256 in
+    let value_of id =
+      match Hashtbl.find_opt lut_values id with
+      | Some w -> w
+      | None -> values.(id) (* primary input or constant *)
+    in
+    List.iter
+      (fun l ->
+        let out = ref 0L in
+        for bit = 0 to 63 do
+          let v = ref 0 in
+          Array.iteri
+            (fun i leaf ->
+              if
+                Int64.logand (Int64.shift_right_logical (value_of leaf) bit) 1L
+                = 1L
+              then v := !v lor (1 lsl i))
+            l.leaves;
+          if Logic.Tt.get_bit l.func !v then
+            out := Int64.logor !out (Int64.shift_left 1L bit)
+        done;
+        Hashtbl.replace lut_values l.root !out)
+      n.luts;
+    List.iter
+      (fun (_, ol) ->
+        let got = value_of (Aig.node_of_lit ol) in
+        if got <> values.(Aig.node_of_lit ol) then ok := false)
+      n.primary_outputs
+  done;
+  !ok

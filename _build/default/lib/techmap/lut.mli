@@ -1,0 +1,28 @@
+(** Depth-oriented k-LUT covering (FPGA-style mapping), built on the same
+    cut enumeration as the standard-cell mapper. Gives the LUT count /
+    LUT depth view of a circuit, a common secondary quality metric for
+    delay-oriented synthesis. *)
+
+type lut = {
+  func : Logic.Tt.t;  (** over the leaves *)
+  leaves : int array;  (** AIG node ids *)
+  root : int;
+}
+
+type netlist = {
+  luts : lut list;  (** topological *)
+  primary_outputs : (string * Aig.lit) list;
+  source : Aig.t;
+}
+
+(** [map ~k g] covers the AIG with k-input LUTs, minimizing depth first
+    (FlowMap-style arrival selection) with a light area tie-break. *)
+val map : ?k:int -> Aig.t -> netlist
+
+val num_luts : netlist -> int
+
+(** LUT levels of the deepest output. *)
+val depth : netlist -> int
+
+(** Random-simulation check of the cover against the source AIG. *)
+val check : ?rounds:int -> netlist -> bool

@@ -1,0 +1,42 @@
+(** Cut-based structural technology mapping onto {!Library.cells}.
+
+    Classic phase-aware covering: 4-feasible cuts are matched against a
+    precomputed table of all permutation / input-phase / output-phase
+    variants of every cell; dynamic programming picks the
+    minimum-arrival match for each (node, phase); the cover is extracted
+    from the outputs, inserting inverters where a phase is not produced
+    natively. Delay is then re-evaluated with the load model
+    (intrinsic + load_factor * fanout capacitance). *)
+
+(** Reference to the value of AIG node [node], possibly inverted. *)
+type signal = { node : int; inverted : bool }
+
+type gate = {
+  cell : Library.cell;
+  fanins : signal array;  (** in cell-input order *)
+  out : signal;
+}
+
+type netlist = {
+  gates : gate list;  (** topological order *)
+  primary_inputs : int list;  (** AIG node ids *)
+  primary_outputs : (string * signal) list;
+  source : Aig.t;
+}
+
+(** [map g] covers the AIG with library gates. *)
+val map : Aig.t -> netlist
+
+(** Number of gates (inverters included). *)
+val num_gates : netlist -> int
+
+(** Total cell area (INV = 1). *)
+val area : netlist -> float
+
+(** Critical-path delay in ps under the load model, with 2 fF of load on
+    every primary output. *)
+val delay : netlist -> float
+
+(** [check netlist] verifies the mapped netlist against its source AIG by
+    random simulation; used by the test suite. *)
+val check : ?rounds:int -> netlist -> bool

@@ -1,0 +1,10 @@
+(** Dynamic-power estimation for mapped netlists at the paper's operating
+    point (1 GHz, Table 2).
+
+    Signal probabilities come from random simulation of the source AIG;
+    the switching activity of a net is [2 p (1-p)] (temporal
+    independence), and the dynamic power is
+    [sum over nets of 1/2 * activity * C_load * Vdd^2 * f]. *)
+
+(** Power in mW at {!Library.clock_hz} and {!Library.vdd}. *)
+val dynamic_mw : ?sim_rounds:int -> Mapper.netlist -> float

@@ -1,0 +1,17 @@
+(** Static timing analysis on mapped netlists: arrival and required
+    times under the load model, per-gate slack, and critical-path
+    extraction for reporting. *)
+
+type report = {
+  delay : float;  (** critical-path delay, ps *)
+  arrival : ((int * bool), float) Hashtbl.t;  (** per signal *)
+  slack : ((int * bool), float) Hashtbl.t;
+}
+
+val analyze : Mapper.netlist -> report
+
+(** Gates on one critical path, from inputs to the failing output. *)
+val critical_path : Mapper.netlist -> report -> Mapper.gate list
+
+(** Human-readable timing report (worst path, slack histogram). *)
+val pp_report : Format.formatter -> Mapper.netlist * report -> unit

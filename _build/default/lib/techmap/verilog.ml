@@ -1,0 +1,97 @@
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "s_" ^ s else s
+
+let signal_name g (s : Mapper.signal) =
+  let base =
+    match Aig.input_name g s.Mapper.node with
+    | Some n -> sanitize n
+    | None ->
+      if s.Mapper.node = 0 then "const0"
+      else if Aig.is_input g s.Mapper.node then
+        Printf.sprintf "pi%d" (Aig.input_index g s.Mapper.node)
+      else Printf.sprintf "n%d" s.Mapper.node
+  in
+  if s.Mapper.inverted then base ^ "_bar" else base
+
+(* Behavioural body of a cell, as a Verilog expression over i0..i(k-1). *)
+let cell_expr (c : Library.cell) =
+  let n = c.Library.arity in
+  let minterms =
+    List.filter (fun m -> Logic.Tt.get_bit c.Library.func m)
+      (List.init (1 lsl n) Fun.id)
+  in
+  if minterms = [] then "1'b0"
+  else if List.length minterms = 1 lsl n then "1'b1"
+  else
+    String.concat " | "
+      (List.map
+         (fun m ->
+           let lits =
+             List.init n (fun i ->
+                 if (m lsr i) land 1 = 1 then Printf.sprintf "i%d" i
+                 else Printf.sprintf "~i%d" i)
+           in
+           "(" ^ String.concat " & " lits ^ ")")
+         minterms)
+
+let used_cells n =
+  List.sort_uniq compare
+    (List.map (fun (g : Mapper.gate) -> g.Mapper.cell.Library.name) n.Mapper.gates)
+
+let write ?(module_name = "mapped") ppf n =
+  let open Format in
+  let g = n.Mapper.source in
+  (* Cell definitions. *)
+  List.iter
+    (fun name ->
+      let c = Library.find name in
+      let ports = List.init c.Library.arity (fun i -> Printf.sprintf "i%d" i) in
+      fprintf ppf "module %s (%s, z);@." c.Library.name
+        (String.concat ", " ports);
+      List.iter (fun p -> fprintf ppf "  input %s;@." p) ports;
+      fprintf ppf "  output z;@.";
+      fprintf ppf "  assign z = %s;@." (cell_expr c);
+      fprintf ppf "endmodule@.@.")
+    (used_cells n);
+  let inputs =
+    List.map
+      (fun id -> signal_name g { Mapper.node = id; inverted = false })
+      n.Mapper.primary_inputs
+  in
+  let outputs = List.map (fun (name, _) -> sanitize name) n.Mapper.primary_outputs in
+  fprintf ppf "module %s (@[%s@]);@." (sanitize module_name)
+    (String.concat ", " (inputs @ outputs));
+  List.iter (fun p -> fprintf ppf "  input %s;@." p) inputs;
+  List.iter (fun p -> fprintf ppf "  output %s;@." p) outputs;
+  fprintf ppf "  wire const0 = 1'b0;@.";
+  List.iter
+    (fun (gate : Mapper.gate) ->
+      fprintf ppf "  wire %s;@." (signal_name g gate.Mapper.out))
+    n.Mapper.gates;
+  List.iteri
+    (fun k (gate : Mapper.gate) ->
+      let args =
+        Array.to_list (Array.map (signal_name g) gate.Mapper.fanins)
+        @ [ signal_name g gate.Mapper.out ]
+      in
+      fprintf ppf "  %s u%d (%s);@." gate.Mapper.cell.Library.name k
+        (String.concat ", " args))
+    n.Mapper.gates;
+  List.iter
+    (fun (name, s) ->
+      fprintf ppf "  assign %s = %s;@." (sanitize name) (signal_name g s))
+    n.Mapper.primary_outputs;
+  fprintf ppf "endmodule@."
+
+let to_string ?module_name n =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ?module_name ppf n;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Gate-level Verilog export of a mapped netlist: one cell instance per
+    gate, cells emitted as behavioural modules alongside (so the file is
+    self-contained and simulable). *)
+
+val write : ?module_name:string -> Format.formatter -> Mapper.netlist -> unit
+
+val to_string : ?module_name:string -> Mapper.netlist -> string

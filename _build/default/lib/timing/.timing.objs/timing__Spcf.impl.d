@@ -1,0 +1,1 @@
+lib/timing/spcf.ml: Aig Array Bdd Hashtbl Int64 List Logic Network

@@ -1,0 +1,1 @@
+lib/timing/spcf.mli: Aig Bdd Logic Network

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Aig Array Fun List

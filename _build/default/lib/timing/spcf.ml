@@ -1,0 +1,113 @@
+let floating_delays g bits =
+  let words = Array.map (fun b -> if b then -1L else 0L) bits in
+  let values = Aig.sim g words in
+  let value_of l =
+    let w = values.(Aig.node_of_lit l) in
+    let b = Int64.logand w 1L = 1L in
+    if Aig.is_complemented l then not b else b
+  in
+  let nn = Aig.num_nodes g in
+  let delay = Array.make nn 0 in
+  for id = 1 to nn - 1 do
+    if Aig.is_and g id then begin
+      let f0, f1 = Aig.fanins g id in
+      let v0 = value_of f0 and v1 = value_of f1 in
+      let d0 = delay.(Aig.node_of_lit f0) and d1 = delay.(Aig.node_of_lit f1) in
+      delay.(id) <-
+        (match (v0, v1) with
+         | false, false -> 1 + min d0 d1
+         | false, true -> 1 + d0
+         | true, false -> 1 + d1
+         | true, true -> 1 + max d0 d1)
+    end
+  done;
+  delay
+
+let exact g ~out ~delta =
+  let ni = Aig.num_inputs g in
+  assert (ni <= 16);
+  let _, ol = List.nth (Aig.outputs g) out in
+  let oid = Aig.node_of_lit ol in
+  let minterms = ref [] in
+  for m = 0 to (1 lsl ni) - 1 do
+    let bits = Array.init ni (fun i -> (m lsr i) land 1 = 1) in
+    let delay = floating_delays g bits in
+    if delay.(oid) >= delta then minterms := m :: !minterms
+  done;
+  Logic.Tt.of_minterms ni !minterms
+
+let boolean_difference man net globals ~wrt ~out =
+  let oid = out.Network.node in
+  (* Fresh variable standing for the value of node [wrt]; placed past all
+     existing variables so it sits at the bottom of the order. *)
+  let vid = Bdd.num_vars man + 1 in
+  let v = Bdd.var man vid in
+  let cone = Network.cone net oid in
+  let altered = Hashtbl.create 64 in
+  Hashtbl.replace altered wrt v;
+  List.iter
+    (fun id ->
+      if (not (Hashtbl.mem altered id)) && not (Network.is_input net id) then begin
+        let nd = Network.node net id in
+        if Array.exists (Hashtbl.mem altered) nd.Network.fanins then begin
+          let args =
+            Array.map
+              (fun f ->
+                match Hashtbl.find_opt altered f with
+                | Some b -> b
+                | None -> globals.(f))
+              nd.Network.fanins
+          in
+          Hashtbl.replace altered id (Bdd.apply_tt man nd.Network.func args)
+        end
+      end)
+    cone;
+  match Hashtbl.find_opt altered oid with
+  | None -> Bdd.bfalse man (* output does not depend on [wrt] *)
+  | Some y ->
+    Bdd.bxor man (Bdd.restrict man y vid false) (Bdd.restrict man y vid true)
+
+let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) () =
+  let oid = out.Network.node in
+  let cone = Network.cone net oid in
+  (* Longest level-weighted distance from each cone node to the output. *)
+  let fo = Network.fanouts net in
+  let rdepth = Hashtbl.create 64 in
+  Hashtbl.replace rdepth oid 0;
+  List.iter
+    (fun id ->
+      if id <> oid then begin
+        let best = ref min_int in
+        List.iter
+          (fun o ->
+            match Hashtbl.find_opt rdepth o with
+            | Some d -> best := max !best (d + max 0 (levels.(o) - levels.(id)))
+            | None -> ())
+          fo.(id);
+        if !best > min_int then Hashtbl.replace rdepth id !best
+      end)
+    (List.rev cone);
+  let late =
+    List.filter
+      (fun id ->
+        (not (Network.is_input net id))
+        &&
+        match Hashtbl.find_opt rdepth id with
+        | Some d -> levels.(id) + d >= delta
+        | None -> false)
+      cone
+  in
+  (* Deepest nodes first; cap the union for efficiency. *)
+  let late =
+    List.sort (fun a b -> compare levels.(b) levels.(a)) late
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: r -> x :: take (n - 1) r
+  in
+  let late = take max_nodes late in
+  List.fold_left
+    (fun acc id ->
+      Bdd.bor man acc (boolean_difference man net globals ~wrt:id ~out))
+    (Bdd.bfalse man) late

@@ -1,0 +1,50 @@
+(** Speed-path characteristic functions (Sec. 3.1 of the paper).
+
+    For a threshold [delta], the SPCF of an output collects the input
+    minterms that exercise paths of [delta] or more logic levels. Two
+    engines are provided, mirroring the paper's discussion:
+
+    - {!exact} computes, for small input counts, the floating-mode
+      sensitizable delay of every minterm (controlling-value semantics on
+      the AIG: a controlled AND answers as soon as its earliest
+      controlling input arrives) and keeps the minterms at or above the
+      threshold. This matches the exact, path-based engines of [7,19].
+    - {!approx} is the computationally cheap node-based approximation in
+      the spirit of [19-21] (telescopic units): the union, over
+      late nodes of the technology-independent network, of the Boolean
+      difference of the output with respect to the node — the minterms on
+      which the output functionally depends on slow logic.
+
+    The paper uses the SPCF only as a guiding metric, so the
+    approximation is the default in the synthesis driver. *)
+
+(** Sensitizable (floating-mode) delay of every output for one input
+    assignment. Returns per-node delays; inputs are 0. *)
+val floating_delays : Aig.t -> bool array -> int array
+
+(** [exact g ~out ~delta] is the set of input minterms whose floating
+    delay at output [out] (index into the outputs) is at least [delta].
+    Requires [Aig.num_inputs g <= 16]. *)
+val exact : Aig.t -> out:int -> delta:int -> Logic.Tt.t
+
+(** [approx man net globals ~levels ~out ~delta ~max_nodes] over the
+    technology-independent network. [levels] are the paper's node levels;
+    [out] is the output record. At most [max_nodes] late nodes are
+    unioned (deepest first). *)
+val approx :
+  Bdd.man ->
+  Network.t ->
+  Bdd.t array ->
+  levels:int array ->
+  out:Network.output ->
+  delta:int ->
+  ?max_nodes:int ->
+  unit ->
+  Bdd.t
+
+(** [boolean_difference man net globals ~wrt ~out] is the set of input
+    minterms where the value of output [out] changes if node [wrt] is
+    flipped (computed by re-deriving the cone above [wrt] with a fresh
+    BDD variable substituted for it). *)
+val boolean_difference :
+  Bdd.man -> Network.t -> Bdd.t array -> wrt:int -> out:Network.output -> Bdd.t

@@ -1,0 +1,64 @@
+type report = { arrival : int array; required : int array; depth : int }
+
+let analyze g =
+  let arrival = Aig.levels g in
+  let nn = Aig.num_nodes g in
+  let depth =
+    List.fold_left
+      (fun acc (_, l) -> max acc arrival.(Aig.node_of_lit l))
+      0 (Aig.outputs g)
+  in
+  let required = Array.make nn max_int in
+  List.iter
+    (fun (_, l) ->
+      let id = Aig.node_of_lit l in
+      required.(id) <- min required.(id) depth)
+    (Aig.outputs g);
+  for id = nn - 1 downto 1 do
+    if Aig.is_and g id && required.(id) < max_int then begin
+      let f0, f1 = Aig.fanins g id in
+      let relax l =
+        let c = Aig.node_of_lit l in
+        required.(c) <- min required.(c) (required.(id) - 1)
+      in
+      relax f0;
+      relax f1
+    end
+  done;
+  { arrival; required; depth }
+
+let critical_nodes g r =
+  List.filter
+    (fun id ->
+      r.required.(id) < max_int && r.arrival.(id) = r.required.(id))
+    (List.init (Aig.num_nodes g) Fun.id)
+
+let critical_path g r =
+  (* Walk down from a deepest output following a max-arrival fanin. *)
+  let start =
+    List.fold_left
+      (fun acc (_, l) ->
+        let id = Aig.node_of_lit l in
+        match acc with
+        | Some best when r.arrival.(best) >= r.arrival.(id) -> acc
+        | _ -> Some id)
+      None (Aig.outputs g)
+  in
+  match start with
+  | None -> []
+  | Some id ->
+    let rec walk id acc =
+      let acc = id :: acc in
+      if Aig.is_and g id then begin
+        let f0, f1 = Aig.fanins g id in
+        let c0 = Aig.node_of_lit f0 and c1 = Aig.node_of_lit f1 in
+        walk (if r.arrival.(c0) >= r.arrival.(c1) then c0 else c1) acc
+      end
+      else acc
+    in
+    walk id []
+
+let critical_outputs g r =
+  List.filter
+    (fun (_, l) -> r.arrival.(Aig.node_of_lit l) = r.depth)
+    (Aig.outputs g)

@@ -1,0 +1,22 @@
+(** Static timing analysis over AIGs (unit gate delay).
+
+    Arrival times are the AIG levels; required times propagate backwards
+    from the circuit depth. Nodes with zero slack form the critical
+    sub-network the paper's optimization targets. *)
+
+type report = {
+  arrival : int array;  (** per node id *)
+  required : int array;  (** per node id; [max_int] for unreachable logic *)
+  depth : int;
+}
+
+val analyze : Aig.t -> report
+
+(** Node ids with zero slack (arrival = required), topological order. *)
+val critical_nodes : Aig.t -> report -> int list
+
+(** One critical path from an input to the deepest output, as node ids. *)
+val critical_path : Aig.t -> report -> int list
+
+(** Outputs whose cone contains a path of the full circuit depth. *)
+val critical_outputs : Aig.t -> report -> (string * Aig.lit) list

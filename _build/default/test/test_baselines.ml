@@ -1,0 +1,87 @@
+(* Tests for the baseline optimizers: equivalence preservation and the
+   relative behaviour the paper's Table 2 relies on. *)
+
+let qtest ?(count = 25) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let gen_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000)
+
+let random_aig ?(inputs = 6) ?(gates = 60) ?(outputs = 3) seed =
+  let st = Random.State.make [| seed; inputs; gates |] in
+  let g = Aig.create () in
+  let ins = Array.init inputs (fun _ -> Aig.add_input g) in
+  let pool = ref (Array.to_list ins) in
+  let pick () =
+    let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+    if Random.State.bool st then Aig.bnot l else l
+  in
+  for _ = 1 to gates do
+    pool := Aig.band g (pick ()) (pick ()) :: !pool
+  done;
+  for i = 0 to outputs - 1 do
+    Aig.add_output g (Printf.sprintf "y%d" i) (pick ())
+  done;
+  g
+
+let prop_equivalent name f =
+  qtest (name ^ " preserves function") gen_seed (fun seed ->
+      let g = random_aig seed in
+      Aig.Cec.equivalent g (f g))
+
+let test_by_name () =
+  Alcotest.(check bool) "sis" true (Baselines.by_name "sis" <> None);
+  Alcotest.(check bool) "abc" true (Baselines.by_name "abc" <> None);
+  Alcotest.(check bool) "dc" true (Baselines.by_name "dc" <> None);
+  Alcotest.(check bool) "unknown" true (Baselines.by_name "vivado" = None)
+
+let test_dc_is_delay_oriented () =
+  (* On the ripple-carry adder the delay-oriented baseline must beat the
+     area-oriented one in depth — the ordering the paper's Table 2 shows. *)
+  let g = Circuits.Adders.ripple_carry 8 in
+  let dc = Baselines.dc_like g in
+  let abc = Baselines.abc_like g in
+  Alcotest.(check bool) "dc shallower than abc" true (Aig.depth dc < Aig.depth abc);
+  Alcotest.(check bool) "dc improves the input" true (Aig.depth dc < Aig.depth g)
+
+let test_abc_is_area_oriented () =
+  (* resyn2rs recovers area: the node count should not grow much. *)
+  let g = Circuits.Suite.build "C432" in
+  let abc = Baselines.abc_like g in
+  Alcotest.(check bool) "area within 1.2x" true
+    (float_of_int (Aig.num_reachable_ands abc)
+     <= 1.2 *. float_of_int (Aig.num_reachable_ands g))
+
+let test_equivalence_on_benchmarks () =
+  List.iter
+    (fun name ->
+      let g = Circuits.Suite.build name in
+      List.iter
+        (fun (tool, f) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s equivalent" name tool)
+            true
+            (Aig.Cec.equivalent g (f g)))
+        [
+          ("sis", Baselines.sis_like);
+          ("abc", Baselines.abc_like);
+          ("dc", Baselines.dc_like);
+        ])
+    [ "C432"; "C1908" ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "equivalence",
+        [
+          prop_equivalent "sis_like" Baselines.sis_like;
+          prop_equivalent "abc_like" Baselines.abc_like;
+          prop_equivalent "dc_like" Baselines.dc_like;
+          Alcotest.test_case "benchmarks" `Quick test_equivalence_on_benchmarks;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "dc delay-oriented" `Quick test_dc_is_delay_oriented;
+          Alcotest.test_case "abc area-oriented" `Quick test_abc_is_area_oriented;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the BDD manager: algebra laws, canonicity, and a cross-check
+   against truth tables on random functions. *)
+
+module Tt = Logic.Tt
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let gen_tt n =
+  QCheck.make
+    ~print:(fun t -> Tt.to_hex t)
+    (QCheck.Gen.map
+       (fun seed -> Tt.random (Random.State.make [| seed |]) n)
+       QCheck.Gen.int)
+
+(* Build the BDD of a truth table by applying it to the projection vars. *)
+let bdd_of_tt man tt =
+  let n = Tt.num_vars tt in
+  Bdd.apply_tt man tt (Array.init n (fun i -> Bdd.var man i))
+
+let test_canonicity () =
+  let man = Bdd.create () in
+  let x = Bdd.var man 0 and y = Bdd.var man 1 in
+  let a = Bdd.bor man x y in
+  let b = Bdd.bnot man (Bdd.band man (Bdd.bnot man x) (Bdd.bnot man y)) in
+  Alcotest.(check bool) "or = demorgan" true (Bdd.equal a b);
+  let c = Bdd.bxor man x x in
+  Alcotest.(check bool) "x xor x = false" true (Bdd.is_false man c)
+
+let test_restrict_compose () =
+  let man = Bdd.create () in
+  let x = Bdd.var man 0 and y = Bdd.var man 1 and z = Bdd.var man 2 in
+  let f = Bdd.bor man (Bdd.band man x y) z in
+  Alcotest.(check bool) "f|x=0 = z... no, = z or nothing" true
+    (Bdd.equal (Bdd.restrict man f 0 false) z);
+  Alcotest.(check bool) "f|x=1 = y or z" true
+    (Bdd.equal (Bdd.restrict man f 0 true) (Bdd.bor man y z));
+  let g = Bdd.compose man f 0 z in
+  Alcotest.(check bool) "compose x:=z" true
+    (Bdd.equal g (Bdd.bor man (Bdd.band man z y) z))
+
+let test_satcount () =
+  let man = Bdd.create () in
+  let x = Bdd.var man 0 and y = Bdd.var man 1 in
+  Alcotest.(check (float 1e-9)) "x over 2 vars" 2.0
+    (Bdd.satcount man ~nvars:2 x);
+  Alcotest.(check (float 1e-9)) "x&y over 3 vars" 2.0
+    (Bdd.satcount man ~nvars:3 (Bdd.band man x y));
+  Alcotest.(check (float 1e-9)) "true over 10" 1024.0
+    (Bdd.satcount man ~nvars:10 (Bdd.btrue man))
+
+let test_any_sat () =
+  let man = Bdd.create () in
+  let x = Bdd.var man 0 and y = Bdd.var man 1 in
+  let f = Bdd.band man (Bdd.bnot man x) y in
+  (match Bdd.any_sat man f with
+   | Some asn ->
+     Alcotest.(check bool) "x false" true (List.assoc 0 asn = false);
+     Alcotest.(check bool) "y true" true (List.assoc 1 asn = true)
+   | None -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "false has no sat" true
+    (Bdd.any_sat man (Bdd.bfalse man) = None)
+
+let prop_tt_crosscheck =
+  qtest "bdd matches tt through all ops" (QCheck.pair (gen_tt 7) (gen_tt 7))
+    (fun (a, b) ->
+      let man = Bdd.create () in
+      let fa = bdd_of_tt man a and fb = bdd_of_tt man b in
+      let pairs =
+        [ (Tt.land_ a b, Bdd.band man fa fb);
+          (Tt.lor_ a b, Bdd.bor man fa fb);
+          (Tt.lxor_ a b, Bdd.bxor man fa fb);
+          (Tt.lnot a, Bdd.bnot man fa) ]
+      in
+      List.for_all (fun (tt, bdd) -> Bdd.equal (bdd_of_tt man tt) bdd) pairs)
+
+let prop_satcount_matches =
+  qtest "satcount matches count_ones" (gen_tt 8) (fun t ->
+      let man = Bdd.create () in
+      let f = bdd_of_tt man t in
+      (* The manager may have fewer live vars; count over exactly 8. *)
+      let n = List.length (List.init 8 Fun.id) in
+      abs_float
+        (Bdd.satcount man ~nvars:n f -. float_of_int (Tt.count_ones t))
+      < 0.5)
+
+let prop_support =
+  qtest "support matches tt" (gen_tt 6) (fun t ->
+      let man = Bdd.create () in
+      let f = bdd_of_tt man t in
+      Bdd.support f = Tt.support t)
+
+let prop_exists =
+  qtest "exists matches tt" (gen_tt 6) (fun t ->
+      let man = Bdd.create () in
+      let f = bdd_of_tt man t in
+      Bdd.equal (Bdd.exists man [ 2; 4 ] f)
+        (bdd_of_tt man (Tt.exists (Tt.exists t 2) 4)))
+
+let prop_implies =
+  qtest "implies decision" (QCheck.pair (gen_tt 6) (gen_tt 6)) (fun (a, b) ->
+      let man = Bdd.create () in
+      let fa = bdd_of_tt man a and fb = bdd_of_tt man b in
+      Bdd.implies man fa fb
+      = Tt.is_const_false (Tt.land_ a (Tt.lnot b)))
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "canonicity" `Quick test_canonicity;
+          Alcotest.test_case "restrict/compose" `Quick test_restrict_compose;
+          Alcotest.test_case "satcount" `Quick test_satcount;
+          Alcotest.test_case "any_sat" `Quick test_any_sat;
+          prop_tt_crosscheck;
+          prop_satcount_matches;
+          prop_support;
+          prop_exists;
+          prop_implies;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the circuit generators: interface counts, functional
+   correctness of the arithmetic circuits, determinism of the stand-ins. *)
+
+let test_adder_functional () =
+  (* Cross-check all adder implementations against integer addition. *)
+  List.iter
+    (fun n ->
+      let builders =
+        [
+          ("ripple", Circuits.Adders.ripple_carry n);
+          ("cla", Circuits.Adders.carry_lookahead n);
+          ("select", Circuits.Adders.carry_select ~block:2 n);
+          ("skip", Circuits.Adders.carry_skip ~block:2 n);
+        ]
+      in
+      List.iter
+        (fun (name, g) ->
+          for a = 0 to (1 lsl n) - 1 do
+            for b = 0 to (1 lsl n) - 1 do
+              List.iter
+                (fun cin ->
+                  let bits = Array.make ((2 * n) + 1) false in
+                  for i = 0 to n - 1 do
+                    bits.(2 * i) <- (a lsr i) land 1 = 1;
+                    bits.((2 * i) + 1) <- (b lsr i) land 1 = 1
+                  done;
+                  bits.(2 * n) <- cin;
+                  let out = Aig.eval g bits in
+                  let expected = a + b + if cin then 1 else 0 in
+                  let got = ref 0 in
+                  Array.iteri
+                    (fun i v -> if v then got := !got lor (1 lsl i))
+                    out;
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s %d+%d+%b (n=%d)" name a b cin n)
+                    expected !got)
+                [ false; true ]
+            done
+          done)
+        builders)
+    [ 2; 3 ]
+
+let test_adder_depths () =
+  (* The prefix adder must be asymptotically shallower. *)
+  Alcotest.(check bool) "cla shallower at 16" true
+    (Aig.depth (Circuits.Adders.carry_lookahead 16)
+     < Aig.depth (Circuits.Adders.ripple_carry 16));
+  Alcotest.(check bool) "select shallower at 16" true
+    (Aig.depth (Circuits.Adders.carry_select 16)
+     < Aig.depth (Circuits.Adders.ripple_carry 16))
+
+let test_suite_interface_counts () =
+  List.iter
+    (fun (info : Circuits.Suite.info) ->
+      let g = Circuits.Suite.build info.Circuits.Suite.name in
+      Alcotest.(check int)
+        (info.Circuits.Suite.name ^ " pi")
+        info.Circuits.Suite.pi (Aig.num_inputs g);
+      Alcotest.(check int)
+        (info.Circuits.Suite.name ^ " po")
+        info.Circuits.Suite.po
+        (List.length (Aig.outputs g)))
+    Circuits.Suite.all
+
+let test_suite_deterministic () =
+  List.iter
+    (fun name ->
+      let a = Circuits.Suite.build name and b = Circuits.Suite.build name in
+      Alcotest.(check bool) (name ^ " deterministic") true
+        (Aig.Cec.equivalent a b))
+    [ "C432"; "i10"; "sparc_tlu_intctl_flat" ]
+
+let test_rotator () =
+  (* Small rotator: output i equals input (i + amount) mod data when the
+     mask lanes are zero. *)
+  let data = 5 in
+  let g = Circuits.Gen.rotator ~data ~extra:0 in
+  let nshift = 3 in
+  for amount = 0 to data - 1 do
+    for src = 0 to data - 1 do
+      let bits = Array.make (data + nshift) false in
+      bits.(src) <- true;
+      for s = 0 to nshift - 1 do
+        bits.(data + s) <- (amount lsr s) land 1 = 1
+      done;
+      let out = Aig.eval g bits in
+      for i = 0 to data - 1 do
+        let expected = (i + amount) mod data = src in
+        Alcotest.(check bool)
+          (Printf.sprintf "rot amount=%d src=%d out=%d" amount src i)
+          expected out.(i)
+      done
+    done
+  done
+
+let test_ecc_corrects () =
+  (* With matching parity inputs the data passes through unchanged. *)
+  let data = 8 in
+  let g = Circuits.Gen.ecc ~data () in
+  let ns = 4 (* log2_ceil 9 *) in
+  let parity_of v j =
+    let x = ref false in
+    for i = 0 to data - 1 do
+      if ((i + 1) lsr j) land 1 = 1 && (v lsr i) land 1 = 1 then x := not !x
+    done;
+    !x
+  in
+  for v = 0 to (1 lsl data) - 1 do
+    let bits = Array.make (data + ns) false in
+    for i = 0 to data - 1 do
+      bits.(i) <- (v lsr i) land 1 = 1
+    done;
+    for j = 0 to ns - 1 do
+      bits.(data + j) <- parity_of v j
+    done;
+    let out = Aig.eval g bits in
+    for i = 0 to data - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "ecc passthrough v=%d bit %d" v i)
+        ((v lsr i) land 1 = 1)
+        out.(i)
+    done
+  done;
+  (* A single flipped data bit is corrected when the parity matches the
+     original word. *)
+  let v = 0b10110101 in
+  List.iter
+    (fun flip ->
+      let bits = Array.make (data + ns) false in
+      let corrupted = v lxor (1 lsl flip) in
+      for i = 0 to data - 1 do
+        bits.(i) <- (corrupted lsr i) land 1 = 1
+      done;
+      for j = 0 to ns - 1 do
+        bits.(data + j) <- parity_of v j
+      done;
+      let out = Aig.eval g bits in
+      for i = 0 to data - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "ecc corrects bit %d (out %d)" flip i)
+          ((v lsr i) land 1 = 1)
+          out.(i)
+      done)
+    [ 0; 3; 7 ]
+
+let test_priority_controller () =
+  let g = Circuits.Gen.priority_controller ~channels:4 ~po:4 in
+  (* Channel 1 requests and is enabled; channel 3 also requests but loses
+     to the lower index. Encoded grant = 1. *)
+  let bits = Array.make 10 false in
+  bits.(1) <- true (* r1 *);
+  bits.(3) <- true (* r3 *);
+  bits.(4 + 1) <- true (* e1 *);
+  bits.(4 + 3) <- true (* e3 *);
+  bits.(8) <- true (* master_en *);
+  let out = Aig.eval g bits in
+  (* outputs: grant index bits (2), any&master, mode mux *)
+  Alcotest.(check bool) "grant bit0" true out.(0);
+  Alcotest.(check bool) "grant bit1" false out.(1)
+
+let test_alu_add () =
+  let width = 4 in
+  let g = Circuits.Gen.alu ~width ~control:4 in
+  (* op0=1 selects the adder; all other controls 0. *)
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let bits = Array.make (2 * width + 4) false in
+      for i = 0 to width - 1 do
+        bits.(i) <- (a lsr i) land 1 = 1;
+        bits.(width + i) <- (b lsr i) land 1 = 1
+      done;
+      bits.(2 * width) <- true (* c0 = op0 *);
+      let out = Aig.eval g bits in
+      let got = ref 0 in
+      Array.iteri (fun i v -> if v then got := !got lor (1 lsl i)) out;
+      Alcotest.(check int)
+        (Printf.sprintf "alu add %d+%d" a b)
+        ((a + b) land 0xF)
+        !got
+    done
+  done
+
+let test_multipliers () =
+  List.iter
+    (fun (name, build) ->
+      List.iter
+        (fun n ->
+          let g : Aig.t = build n in
+          for a = 0 to (1 lsl n) - 1 do
+            for b = 0 to (1 lsl n) - 1 do
+              let bits =
+                Array.init (2 * n) (fun i ->
+                    if i < n then (a lsr i) land 1 = 1
+                    else (b lsr (i - n)) land 1 = 1)
+              in
+              let out = Aig.eval g bits in
+              let got = ref 0 in
+              Array.iteri (fun i v -> if v then got := !got lor (1 lsl i)) out;
+              Alcotest.(check int)
+                (Printf.sprintf "%s %d*%d (n=%d)" name a b n)
+                (a * b) !got
+            done
+          done)
+        [ 2; 3; 4 ])
+    [ ("array", Circuits.Arith.multiplier_array);
+      ("wallace", Circuits.Arith.multiplier_wallace) ]
+
+let test_multiplier_depths () =
+  Alcotest.(check bool) "wallace shallower at 8" true
+    (Aig.depth (Circuits.Arith.multiplier_wallace 8)
+     < Aig.depth (Circuits.Arith.multiplier_array 8))
+
+let test_comparator () =
+  let n = 5 in
+  let g = Circuits.Arith.comparator n in
+  for a = 0 to (1 lsl n) - 1 do
+    for b = 0 to (1 lsl n) - 1 do
+      let bits =
+        Array.init (2 * n) (fun i ->
+            if i < n then (a lsr i) land 1 = 1 else (b lsr (i - n)) land 1 = 1)
+      in
+      let out = Aig.eval g bits in
+      Alcotest.(check bool) (Printf.sprintf "lt %d %d" a b) (a < b) out.(0);
+      Alcotest.(check bool) (Printf.sprintf "eq %d %d" a b) (a = b) out.(1);
+      Alcotest.(check bool) (Printf.sprintf "gt %d %d" a b) (a > b) out.(2)
+    done
+  done
+
+let test_parity () =
+  let n = 7 in
+  let g = Circuits.Arith.parity_chain n in
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+    let expected =
+      let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (not acc) in
+      pop v false
+    in
+    Alcotest.(check bool) (Printf.sprintf "parity %d" v) expected
+      (Aig.eval g bits).(0)
+  done
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "adders",
+        [
+          Alcotest.test_case "functional vs integers" `Quick test_adder_functional;
+          Alcotest.test_case "depth ordering" `Quick test_adder_depths;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "interface counts" `Quick test_suite_interface_counts;
+          Alcotest.test_case "deterministic" `Quick test_suite_deterministic;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "rotator" `Quick test_rotator;
+          Alcotest.test_case "ecc" `Quick test_ecc_corrects;
+          Alcotest.test_case "priority controller" `Quick test_priority_controller;
+          Alcotest.test_case "alu add" `Quick test_alu_add;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "multipliers vs integers" `Quick test_multipliers;
+          Alcotest.test_case "wallace is shallower" `Quick test_multiplier_depths;
+          Alcotest.test_case "comparator" `Quick test_comparator;
+          Alcotest.test_case "parity" `Quick test_parity;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Differential fuzzing across the whole pass pipeline: random circuits
+   are pushed through random sequences of transformations and format
+   round trips; every step must preserve the function (checked by CEC)
+   and basic structural invariants. *)
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let random_aig ?(inputs = 6) ?(gates = 45) ?(outputs = 3) seed =
+  let st = Random.State.make [| seed; inputs; gates |] in
+  let g = Aig.create () in
+  let ins = Array.init inputs (fun i -> Aig.add_input ~name:(Printf.sprintf "x%d" i) g) in
+  let pool = ref (Array.to_list ins) in
+  let pick () =
+    let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+    if Random.State.bool st then Aig.bnot l else l
+  in
+  for _ = 1 to gates do
+    pool := Aig.band g (pick ()) (pick ()) :: !pool
+  done;
+  for i = 0 to outputs - 1 do
+    Aig.add_output g (Printf.sprintf "y%d" i) (pick ())
+  done;
+  g
+
+(* Pool of transformations, all of which must be semantics-preserving. *)
+let passes : (string * (Aig.t -> Aig.t)) list =
+  [
+    ("balance", Aig.Balance.run);
+    ("rewrite-delay", fun g -> Aig.Rewrite.run ~objective:`Delay g);
+    ("rewrite-area", fun g -> Aig.Rewrite.run ~objective:`Area g);
+    ("sweep", fun g -> Aig.Sweep.sat_sweep g);
+    ("resub", fun g -> Aig.Resub.run g);
+    ("cleanup", Aig.cleanup);
+    ("blif", fun g -> Aig.Io.read_blif (Aig.Io.blif_to_string g));
+    ("aag", fun g -> Aig.Aiger.read_aag (Aig.Aiger.aag_to_string g));
+    ("renode", fun g -> Network.to_aig (Network.of_aig ~k:5 g));
+  ]
+
+let gen_scenario =
+  QCheck.make
+    ~print:(fun (seed, picks) ->
+      Printf.sprintf "seed=%d passes=[%s]" seed
+        (String.concat ";"
+           (List.map (fun i -> fst (List.nth passes i)) picks)))
+    QCheck.Gen.(
+      pair int
+        (list_size (int_range 1 4) (int_bound (List.length passes - 1))))
+
+let prop_pipeline =
+  qtest ~count:120 "random pass pipelines preserve the function" gen_scenario
+    (fun (seed, picks) ->
+      let g = random_aig (abs seed mod 100000) in
+      let result =
+        List.fold_left
+          (fun acc i ->
+            let _, f = List.nth passes i in
+            f acc)
+          g picks
+      in
+      Aig.Cec.equivalent g result
+      && Aig.num_inputs result = Aig.num_inputs g
+      && List.length (Aig.outputs result) = List.length (Aig.outputs g))
+
+let prop_pipeline_then_map =
+  qtest ~count:30 "pipelines then mapping stays correct" gen_scenario
+    (fun (seed, picks) ->
+      let g = random_aig (abs seed mod 100000) in
+      let result =
+        List.fold_left
+          (fun acc i -> (snd (List.nth passes i)) acc)
+          g picks
+      in
+      Techmap.Mapper.check (Techmap.Mapper.map result))
+
+let prop_optimize_after_pipeline =
+  qtest ~count:10 "lookahead after arbitrary preprocessing" gen_scenario
+    (fun (seed, picks) ->
+      let g = random_aig ~gates:25 (abs seed mod 100000) in
+      let pre =
+        List.fold_left
+          (fun acc i -> (snd (List.nth passes i)) acc)
+          g picks
+      in
+      (* optimize asserts equivalence against its own input; also check
+         against the original circuit. *)
+      let opt = Lookahead.optimize pre in
+      Aig.Cec.equivalent g opt)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipelines",
+        [ prop_pipeline; prop_pipeline_then_map; prop_optimize_after_pipeline ] );
+    ]

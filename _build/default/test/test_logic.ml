@@ -1,0 +1,325 @@
+(* Unit and property tests for the Boolean-function kernel (lib/logic). *)
+
+module Tt = Logic.Tt
+module Cube = Logic.Cube
+module Sop = Logic.Sop
+module Minimize = Logic.Minimize
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let gen_tt n =
+  QCheck.make
+    ~print:(fun t -> Tt.to_hex t)
+    (QCheck.Gen.map
+       (fun seed -> Tt.random (Random.State.make [| seed |]) n)
+       QCheck.Gen.int)
+
+(* --- Truth tables ------------------------------------------------------ *)
+
+let test_var_semantics () =
+  for n = 1 to 9 do
+    for i = 0 to n - 1 do
+      let v = Tt.var n i in
+      for m = 0 to (1 lsl n) - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "var %d of %d at %d" i n m)
+          ((m lsr i) land 1 = 1)
+          (Tt.get_bit v m)
+      done
+    done
+  done
+
+let test_const () =
+  Alcotest.(check bool) "false is const false" true
+    (Tt.is_const_false (Tt.const_false 7));
+  Alcotest.(check bool) "true is const true" true
+    (Tt.is_const_true (Tt.const_true 7));
+  Alcotest.(check int) "count_ones of true" 128 (Tt.count_ones (Tt.const_true 7));
+  Alcotest.(check int) "count_ones of var" 8 (Tt.count_ones (Tt.var 4 2))
+
+let test_cofactor_small_large () =
+  (* Variable index below and above the word boundary (6). *)
+  let n = 8 in
+  let st = Random.State.make [| 42 |] in
+  let f = Tt.random st n in
+  List.iter
+    (fun i ->
+      let f0 = Tt.cofactor f i false and f1 = Tt.cofactor f i true in
+      for m = 0 to (1 lsl n) - 1 do
+        let m0 = m land lnot (1 lsl i) and m1 = m lor (1 lsl i) in
+        Alcotest.(check bool) "cof0" (Tt.get_bit f m0) (Tt.get_bit f0 m);
+        Alcotest.(check bool) "cof1" (Tt.get_bit f m1) (Tt.get_bit f1 m)
+      done)
+    [ 0; 3; 5; 6; 7 ]
+
+let test_compose () =
+  let n = 5 in
+  let f = Tt.lor_ (Tt.land_ (Tt.var n 0) (Tt.var n 1)) (Tt.var n 2) in
+  let g = Tt.lxor_ (Tt.var n 3) (Tt.var n 4) in
+  let h = Tt.compose f 2 g in
+  let expect =
+    Tt.lor_ (Tt.land_ (Tt.var n 0) (Tt.var n 1)) (Tt.lxor_ (Tt.var n 3) (Tt.var n 4))
+  in
+  Alcotest.(check bool) "compose substitutes" true (Tt.equal h expect)
+
+let test_permute () =
+  let n = 4 in
+  let f = Tt.land_ (Tt.var n 0) (Tt.lnot (Tt.var n 3)) in
+  let g = Tt.permute f [| 1; 0; 3; 2 |] in
+  let expect = Tt.land_ (Tt.var n 1) (Tt.lnot (Tt.var n 2)) in
+  Alcotest.(check bool) "permute renames" true (Tt.equal g expect)
+
+let test_support () =
+  let n = 6 in
+  let f = Tt.lxor_ (Tt.var n 1) (Tt.var n 4) in
+  Alcotest.(check (list int)) "support" [ 1; 4 ] (Tt.support f)
+
+let prop_demorgan =
+  qtest "tt: de morgan" (QCheck.pair (gen_tt 7) (gen_tt 7)) (fun (a, b) ->
+      Tt.equal (Tt.lnot (Tt.land_ a b)) (Tt.lor_ (Tt.lnot a) (Tt.lnot b)))
+
+let prop_shannon =
+  qtest "tt: shannon expansion" (gen_tt 8) (fun f ->
+      let x = Tt.var 8 3 in
+      let f0 = Tt.cofactor f 3 false and f1 = Tt.cofactor f 3 true in
+      Tt.equal f (Tt.lor_ (Tt.land_ x f1) (Tt.land_ (Tt.lnot x) f0)))
+
+let prop_exists =
+  qtest "tt: exists drops dependence" (gen_tt 7) (fun f ->
+      not (Tt.depends_on (Tt.exists f 2) 2))
+
+let prop_minterms_roundtrip =
+  qtest "tt: minterms roundtrip" (gen_tt 6) (fun f ->
+      Tt.equal f (Tt.of_minterms 6 (Tt.minterms f)))
+
+(* --- Cubes -------------------------------------------------------------- *)
+
+let test_cube_basic () =
+  let c = Cube.of_literals [ (0, true); (2, false) ] in
+  Alcotest.(check int) "literal count" 2 (Cube.num_literals c);
+  Alcotest.(check bool) "mem 0b001" true (Cube.mem c 0b001);
+  Alcotest.(check bool) "mem 0b101" false (Cube.mem c 0b101);
+  Alcotest.(check string) "to_string" "1-0-" (Cube.to_string 4 c);
+  Alcotest.(check int) "minterm count" 4 (Cube.minterm_count 4 c)
+
+let test_cube_intersect () =
+  let c = Cube.of_literals [ (0, true) ] in
+  let d = Cube.of_literals [ (0, false) ] in
+  let e = Cube.of_literals [ (1, true) ] in
+  Alcotest.(check bool) "conflict" true (Cube.intersect c d = None);
+  (match Cube.intersect c e with
+   | Some i ->
+     Alcotest.(check string) "product" "11" (Cube.to_string 2 i)
+   | None -> Alcotest.fail "expected intersection")
+
+let test_cube_cofactor () =
+  let c = Cube.of_literals [ (1, true); (2, false) ] in
+  (match Cube.cofactor c 1 true with
+   | Some c' -> Alcotest.(check string) "drop literal" "--0" (Cube.to_string 3 c')
+   | None -> Alcotest.fail "expected cube");
+  Alcotest.(check bool) "conflicting cofactor" true (Cube.cofactor c 1 false = None)
+
+let prop_cube_tt =
+  let gen =
+    QCheck.make
+      ~print:(fun (mask, bits) -> Printf.sprintf "mask=%x bits=%x" mask bits)
+      QCheck.Gen.(
+        map
+          (fun (m, b) ->
+            let m = m land 0x3F in
+            (m, b land m))
+          (pair (int_bound 63) (int_bound 63)))
+  in
+  qtest "cube: to_tt agrees with mem" gen (fun (mask, bits) ->
+      let c = { Cube.mask; bits } in
+      let t = Cube.to_tt 6 c in
+      List.for_all (fun m -> Tt.get_bit t m = Cube.mem c m)
+        (List.init 64 Fun.id))
+
+(* --- SOPs --------------------------------------------------------------- *)
+
+let test_sop_eval () =
+  let s =
+    Sop.make 3
+      [ Cube.of_literals [ (0, true); (1, true) ]; Cube.of_literals [ (2, true) ] ]
+  in
+  Alcotest.(check bool) "011" true (Sop.eval s 0b011);
+  Alcotest.(check bool) "100" true (Sop.eval s 0b100);
+  Alcotest.(check bool) "001" false (Sop.eval s 0b001);
+  Alcotest.(check int) "literals" 3 (Sop.num_literals s)
+
+let test_sop_ops () =
+  let a = Sop.make 2 [ Cube.of_literals [ (0, true) ] ] in
+  let b = Sop.make 2 [ Cube.of_literals [ (1, true) ] ] in
+  let c = Sop.conj a b in
+  Alcotest.(check bool) "conj tt" true
+    (Tt.equal (Sop.to_tt c) (Tt.land_ (Sop.to_tt a) (Sop.to_tt b)));
+  let d = Sop.disj a b in
+  Alcotest.(check bool) "disj tt" true
+    (Tt.equal (Sop.to_tt d) (Tt.lor_ (Sop.to_tt a) (Sop.to_tt b)))
+
+let test_drop_contained () =
+  let big = Cube.of_literals [ (0, true) ] in
+  let small = Cube.of_literals [ (0, true); (1, false) ] in
+  let s = Sop.drop_contained (Sop.make 2 [ big; small ]) in
+  Alcotest.(check int) "contained cube dropped" 1 (Sop.num_cubes s)
+
+(* --- Minimization ------------------------------------------------------- *)
+
+let prop_isop_cover =
+  qtest "isop: lower <= cover <= upper" (QCheck.pair (gen_tt 6) (gen_tt 6))
+    (fun (a, b) ->
+      let lower = Tt.land_ a b and upper = Tt.lor_ a b in
+      let s = Minimize.isop ~lower ~upper in
+      let c = Sop.to_tt s in
+      Tt.is_const_false (Tt.land_ lower (Tt.lnot c))
+      && Tt.is_const_false (Tt.land_ c (Tt.lnot upper)))
+
+let prop_isop_exact =
+  qtest "isop: exact when no dc" (gen_tt 7) (fun f ->
+      Tt.equal (Sop.to_tt (Minimize.isop ~lower:f ~upper:f)) f)
+
+let prop_min_cover_exact =
+  qtest ~count:60 "minimum_cover: equals function" (gen_tt 5) (fun f ->
+      let s = Minimize.minimum_cover ~on:f ~dc:(Tt.const_false 5) in
+      Tt.equal (Sop.to_tt s) f)
+
+let prop_primes_are_implicants =
+  qtest ~count:40 "primes: implicants of on+dc" (QCheck.pair (gen_tt 5) (gen_tt 5))
+    (fun (on, dcr) ->
+      let dc = Tt.land_ dcr (Tt.lnot on) in
+      let cover = Tt.lor_ on dc in
+      List.for_all
+        (fun c ->
+          List.for_all (fun m -> (not (Cube.mem c m)) || Tt.get_bit cover m)
+            (List.init 32 Fun.id))
+        (Minimize.primes ~on ~dc))
+
+let prop_primes_maximal =
+  qtest ~count:40 "primes: no literal removable" (gen_tt 4) (fun on ->
+      let dc = Tt.const_false 4 in
+      let cover = on in
+      let inside c =
+        List.for_all (fun m -> (not (Cube.mem c m)) || Tt.get_bit cover m)
+          (List.init 16 Fun.id)
+      in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun (i, _) ->
+              let c' =
+                { Cube.mask = c.Cube.mask land lnot (1 lsl i);
+                  bits = c.Cube.bits land lnot (1 lsl i) }
+              in
+              not (inside c'))
+            (Cube.literals c))
+        (Minimize.primes ~on ~dc))
+
+(* --- Espresso ------------------------------------------------------------ *)
+
+let prop_espresso_exact =
+  qtest ~count:80 "espresso: cover equals function" (gen_tt 6) (fun f ->
+      let s = Logic.Espresso.minimize ~on:f ~dc:(Tt.const_false 6) in
+      Tt.equal (Sop.to_tt s) f)
+
+let prop_espresso_with_dc =
+  qtest ~count:60 "espresso: between on and on+dc"
+    (QCheck.pair (gen_tt 6) (gen_tt 6))
+    (fun (a, b) ->
+      let on = Tt.land_ a b in
+      let dc = Tt.land_ (Tt.lnot on) (Tt.lxor_ a b) in
+      let s = Logic.Espresso.minimize ~on ~dc in
+      let c = Sop.to_tt s in
+      Tt.is_const_false (Tt.land_ on (Tt.lnot c))
+      && Tt.is_const_false (Tt.land_ c (Tt.lnot (Tt.lor_ on dc))))
+
+let prop_espresso_cubes_prime =
+  qtest ~count:40 "espresso: cubes are primes" (gen_tt 5) (fun on ->
+      let dc = Tt.const_false 5 in
+      let s = Logic.Espresso.minimize ~on ~dc in
+      let inside c = Tt.is_const_false (Tt.land_ (Cube.to_tt 5 c) (Tt.lnot on)) in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun (i, _) ->
+              let c' =
+                { Cube.mask = c.Cube.mask land lnot (1 lsl i);
+                  bits = c.Cube.bits land lnot (1 lsl i) }
+              in
+              not (inside c'))
+            (Cube.literals c))
+        s.Sop.cubes)
+
+let prop_espresso_not_worse =
+  qtest ~count:40 "espresso: no more cubes than isop" (gen_tt 6) (fun f ->
+      let e = Logic.Espresso.minimize ~on:f ~dc:(Tt.const_false 6) in
+      let i = Minimize.isop ~lower:f ~upper:f in
+      Sop.num_cubes e <= Sop.num_cubes i)
+
+let prop_espresso_wide =
+  qtest ~count:8 "espresso: handles 10-variable functions" (gen_tt 10)
+    (fun f ->
+      let s = Logic.Espresso.minimize ~on:f ~dc:(Tt.const_false 10) in
+      Tt.equal (Sop.to_tt s) f)
+
+let test_known_minimum () =
+  (* f = x0 x1 + ~x0 x2 : classic 2-cube minimum with a consensus term. *)
+  let n = 3 in
+  let f =
+    Tt.lor_
+      (Tt.land_ (Tt.var n 0) (Tt.var n 1))
+      (Tt.land_ (Tt.lnot (Tt.var n 0)) (Tt.var n 2))
+  in
+  let s = Minimize.minimum_cover ~on:f ~dc:(Tt.const_false n) in
+  Alcotest.(check bool) "exact" true (Tt.equal (Sop.to_tt s) f);
+  Alcotest.(check bool) "at most 2 cubes" true (Sop.num_cubes s <= 2)
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "tt",
+        [
+          Alcotest.test_case "var semantics" `Quick test_var_semantics;
+          Alcotest.test_case "constants" `Quick test_const;
+          Alcotest.test_case "cofactors across word boundary" `Quick
+            test_cofactor_small_large;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "permute" `Quick test_permute;
+          Alcotest.test_case "support" `Quick test_support;
+          prop_demorgan;
+          prop_shannon;
+          prop_exists;
+          prop_minterms_roundtrip;
+        ] );
+      ( "cube",
+        [
+          Alcotest.test_case "basics" `Quick test_cube_basic;
+          Alcotest.test_case "intersect" `Quick test_cube_intersect;
+          Alcotest.test_case "cofactor" `Quick test_cube_cofactor;
+          prop_cube_tt;
+        ] );
+      ( "sop",
+        [
+          Alcotest.test_case "eval" `Quick test_sop_eval;
+          Alcotest.test_case "conj/disj" `Quick test_sop_ops;
+          Alcotest.test_case "drop_contained" `Quick test_drop_contained;
+        ] );
+      ( "minimize",
+        [
+          prop_isop_cover;
+          prop_isop_exact;
+          prop_min_cover_exact;
+          prop_primes_are_implicants;
+          prop_primes_maximal;
+          Alcotest.test_case "known minimum" `Quick test_known_minimum;
+        ] );
+      ( "espresso",
+        [
+          prop_espresso_exact;
+          prop_espresso_with_dc;
+          prop_espresso_cubes_prime;
+          prop_espresso_not_worse;
+          prop_espresso_wide;
+        ] );
+    ]

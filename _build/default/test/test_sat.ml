@@ -1,0 +1,126 @@
+(* Tests for the CDCL SAT solver, including a brute-force cross-check on
+   random 3-CNF instances. *)
+
+module Solver = Sat.Solver
+
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let test_trivial () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1 ];
+  Alcotest.(check bool) "unit sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "model" true (Solver.value s 1);
+  Solver.add_clause s [ -1 ];
+  Alcotest.(check bool) "contradiction" true (Solver.solve s = Solver.Unsat)
+
+let test_simple_implications () =
+  let s = Solver.create () in
+  (* (x1 -> x2) and (x2 -> x3) and x1 *)
+  Solver.add_clause s [ -1; 2 ];
+  Solver.add_clause s [ -2; 3 ];
+  Solver.add_clause s [ 1 ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x3 forced" true (Solver.value s 3)
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: unsatisfiable. Variable p_ij = pigeon i in hole j. *)
+  let s = Solver.create () in
+  let v i j = (i * 2) + j + 1 in
+  for i = 0 to 2 do
+    Solver.add_clause s [ v i 0; v i 1 ]
+  done;
+  for j = 0 to 1 do
+    for i = 0 to 2 do
+      for k = i + 1 to 2 do
+        Solver.add_clause s [ -v i j; -v k j ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(3,2) unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  Solver.add_clause s [ -1; 2 ];
+  Solver.add_clause s [ -2; -3 ];
+  Alcotest.(check bool) "sat under x1 x3... no wait"
+    true
+    (Solver.solve ~assumptions:[ 1; 3 ] s = Solver.Unsat);
+  Alcotest.(check bool) "sat under x1" true
+    (Solver.solve ~assumptions:[ 1 ] s = Solver.Sat);
+  Alcotest.(check bool) "still incremental" true
+    (Solver.solve ~assumptions:[ 3 ] s = Solver.Sat)
+
+let gen_cnf =
+  let open QCheck.Gen in
+  let lit nvars = map2 (fun v s -> if s then v else -v) (int_range 1 nvars) bool in
+  let clause nvars = list_size (int_range 1 3) (lit nvars) in
+  let cnf =
+    int_range 1 8 >>= fun nvars ->
+    list_size (int_range 1 25) (clause nvars) >>= fun cls ->
+    return (nvars, cls)
+  in
+  QCheck.make
+    ~print:(fun (n, cls) ->
+      Printf.sprintf "nvars=%d cnf=%s" n
+        (String.concat " & "
+           (List.map
+              (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+              cls)))
+    cnf
+
+let brute_force_sat nvars cls =
+  let eval_clause asn c =
+    List.exists (fun l -> if l > 0 then asn.(l - 1) else not asn.(-l - 1)) c
+  in
+  let rec loop m =
+    if m >= 1 lsl nvars then false
+    else
+      let asn = Array.init nvars (fun i -> (m lsr i) land 1 = 1) in
+      if List.for_all (eval_clause asn) cls then true else loop (m + 1)
+  in
+  loop 0
+
+let prop_random_cnf =
+  qtest ~count:400 "solver agrees with brute force" gen_cnf (fun (nvars, cls) ->
+      let s = Solver.create () in
+      List.iter (Solver.add_clause s) cls;
+      let expected = brute_force_sat nvars cls in
+      let got = Solver.solve s = Solver.Sat in
+      (* When SAT, also validate the model. *)
+      (if got then
+         let ok =
+           List.for_all
+             (fun c ->
+               List.exists
+                 (fun l ->
+                   if l > 0 then Solver.value s l else not (Solver.value s (-l)))
+                 c)
+             cls
+         in
+         if not ok then QCheck.Test.fail_report "invalid model");
+      got = expected)
+
+let prop_incremental =
+  qtest ~count:100 "incremental solving is consistent" gen_cnf
+    (fun (nvars, cls) ->
+      let s = Solver.create () in
+      List.iter (Solver.add_clause s) cls;
+      let r1 = Solver.solve s in
+      let r2 = Solver.solve s in
+      ignore nvars;
+      r1 = r2)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "implication chain" `Quick test_simple_implications;
+          Alcotest.test_case "pigeonhole 3-2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          prop_random_cnf;
+          prop_incremental;
+        ] );
+    ]
