@@ -1,0 +1,51 @@
+#!/bin/sh
+# Perf regression gate for the BDD manager.
+#
+# Runs the bechamel BDD suite (`bench/main.exe bdd`), writes a fresh
+# BENCH_bdd.json to a scratch path, and compares the end-to-end "table1"
+# wall-clock against the baseline BENCH_bdd.json checked in at the repo
+# root. Fails (exit 1) when the fresh run is more than 25% slower.
+#
+# Usage: bench/check_regression.sh [max_regression_percent]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+max_pct="${1:-25}"
+baseline=BENCH_bdd.json
+fresh="${TMPDIR:-/tmp}/BENCH_bdd.fresh.$$.json"
+
+if [ ! -f "$baseline" ]; then
+  echo "check_regression: no baseline $baseline (run: dune exec bench/main.exe bdd)" >&2
+  exit 1
+fi
+
+dune build bench/main.exe
+BENCH_BDD_OUT="$fresh" dune exec bench/main.exe -- bdd
+trap 'rm -f "$fresh"' EXIT
+
+extract() { # extract <file> <entry-name> -> seconds
+  awk -v want="$2" '
+    /"name":/ && /"seconds":/ {
+      name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      sec = $0; sub(/.*"seconds": /, "", sec); sub(/[,} ].*/, "", sec)
+      if (name == want) { print sec; exit }
+    }' "$1"
+}
+
+old=$(extract "$baseline" table1)
+new=$(extract "$fresh" table1)
+
+if [ -z "$old" ] || [ -z "$new" ]; then
+  echo "check_regression: could not extract table1 seconds (old='$old' new='$new')" >&2
+  exit 1
+fi
+
+echo "table1 wall-clock: baseline ${old}s, fresh ${new}s (limit +${max_pct}%)"
+if awk -v o="$old" -v n="$new" -v p="$max_pct" \
+     'BEGIN { exit !(n <= o * (1 + p / 100.0)) }'; then
+  echo "check_regression: OK"
+else
+  echo "check_regression: FAIL — table1 regressed more than ${max_pct}% (${old}s -> ${new}s)" >&2
+  exit 1
+fi

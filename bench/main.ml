@@ -8,6 +8,9 @@
      dune exec bench/main.exe table2-full     -- Table 2, all 15 circuits
      dune exec bench/main.exe ablation        -- design-choice ablations
      dune exec bench/main.exe bechamel        -- wall-clock micro-benchmarks
+     dune exec bench/main.exe bdd             -- BDD manager kernels + JSON
+                                                 (BENCH_bdd.json / $BENCH_BDD_OUT)
+     dune exec bench/main.exe profile         -- per-phase wall-clock breakdown
      dune exec bench/main.exe all             -- everything (fast table2)
 
    Absolute numbers differ from the paper (synthetic substrates, see
@@ -232,6 +235,142 @@ let extension () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* BDD manager benchmarks: bechamel micro-kernels for ite / compose /  *)
+(* satcount plus single-shot end-to-end timings, emitted as JSON       *)
+(* (BENCH_bdd.json, or $BENCH_BDD_OUT) so the perf trajectory is       *)
+(* machine-readable across PRs. bench/check_regression.sh gates on it. *)
+(* ------------------------------------------------------------------ *)
+
+let run_bechamel tests =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 5.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.sort compare
+    (List.filter_map
+       (fun (name, r) ->
+         match Analyze.OLS.estimates r with
+         | Some [ est ] -> Some (name, est)
+         | Some _ | None -> None)
+       rows)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let _ = f () in
+  Unix.gettimeofday () -. t0
+
+let bdd_bench () =
+  let open Bechamel in
+  let rca8 = Circuits.Adders.ripple_carry 8 in
+  let net_rca8 = Network.of_aig ~k:6 rca8 in
+  let c432 = Circuits.Suite.build "C432" in
+  let net_c432 = Network.of_aig ~k:6 c432 in
+  let tests =
+    Test.make_grouped ~name:"bdd"
+      [
+        (* ite: the xor ladder keeps every recursion distinct, the
+           conjunction layer adds non-trivial triples. *)
+        Test.make ~name:"ite/xor-ladder-24"
+          (Staged.stage (fun () ->
+               let man = Bdd.create () in
+               let acc = ref (Bdd.bfalse man) in
+               for i = 0 to 23 do
+                 acc := Bdd.bxor man !acc (Bdd.var man i)
+               done;
+               let f = ref (Bdd.btrue man) in
+               for i = 0 to 22 do
+                 f :=
+                   Bdd.band man !f
+                     (Bdd.bor man (Bdd.var man i)
+                        (Bdd.bnot man (Bdd.var man (i + 1))))
+               done;
+               ignore (Bdd.band man !acc !f)));
+        (* ite via apply_tt: global functions of the clustered adder. *)
+        Test.make ~name:"ite/globals-adder8"
+          (Staged.stage (fun () ->
+               let man = Bdd.create () in
+               ignore (Network.Globals.of_net man net_rca8)));
+        Test.make ~name:"compose/carry-substitute"
+          (Staged.stage (fun () ->
+               let man = Bdd.create () in
+               (* Ripple carry c16 over g/p vars, then substitute the
+                  middle variable by a deep function. *)
+               let c = ref (Bdd.var man 0) in
+               for i = 0 to 15 do
+                 let g = Bdd.var man (1 + (2 * i)) in
+                 let p = Bdd.var man (2 + (2 * i)) in
+                 c := Bdd.bor man g (Bdd.band man p !c)
+               done;
+               let deep =
+                 Bdd.bxor man (Bdd.var man 33)
+                   (Bdd.band man (Bdd.var man 34) (Bdd.var man 35))
+               in
+               ignore (Bdd.compose man !c 16 deep)));
+        Test.make ~name:"satcount/adder8-globals"
+          (Staged.stage (fun () ->
+               let man = Bdd.create () in
+               let globals = Network.Globals.of_net man net_rca8 in
+               let nvars = Network.num_inputs net_rca8 in
+               List.iter
+                 (fun (o : Network.output) ->
+                   ignore
+                     (Bdd.satcount man ~nvars globals.(o.Network.node)))
+                 (Network.outputs net_rca8)));
+      ]
+  in
+  print_endline "== BDD micro-kernels (ns/run) ==";
+  let micro = run_bechamel tests in
+  List.iter
+    (fun (name, est) ->
+      Printf.printf "%-32s %12.0f ns  (%.3f s)\n" name est (est /. 1e9))
+    micro;
+  print_newline ();
+  print_endline "== BDD end-to-end (wall-clock seconds) ==";
+  let e2e =
+    [
+      ("globals-C432", wall (fun () -> Network.Globals.of_net (Bdd.create ()) net_c432));
+      ("lookahead-adder8", wall (fun () -> Lookahead.optimize rca8));
+      ("table1", wall table1);
+    ]
+  in
+  List.iter (fun (name, s) -> Printf.printf "%-32s %10.3f s\n" name s) e2e;
+  print_newline ();
+  let out =
+    match Sys.getenv_opt "BENCH_BDD_OUT" with
+    | Some p -> p
+    | None -> "BENCH_bdd.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"schema\": \"bdd-bench/v1\",\n  \"micro\": [\n";
+  let rec emit fmt = function
+    | [] -> ()
+    | [ x ] -> Printf.fprintf oc "%s\n" (fmt x)
+    | x :: rest ->
+      Printf.fprintf oc "%s,\n" (fmt x);
+      emit fmt rest
+  in
+  emit
+    (fun (name, est) ->
+      Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %.1f}" name est)
+    micro;
+  Printf.fprintf oc "  ],\n  \"end_to_end\": [\n";
+  emit
+    (fun (name, s) ->
+      Printf.sprintf "    {\"name\": \"%s\", \"seconds\": %.3f}" name s)
+    e2e;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table / kernel.             *)
 (* ------------------------------------------------------------------ *)
 
@@ -281,6 +420,49 @@ let bechamel () =
     (List.sort compare rows);
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Per-phase wall-clock breakdown of the Table 2 fast subset: which of  *)
+(* the four tools, the CEC checks, and the mapper dominate each row.    *)
+(* ------------------------------------------------------------------ *)
+
+let profile () =
+  Printf.printf "== per-phase wall-clock (seconds), Table 2 fast subset ==\n";
+  Printf.printf "%-24s %8s %8s %8s %8s %8s %8s\n%!" "circuit" "SIS" "ABC" "DC"
+    "Lookahd" "cec" "map";
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let totals = Array.make 6 0.0 in
+  List.iter
+    (fun name ->
+      let g = Circuits.Suite.build name in
+      let outs =
+        List.mapi
+          (fun i (_, f) ->
+            let o, t = timed (fun () -> f g) in
+            totals.(i) <- totals.(i) +. t;
+            (o, t))
+          tools
+      in
+      let _, t_cec =
+        timed (fun () ->
+            List.iter (fun (o, _) -> assert (Aig.Cec.equivalent g o)) outs)
+      in
+      let _, t_map =
+        timed (fun () -> List.iter (fun (o, _) -> ignore (measure o)) outs)
+      in
+      totals.(4) <- totals.(4) +. t_cec;
+      totals.(5) <- totals.(5) +. t_map;
+      Printf.printf "%-24s" name;
+      List.iter (fun (_, t) -> Printf.printf " %8.1f" t) outs;
+      Printf.printf " %8.1f %8.1f\n%!" t_cec t_map)
+    fast_subset;
+  Printf.printf "%-24s" "TOTAL";
+  Array.iter (fun t -> Printf.printf " %8.1f" t) totals;
+  print_newline ()
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   let args = if args = [] then [ "all" ] else args in
@@ -293,6 +475,8 @@ let () =
       | "ablation" -> ablation ()
       | "extension" -> extension ()
       | "bechamel" -> bechamel ()
+      | "bdd" -> bdd_bench ()
+      | "profile" -> profile ()
       | "all" ->
         table1 ();
         table2 ~full:false ();

@@ -56,6 +56,183 @@ let random_counterexample g diffs rounds =
   in
   loop rounds
 
+(* Fraig-style sweep of the miter: prove internal equivalences bottom-up
+   and substitute, so each remaining diff output collapses to constant
+   false structurally instead of being handed to the solver as one
+   monolithic query. Simulation signatures propose candidate pairs; a
+   shared incremental solver proves or refutes them, and every refutation
+   contributes its model as a fresh simulation pattern that sharpens the
+   signatures. XOR-heavy miters (the error-correcting benchmarks) are
+   intractable for monolithic CDCL but fall apart this way: every proof
+   is local to two small structurally-close cones. *)
+let sweep_check g live =
+  let nn = Graph.num_nodes g in
+  let ni = Graph.num_inputs g in
+  let st = Random.State.make [| 0xf4a16; nn |] in
+  (* Simulation rounds, newest first; each is one per-node word array. *)
+  let rounds = ref [] in
+  let add_round words = rounds := Graph.sim g words :: !rounds in
+  for _ = 1 to 8 do
+    add_round (Array.init ni (fun _ -> Random.State.int64 st Int64.max_int))
+  done;
+  (* A refuting model becomes bit 0 of a fresh round; the remaining 63
+     bits stay random so every refutation also buys generic coverage. *)
+  let add_cex_round pat =
+    add_round
+      (Array.init ni (fun i ->
+           let r = Random.State.int64 st Int64.max_int in
+           Int64.logor
+             (Int64.logand r (-2L))
+             (if pat.(i) then 1L else 0L)))
+  in
+  let equal_sig a b =
+    List.for_all (fun r -> Int64.equal r.(a) r.(b)) !rounds
+  in
+  let compl_sig a b =
+    List.for_all (fun r -> Int64.equal r.(a) (Int64.lognot r.(b))) !rounds
+  in
+  (* Candidate classes, bucketed by polarity-canonical signature over the
+     initial rounds. Buckets are over-approximations: the pair scan
+     re-checks signatures against all current rounds, so refinement after
+     a refutation is free — no bucket splitting. *)
+  let base = Array.of_list (List.rev !rounds) in
+  let bucket_key id =
+    let flip = Int64.logand base.(0).(id) 1L = 1L in
+    let b = Buffer.create (8 * Array.length base) in
+    Array.iter
+      (fun r ->
+        Buffer.add_int64_le b (if flip then Int64.lognot r.(id) else r.(id)))
+      base;
+    Buffer.contents b
+  in
+  let buckets : (string, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let bucket_of id =
+    let key = bucket_key id in
+    match Hashtbl.find_opt buckets key with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add buckets key r;
+      r
+  in
+  (* Constant and inputs included: a node proven constant or equal to an
+     input merges just the same. *)
+  for id = 0 to nn - 1 do
+    let b = bucket_of id in
+    b := id :: !b (* descending id order *)
+  done;
+  (* Image of each miter node in a fresh strashed graph; proven-equal
+     nodes share one image literal, so downstream structure collapses. *)
+  let dst = Graph.create () in
+  let dst_in = Array.init ni (fun _ -> Graph.add_input dst) in
+  let image = Array.make nn Graph.const_false in
+  let image_of_lit l =
+    let b = image.(Graph.node_of_lit l) in
+    if Graph.is_complemented l then Graph.bnot b else b
+  in
+  (* Lazy Tseitin encoding of [dst] into one shared incremental solver. *)
+  let solver = Sat.Solver.create () in
+  let var_of : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let rec sat_var id =
+    match Hashtbl.find_opt var_of id with
+    | Some v -> v
+    | None ->
+      let v = Sat.Solver.new_var solver in
+      Hashtbl.add var_of id v;
+      if id = 0 then Sat.Solver.add_clause solver [ -v ]
+      else if Graph.is_and dst id then begin
+        let f0, f1 = Graph.fanins dst id in
+        let a = sat_lit f0 and b = sat_lit f1 in
+        Sat.Solver.add_clause solver [ -v; a ];
+        Sat.Solver.add_clause solver [ -v; b ];
+        Sat.Solver.add_clause solver [ v; -a; -b ]
+      end;
+      v
+  and sat_lit l =
+    let v = sat_var (Graph.node_of_lit l) in
+    if Graph.is_complemented l then -v else v
+  in
+  let cex_pattern () =
+    Array.init ni (fun i ->
+        match Hashtbl.find_opt var_of (Graph.node_of_lit dst_in.(i)) with
+        | Some v -> Sat.Solver.value solver v
+        | None -> false)
+  in
+  (* Prove [x == y] (literals in dst) with a bounded budget. *)
+  let limit = 4000 in
+  let prove_equal x y =
+    let lx = sat_lit x and ly = sat_lit y in
+    match
+      Sat.Solver.solve_limited ~assumptions:[ lx; -ly ] ~conflict_limit:limit
+        solver
+    with
+    | Some Sat.Solver.Sat -> `Refuted (cex_pattern ())
+    | None -> `Unknown
+    | Some Sat.Solver.Unsat -> (
+      match
+        Sat.Solver.solve_limited ~assumptions:[ -lx; ly ]
+          ~conflict_limit:limit solver
+      with
+      | Some Sat.Solver.Sat -> `Refuted (cex_pattern ())
+      | None -> `Unknown
+      | Some Sat.Solver.Unsat -> `Proved)
+  in
+  let try_merge id =
+    let members = List.rev !(bucket_of id) in
+    (* Re-scan after every refutation: the new round disqualifies the
+       refuted candidate, so each retry makes progress. Bounded for
+       safety; in practice a handful of retries suffice. *)
+    let rec attempt tries =
+      if tries > 0 then begin
+        let candidate =
+          List.find_opt
+            (fun rep ->
+              rep < id
+              && Graph.node_of_lit image.(rep)
+                 <> Graph.node_of_lit image.(id)
+              && (equal_sig rep id || compl_sig rep id))
+            members
+        in
+        match candidate with
+        | None -> ()
+        | Some rep ->
+          let rep_lit =
+            if equal_sig rep id then image.(rep)
+            else Graph.bnot image.(rep)
+          in
+          (match prove_equal image.(id) rep_lit with
+           | `Proved -> image.(id) <- rep_lit
+           | `Unknown -> ()
+           | `Refuted pat ->
+             add_cex_round pat;
+             attempt (tries - 1))
+      end
+    in
+    attempt 16
+  in
+  for id = 1 to nn - 1 do
+    if Graph.is_input g id then
+      image.(id) <- dst_in.(Graph.input_index g id)
+    else begin
+      let f0, f1 = Graph.fanins g id in
+      image.(id) <- Graph.band dst (image_of_lit f0) (image_of_lit f1);
+      try_merge id
+    end
+  done;
+  (* Every diff whose image survived the sweep gets a final unbounded
+     query on the swept (much smaller) structure. *)
+  let rec finish = function
+    | [] -> Equivalent
+    | d :: rest -> (
+      let im = image_of_lit d in
+      if im = Graph.const_false then finish rest
+      else
+        match Sat.Solver.solve ~assumptions:[ sat_lit im ] solver with
+        | Sat.Solver.Unsat -> finish rest
+        | Sat.Solver.Sat -> Counterexample (cex_pattern ()))
+  in
+  finish live
+
 let check a b =
   let g, diffs = miter a b in
   let live = List.filter (fun d -> d <> Graph.const_false) diffs in
@@ -63,28 +240,7 @@ let check a b =
   else
     match random_counterexample g live 16 with
     | Some cex -> Counterexample cex
-    | None ->
-      (* One shared solver; each remaining output pair is checked with a
-         single-literal assumption so learned clauses carry across
-         outputs. *)
-      let solver = Sat.Solver.create () in
-      let sat_lit = Cnf.encode solver g in
-      let extract_cex () =
-        let ni = Graph.num_inputs g in
-        Array.init ni (fun i ->
-            let l = List.nth (Graph.inputs g) i in
-            let v = sat_lit l in
-            if v > 0 then Sat.Solver.value solver v
-            else not (Sat.Solver.value solver (-v)))
-      in
-      let rec go = function
-        | [] -> Equivalent
-        | d :: rest -> (
-          match Sat.Solver.solve ~assumptions:[ sat_lit d ] solver with
-          | Sat.Solver.Unsat -> go rest
-          | Sat.Solver.Sat -> Counterexample (extract_cex ()))
-      in
-      go live
+    | None -> sweep_check g live
 
 let equivalent a b =
   match check a b with Equivalent -> true | Counterexample _ -> false

@@ -1,9 +1,12 @@
 (** Hash-consed reduced ordered binary decision diagrams.
 
-    The manager owns the unique table and the operation caches. Nodes from
-    the same manager compare equal iff they represent the same function
-    (canonicity), so {!equal} is constant time. Variable [0] is at the top
-    of the order; the manager grows its variable count on demand.
+    The manager owns a flat array-of-ints node store, the
+    open-addressing unique table, and bounded open-addressing operation
+    caches. Edges carry a complement bit, so negation is O(1) and a
+    function and its complement share one subgraph. Nodes from the same
+    manager compare equal iff they represent the same function
+    (canonicity), so {!equal} is constant time. Variable [0] is at the
+    top of the order; the manager grows its variable count on demand.
 
     BDDs carry the global node functions of the technology-independent
     network and the speed-path characteristic function (SPCF); satisfying
@@ -13,7 +16,9 @@
 type man
 type t
 
-(** [create ?cache_size ()] makes a fresh manager. *)
+(** [create ?cache_size ()] makes a fresh manager. [cache_size] seeds the
+    initial ite-cache capacity (rounded up to a power of two); all op
+    caches grow by doubling under pressure up to a fixed cap. *)
 val create : ?cache_size:int -> unit -> man
 
 val bfalse : man -> t
@@ -26,7 +31,8 @@ val var : man -> int -> t
 val num_vars : man -> int
 
 (** Total nodes ever allocated in this manager — a growth gauge used to
-    bound BDD effort in the synthesis driver. *)
+    bound BDD effort in the synthesis driver. Prefer {!stats} for richer
+    live counters. *)
 val allocated : man -> int
 
 val bnot : man -> t -> t
@@ -58,11 +64,14 @@ val exists : man -> int list -> t -> t
 (** [apply_tt m tt args] interprets truth table [tt] as a function applied
     to the argument BDDs: the global function of a network node whose
     fanins have global functions [args]. [Array.length args] must equal
-    [Tt.num_vars tt]. *)
+    [Tt.num_vars tt]. Memoized per [(tt, args)] in the manager, so
+    recomputing the image of the same window at the same node is O(1). *)
 val apply_tt : man -> Logic.Tt.t -> t array -> t
 
 (** [satcount m ~nvars f] is the number of satisfying minterms of [f] over
-    a space of [nvars] variables, as a float (spaces can exceed 2^62). *)
+    a space of [nvars] variables, as a float (spaces can exceed 2^62).
+    Per-node satisfying fractions are memoized in a manager scratch table
+    for the manager's lifetime. *)
 val satcount : man -> nvars:int -> t -> float
 
 (** Some satisfying assignment as [(var, value)] pairs on the variables the
@@ -70,9 +79,38 @@ val satcount : man -> nvars:int -> t -> float
 val any_sat : man -> t -> (int * bool) list option
 
 (** Variables the function depends on, ascending. *)
-val support : t -> int list
+val support : man -> t -> int list
 
-(** Number of internal nodes reachable from [f]. *)
-val size : t -> int
+(** Number of internal nodes reachable from [f] (complement-shared nodes
+    counted once). *)
+val size : man -> t -> int
 
-val pp : Format.formatter -> t -> unit
+val pp : man -> Format.formatter -> t -> unit
+
+(** Live counters for the node store and the operation caches. *)
+type stats = {
+  live_nodes : int;  (** internal nodes currently in the unique table *)
+  total_allocated : int;  (** nodes ever allocated, terminal included *)
+  unique_capacity : int;
+  ite_cache_capacity : int;
+  ite_lookups : int;
+  ite_hits : int;
+  restrict_cache_capacity : int;
+  restrict_lookups : int;
+  restrict_hits : int;
+  compose_cache_capacity : int;
+  compose_lookups : int;
+  compose_hits : int;
+  apply_memo_entries : int;
+}
+
+val stats : man -> stats
+
+(** Drop every op-cache entry and the [apply_tt] memo (the node store and
+    unique table are untouched, so existing edges stay valid). *)
+val clear_caches : man -> unit
+
+(** Whole-store canonical-form audit: no node with [lo = hi], no
+    complement bit on a [hi] edge, variables strictly increasing along
+    every edge. Intended for tests. *)
+val check_canonical : man -> bool

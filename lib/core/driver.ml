@@ -58,7 +58,8 @@ let spcf_of opts man net globals ~levels ~out ~delta g out_index =
 let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
   let oid = o.Network.node in
   let rec go net globals depth_left ~stalls acc =
-    if depth_left = 0 || Bdd.allocated man > opts.bdd_node_limit then
+    if depth_left = 0 || (Bdd.stats man).Bdd.live_nodes > opts.bdd_node_limit
+    then
       (List.rev acc, net)
     else begin
       let levels = Network.Levels.compute net in
@@ -95,7 +96,7 @@ let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
                 m "decompose %s: residue level %d, %d node(s) marked, sigma size %d"
                   o.Network.name l_out
                   (List.length outcome.Reduce.marked)
-                  (Bdd.size sigma));
+                  (Bdd.size man sigma));
             if Bdd.is_false man sigma then (List.rev acc, net)
             else begin
               let level =

@@ -36,6 +36,10 @@ let minterm_image man globals net id m =
     args;
   !acc
 
+(* Memoized per (node, window): the fanin globals of [id] are stable BDD
+   edges, so [Bdd.apply_tt]'s per-(tt, args) manager memo makes every
+   repeated image query — sigma products rebuild the same windows in
+   [Driver] and [Reconstruct] — a table hit. *)
 let tt_image man globals net id tt =
   let args = fanin_globals globals net id in
   Bdd.apply_tt man tt args

@@ -18,5 +18,6 @@ val minterm_image : Bdd.man -> Bdd.t array -> Graph.t -> int -> int -> Bdd.t
 
 (** [tt_image man globals net id tt] is the union of the images of the
     local minterms where [tt] is true (computed by applying [tt] to the
-    fanin globals). *)
+    fanin globals). Memoized per [(node, window)] through the manager's
+    [apply_tt] memo, so recomputing an image is O(1). *)
 val tt_image : Bdd.man -> Bdd.t array -> Graph.t -> int -> Logic.Tt.t -> Bdd.t

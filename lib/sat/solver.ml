@@ -1,6 +1,12 @@
 (* CDCL solver. Internal literal encoding: variable v (1-based) yields
    literals 2v (positive) and 2v+1 (negative); [neg l = l lxor 1].
-   Assignment values: 0 = false, 1 = true, -1 = unassigned (per variable). *)
+   Assignment values: 0 = false, 1 = true, -1 = unassigned (per variable).
+
+   Branching is VSIDS over an indexed binary max-heap (constant-time
+   lookup of the highest-activity unassigned variable instead of a linear
+   scan), with phase saving: a variable re-decided after backtracking
+   keeps its last assigned polarity, which preserves partial assignments
+   across restarts. *)
 
 type clause = { lits : int array; mutable learnt : bool; mutable act : float }
 
@@ -22,6 +28,10 @@ type t = {
   mutable conflicts : int;
   mutable last_conflicts : int;
   mutable seen : bool array;
+  mutable phase : Bytes.t; (* saved polarity per variable: 0 false, 1 true *)
+  mutable heap : int array; (* binary max-heap of variables by activity *)
+  mutable heap_pos : int array; (* var -> index in heap, -1 if absent *)
+  mutable heap_size : int;
 }
 
 let create () =
@@ -43,6 +53,10 @@ let create () =
     conflicts = 0;
     last_conflicts = 0;
     seen = Array.make 2 false;
+    phase = Bytes.make 2 '\000';
+    heap = Array.make 16 0;
+    heap_pos = Array.make 2 (-1);
+    heap_size = 0;
   }
 
 let grow_array a n default =
@@ -53,16 +67,83 @@ let grow_array a n default =
     b
   end
 
+(* --- activity heap ---------------------------------------------------- *)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      sift_up s p
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < s.heap_size && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!m))
+  then m := l;
+  if r < s.heap_size && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!m))
+  then m := r;
+  if !m <> i then begin
+    heap_swap s i !m;
+    sift_down s !m
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    if s.heap_size >= Array.length s.heap then begin
+      let b = Array.make (2 * Array.length s.heap) 0 in
+      Array.blit s.heap 0 b 0 s.heap_size;
+      s.heap <- b
+    end;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    sift_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  if s.heap_size > 0 then begin
+    let last = s.heap.(s.heap_size) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    sift_down s 0
+  end;
+  s.heap_pos.(v) <- -1;
+  v
+
+(* ---------------------------------------------------------------------- *)
+
 let ensure_var s v =
   assert (v > 0);
   if v > s.nvars then begin
+    let old = s.nvars in
     s.nvars <- v;
     s.assign <- grow_array s.assign (v + 1) (-1);
     s.level <- grow_array s.level (v + 1) 0;
     s.reason <- grow_array s.reason (v + 1) None;
     s.activity <- grow_array s.activity (v + 1) 0.0;
     s.seen <- grow_array s.seen (v + 1) false;
-    s.watches <- grow_array s.watches (2 * v + 2) []
+    s.watches <- grow_array s.watches (2 * v + 2) [];
+    if Bytes.length s.phase < v + 1 then begin
+      let b = Bytes.make (max (v + 1) (2 * Bytes.length s.phase)) '\000' in
+      Bytes.blit s.phase 0 b 0 (Bytes.length s.phase);
+      s.phase <- b
+    end;
+    s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
+    for u = old + 1 to v do
+      heap_insert s u
+    done
   end;
   v
 
@@ -113,7 +194,9 @@ let bump_var s v =
       s.activity.(i) <- s.activity.(i) *. 1e-100
     done;
     s.var_inc <- s.var_inc *. 1e-100
-  end
+  end;
+  (* Rescaling preserves the heap order; a bump only moves [v] up. *)
+  if s.heap_pos.(v) >= 0 then sift_up s s.heap_pos.(v)
 
 (* Propagate all enqueued assignments; return the conflicting clause if a
    conflict arises. *)
@@ -226,8 +309,10 @@ let backtrack s target =
     let lims, boundary = drop_lims s.trail_lim drop s.trail_size in
     for i = s.trail_size - 1 downto boundary do
       let v = var_of s.trail.(i) in
+      Bytes.unsafe_set s.phase v (Char.unsafe_chr s.assign.(v));
       s.assign.(v) <- -1;
-      s.reason.(v) <- None
+      s.reason.(v) <- None;
+      heap_insert s v
     done;
     s.trail_size <- boundary;
     s.qhead <- boundary;
@@ -279,15 +364,15 @@ let analyze s confl =
   List.iter (fun q -> s.seen.(var_of q) <- false) !learnt;
   (lits, !btlevel)
 
-let pick_branch s =
-  let best = ref 0 and best_act = ref neg_infinity in
-  for v = 1 to s.nvars do
-    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
-  done;
-  !best
+(* Highest-activity unassigned variable, or 0 when all are assigned.
+   Variables popped while assigned are re-inserted on backtrack (they sit
+   on the trail), so the heap is a superset of the unassigned set. *)
+let rec pick_branch s =
+  if s.heap_size = 0 then 0
+  else begin
+    let v = heap_pop s in
+    if s.assign.(v) < 0 then v else pick_branch s
+  end
 
 type result = Sat | Unsat
 
@@ -312,11 +397,15 @@ let record_learnt s lits =
     attach_clause s c;
     enqueue s l0 (Some c)
 
-let solve ?(assumptions = []) s =
+(* [solve_internal] returns [None] when the conflict limit was exhausted
+   before a verdict; the solver is left at decision level 0 and stays
+   usable. [conflict_limit <= 0] means no limit. *)
+let solve_internal ?(assumptions = []) ~conflict_limit s =
   s.last_conflicts <- 0;
-  if not s.ok then Unsat
+  if not s.ok then Some Unsat
   else begin
     let result = ref None in
+    let out_of_budget = ref false in
     backtrack s 0;
     (* Plant assumptions as decisions; a conflict inside them is Unsat. *)
     let assumption_level = ref 0 in
@@ -336,13 +425,15 @@ let solve ?(assumptions = []) s =
        assumption_level := decision_level s
      with Exit -> result := Some Unsat);
     let restart_budget = ref 100 in
-    while !result = None do
+    while !result = None && not !out_of_budget do
       match propagate s with
       | Some confl ->
         s.conflicts <- s.conflicts + 1;
         s.last_conflicts <- s.last_conflicts + 1;
         s.var_inc <- s.var_inc *. 1.052;
         if decision_level s <= !assumption_level then result := Some Unsat
+        else if conflict_limit > 0 && s.last_conflicts >= conflict_limit then
+          out_of_budget := true
         else begin
           let lits, btlevel = analyze s confl in
           let btlevel = max btlevel !assumption_level in
@@ -359,16 +450,24 @@ let solve ?(assumptions = []) s =
         if v = 0 then result := Some Sat
         else begin
           s.trail_lim <- s.trail_size :: s.trail_lim;
-          (* Phase: default to false. *)
-          enqueue s ((2 * v) + 1) None
+          (* Saved phase (false for never-assigned variables). *)
+          let pos = Bytes.unsafe_get s.phase v = '\001' in
+          enqueue s ((2 * v) + if pos then 0 else 1) None
         end
     done;
     (match !result with
      | Some Sat -> () (* keep trail so [value] can read the model *)
-     | Some Unsat -> backtrack s 0
-     | None -> assert false);
-    match !result with Some r -> r | None -> assert false
+     | Some Unsat | None -> backtrack s 0);
+    !result
   end
+
+let solve ?assumptions s =
+  match solve_internal ?assumptions ~conflict_limit:0 s with
+  | Some r -> r
+  | None -> assert false
+
+let solve_limited ?assumptions ~conflict_limit s =
+  solve_internal ?assumptions ~conflict_limit s
 
 let value s v =
   assert (v > 0 && v <= s.nvars);

@@ -28,6 +28,13 @@ val add_clause : t -> int list -> unit
     (incremental). *)
 val solve : ?assumptions:int list -> t -> result
 
+(** Like {!solve}, but gives up and returns [None] after [conflict_limit]
+    conflicts (a non-positive limit means no limit). Used by SAT sweeping
+    to bound the effort per candidate equivalence; the solver stays
+    usable either way. *)
+val solve_limited :
+  ?assumptions:int list -> conflict_limit:int -> t -> result option
+
 (** After [Sat]: model value of a variable. *)
 val value : t -> int -> bool
 

@@ -88,7 +88,7 @@ let prop_support =
   qtest "support matches tt" (gen_tt 6) (fun t ->
       let man = Bdd.create () in
       let f = bdd_of_tt man t in
-      Bdd.support f = Tt.support t)
+      Bdd.support man f = Tt.support t)
 
 let prop_exists =
   qtest "exists matches tt" (gen_tt 6) (fun t ->
@@ -104,6 +104,163 @@ let prop_implies =
       Bdd.implies man fa fb
       = Tt.is_const_false (Tt.land_ a (Tt.lnot b)))
 
+(* ------------------------------------------------------------------ *)
+(* Random formula trees over 8 variables, cross-checked against         *)
+(* brute-force truth-table evaluation, plus canonical-form invariants.  *)
+(* ------------------------------------------------------------------ *)
+
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Xor of formula * formula
+  | Ite of formula * formula * formula
+
+let nvars_formula = 8
+
+let gen_formula =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then map (fun i -> Var i) (int_bound (nvars_formula - 1))
+    else
+      frequency
+        [
+          (2, map (fun i -> Var i) (int_bound (nvars_formula - 1)));
+          (1, map (fun f -> Not f) (gen (depth - 1)));
+          (2, map2 (fun a b -> And (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          (2, map2 (fun a b -> Or (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          (2, map2 (fun a b -> Xor (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          ( 1,
+            map3
+              (fun a b c -> Ite (a, b, c))
+              (gen (depth - 1))
+              (gen (depth - 1))
+              (gen (depth - 1)) );
+        ]
+  in
+  gen 5
+
+let rec formula_print = function
+  | Var i -> Printf.sprintf "x%d" i
+  | Not f -> Printf.sprintf "~%s" (formula_print f)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (formula_print a) (formula_print b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (formula_print a) (formula_print b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (formula_print a) (formula_print b)
+  | Ite (a, b, c) ->
+    Printf.sprintf "ite(%s,%s,%s)" (formula_print a) (formula_print b)
+      (formula_print c)
+
+let arb_formula = QCheck.make ~print:formula_print gen_formula
+
+let rec formula_bdd man = function
+  | Var i -> Bdd.var man i
+  | Not f -> Bdd.bnot man (formula_bdd man f)
+  | And (a, b) -> Bdd.band man (formula_bdd man a) (formula_bdd man b)
+  | Or (a, b) -> Bdd.bor man (formula_bdd man a) (formula_bdd man b)
+  | Xor (a, b) -> Bdd.bxor man (formula_bdd man a) (formula_bdd man b)
+  | Ite (a, b, c) ->
+    Bdd.ite man (formula_bdd man a) (formula_bdd man b) (formula_bdd man c)
+
+let rec formula_tt = function
+  | Var i -> Tt.var nvars_formula i
+  | Not f -> Tt.lnot (formula_tt f)
+  | And (a, b) -> Tt.land_ (formula_tt a) (formula_tt b)
+  | Or (a, b) -> Tt.lor_ (formula_tt a) (formula_tt b)
+  | Xor (a, b) -> Tt.lxor_ (formula_tt a) (formula_tt b)
+  | Ite (a, b, c) ->
+    let ta = formula_tt a in
+    Tt.lor_
+      (Tt.land_ ta (formula_tt b))
+      (Tt.land_ (Tt.lnot ta) (formula_tt c))
+
+let prop_formula_crosscheck =
+  qtest "formula tree: bdd = brute-force tt" ~count:300 arb_formula (fun fm ->
+      let man = Bdd.create () in
+      let f = formula_bdd man fm in
+      Bdd.equal f (bdd_of_tt man (formula_tt fm)))
+
+let prop_formula_ite_band_bxor =
+  qtest "formula tree: ite/band/bxor vs tt"
+    (QCheck.triple arb_formula arb_formula arb_formula)
+    (fun (fa, fb, fc) ->
+      let man = Bdd.create () in
+      let a = formula_bdd man fa
+      and b = formula_bdd man fb
+      and c = formula_bdd man fc in
+      let ta = formula_tt fa and tb = formula_tt fb and tc = formula_tt fc in
+      let agree tt bdd = Bdd.equal (bdd_of_tt man tt) bdd in
+      agree (Tt.land_ ta tb) (Bdd.band man a b)
+      && agree (Tt.lxor_ tb tc) (Bdd.bxor man b c)
+      && agree
+           (Tt.lor_ (Tt.land_ ta tb) (Tt.land_ (Tt.lnot ta) tc))
+           (Bdd.ite man a b c))
+
+let prop_formula_exists =
+  qtest "formula tree: exists vs tt" arb_formula (fun fm ->
+      let man = Bdd.create () in
+      let f = formula_bdd man fm in
+      let t = formula_tt fm in
+      Bdd.equal
+        (Bdd.exists man [ 1; 3; 6 ] f)
+        (bdd_of_tt man (Tt.exists (Tt.exists (Tt.exists t 1) 3) 6)))
+
+let prop_formula_satcount =
+  qtest "formula tree: satcount = tt popcount" arb_formula (fun fm ->
+      let man = Bdd.create () in
+      let f = formula_bdd man fm in
+      let t = formula_tt fm in
+      abs_float
+        (Bdd.satcount man ~nvars:nvars_formula f
+        -. float_of_int (Tt.count_ones t))
+      < 0.5)
+
+let prop_canonical_invariant =
+  qtest "formula tree: canonical node store" arb_formula (fun fm ->
+      let man = Bdd.create () in
+      let _ = formula_bdd man fm in
+      (* No node with lo = hi, complement bit never on a hi edge,
+         variables strictly increasing along every edge. *)
+      Bdd.check_canonical man)
+
+let test_stats_and_caches () =
+  let man = Bdd.create () in
+  let x = Bdd.var man 0 and y = Bdd.var man 1 and z = Bdd.var man 2 in
+  let f = Bdd.bor man (Bdd.band man x y) (Bdd.bxor man y z) in
+  let s = Bdd.stats man in
+  Alcotest.(check bool) "live nodes positive" true (s.Bdd.live_nodes > 0);
+  Alcotest.(check bool)
+    "live <= allocated" true
+    (s.Bdd.live_nodes < s.Bdd.total_allocated);
+  Alcotest.(check bool)
+    "unique capacity is a power of two" true
+    (s.Bdd.unique_capacity land (s.Bdd.unique_capacity - 1) = 0);
+  Alcotest.(check bool)
+    "ite cache capacity is a power of two" true
+    (s.Bdd.ite_cache_capacity land (s.Bdd.ite_cache_capacity - 1) = 0);
+  (* Clearing the caches must not change any function. *)
+  Bdd.clear_caches man;
+  let s' = Bdd.stats man in
+  Alcotest.(check int) "apply memo cleared" 0 s'.Bdd.apply_memo_entries;
+  Alcotest.(check bool)
+    "f unchanged after clear" true
+    (Bdd.equal f (Bdd.bor man (Bdd.band man x y) (Bdd.bxor man y z)));
+  Alcotest.(check bool) "still canonical" true (Bdd.check_canonical man)
+
+let test_complement_sharing () =
+  (* With complement edges, f and ~f must not duplicate the subgraph:
+     negation allocates nothing. *)
+  let man = Bdd.create () in
+  let x = Bdd.var man 0 and y = Bdd.var man 1 and z = Bdd.var man 2 in
+  let f = Bdd.bor man (Bdd.band man x y) z in
+  let before = (Bdd.stats man).Bdd.live_nodes in
+  let g = Bdd.bnot man f in
+  let after = (Bdd.stats man).Bdd.live_nodes in
+  Alcotest.(check int) "bnot allocates no nodes" before after;
+  Alcotest.(check int) "same graph size" (Bdd.size man f) (Bdd.size man g);
+  Alcotest.(check bool) "double negation" true
+    (Bdd.equal f (Bdd.bnot man g))
+
 let () =
   Alcotest.run "bdd"
     [
@@ -113,10 +270,19 @@ let () =
           Alcotest.test_case "restrict/compose" `Quick test_restrict_compose;
           Alcotest.test_case "satcount" `Quick test_satcount;
           Alcotest.test_case "any_sat" `Quick test_any_sat;
+          Alcotest.test_case "stats and cache clearing" `Quick
+            test_stats_and_caches;
+          Alcotest.test_case "complement-edge sharing" `Quick
+            test_complement_sharing;
           prop_tt_crosscheck;
           prop_satcount_matches;
           prop_support;
           prop_exists;
           prop_implies;
+          prop_formula_crosscheck;
+          prop_formula_ite_band_bxor;
+          prop_formula_exists;
+          prop_formula_satcount;
+          prop_canonical_invariant;
         ] );
     ]

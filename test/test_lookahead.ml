@@ -232,6 +232,56 @@ let test_optimize_idempotent_on_shallow () =
   let opt = Lookahead.optimize g in
   Alcotest.(check bool) "no depth regression" true (Aig.depth opt <= Aig.depth g)
 
+(* --- tt_image memoization -------------------------------------------------- *)
+
+let test_tt_image_memoized () =
+  (* A full driver run on the 8-bit ripple-carry adder exercises the
+     (node, window) image memo throughout decomposition; the result must
+     still be the correct circuit. *)
+  let rca = Circuits.Adders.ripple_carry 8 in
+  let opt = Lookahead.optimize rca in
+  Alcotest.(check bool) "driver run with memo is sound" true
+    (Aig.Cec.equivalent rca opt);
+  (* Cached vs uncached image values on the same network: the memoized
+     tt_image must match a reference computed minterm by minterm, stay
+     stable across repeated queries, and survive a cache flush. *)
+  let net = Network.of_aig ~k:6 rca in
+  let man = Bdd.create () in
+  let globals = Network.Globals.of_net man net in
+  let st = Random.State.make [| 42 |] in
+  List.iter
+    (fun id ->
+      if not (Network.is_input net id) then begin
+        let nd = Network.node net id in
+        let k = Array.length nd.Network.fanins in
+        if k > 0 && k <= 6 then begin
+          let windows =
+            [ nd.Network.func; Tt.random st k; Tt.random st k ]
+          in
+          List.iter
+            (fun w ->
+              let cached = Network.Globals.tt_image man globals net id w in
+              let again = Network.Globals.tt_image man globals net id w in
+              Alcotest.(check bool) "repeat query identical" true
+                (Bdd.equal cached again);
+              let uncached =
+                List.fold_left
+                  (fun acc m ->
+                    Bdd.bor man acc
+                      (Network.Globals.minterm_image man globals net id m))
+                  (Bdd.bfalse man) (Tt.minterms w)
+              in
+              Alcotest.(check bool) "cached = uncached reference" true
+                (Bdd.equal cached uncached);
+              Bdd.clear_caches man;
+              let fresh = Network.Globals.tt_image man globals net id w in
+              Alcotest.(check bool) "identical after cache flush" true
+                (Bdd.equal cached fresh))
+            windows
+        end
+      end)
+    (Network.topo_order net)
+
 let () =
   Alcotest.run "lookahead"
     [
@@ -254,4 +304,6 @@ let () =
           prop_mfs_equivalent;
           Alcotest.test_case "unobservable logic" `Quick test_mfs_removes_unobservable;
         ] );
+      ( "globals-memo",
+        [ Alcotest.test_case "tt_image memoization" `Slow test_tt_image_memoized ] );
     ]
