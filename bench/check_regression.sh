@@ -1,28 +1,41 @@
 #!/bin/sh
-# Perf regression gate for the BDD manager.
+# Perf regression gates.
 #
-# Runs the bechamel BDD suite (`bench/main.exe bdd`), writes a fresh
-# BENCH_bdd.json to a scratch path, and compares the end-to-end "table1"
-# wall-clock against the baseline BENCH_bdd.json checked in at the repo
-# root. Fails (exit 1) when the fresh run is more than 25% slower.
+# Gate 1 (BDD): runs the bechamel BDD suite (`bench/main.exe bdd`),
+# writes a fresh BENCH_bdd.json to a scratch path, and compares the
+# end-to-end "table1" wall-clock against the baseline BENCH_bdd.json
+# checked in at the repo root. Fails (exit 1) when the fresh run is more
+# than 25% slower.
+#
+# Gate 2 (par): runs `bench/main.exe par` (table1 + the table2 fast
+# subset, minus C432 and with the anytime deadline disabled so results
+# cannot depend on wall-clock scheduling, at several domain-pool sizes;
+# BENCH_PAR_JOBS overrides the sizes, default here "1 4" to keep the
+# gate affordable) and fails when
+# either (a) any -j N output is not bit-identical to the -j 1 output —
+# the lib/par determinism contract — or (b) the largest pool is more
+# than max_regression_percent slower than -j 1, i.e. the parallel
+# runtime's overhead regressed. Both checks are within-run, so the gate
+# is meaningful on any machine, single-core hosts included.
 #
 # Usage: bench/check_regression.sh [max_regression_percent]
+# Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 max_pct="${1:-25}"
-baseline=BENCH_bdd.json
-fresh="${TMPDIR:-/tmp}/BENCH_bdd.fresh.$$.json"
-
-if [ ! -f "$baseline" ]; then
-  echo "check_regression: no baseline $baseline (run: dune exec bench/main.exe bdd)" >&2
-  exit 1
-fi
+fail=0
 
 dune build bench/main.exe
-BENCH_BDD_OUT="$fresh" dune exec bench/main.exe -- bdd
-trap 'rm -f "$fresh"' EXIT
+
+# ------------------------------------------------------------------
+# Gate 1: BDD manager (vs checked-in baseline)
+# ------------------------------------------------------------------
+
+bdd_fresh="${TMPDIR:-/tmp}/BENCH_bdd.fresh.$$.json"
+par_fresh="${TMPDIR:-/tmp}/BENCH_par.fresh.$$.json"
+trap 'rm -f "$bdd_fresh" "$par_fresh"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
   awk -v want="$2" '
@@ -33,19 +46,75 @@ extract() { # extract <file> <entry-name> -> seconds
     }' "$1"
 }
 
-old=$(extract "$baseline" table1)
-new=$(extract "$fresh" table1)
-
-if [ -z "$old" ] || [ -z "$new" ]; then
-  echo "check_regression: could not extract table1 seconds (old='$old' new='$new')" >&2
-  exit 1
-fi
-
-echo "table1 wall-clock: baseline ${old}s, fresh ${new}s (limit +${max_pct}%)"
-if awk -v o="$old" -v n="$new" -v p="$max_pct" \
-     'BEGIN { exit !(n <= o * (1 + p / 100.0)) }'; then
-  echo "check_regression: OK"
+if [ "${SKIP_BDD_GATE:-0}" = 1 ]; then
+  echo "check_regression: BDD gate skipped (SKIP_BDD_GATE=1)"
 else
-  echo "check_regression: FAIL — table1 regressed more than ${max_pct}% (${old}s -> ${new}s)" >&2
-  exit 1
+  baseline=BENCH_bdd.json
+  if [ ! -f "$baseline" ]; then
+    echo "check_regression: no baseline $baseline (run: dune exec bench/main.exe bdd)" >&2
+    exit 1
+  fi
+  BENCH_BDD_OUT="$bdd_fresh" dune exec bench/main.exe -- bdd
+
+  old=$(extract "$baseline" table1)
+  new=$(extract "$bdd_fresh" table1)
+
+  if [ -z "$old" ] || [ -z "$new" ]; then
+    echo "check_regression: could not extract table1 seconds (old='$old' new='$new')" >&2
+    exit 1
+  fi
+
+  echo "table1 wall-clock: baseline ${old}s, fresh ${new}s (limit +${max_pct}%)"
+  if awk -v o="$old" -v n="$new" -v p="$max_pct" \
+       'BEGIN { exit !(n <= o * (1 + p / 100.0)) }'; then
+    echo "check_regression: BDD gate OK"
+  else
+    echo "check_regression: FAIL — table1 regressed more than ${max_pct}% (${old}s -> ${new}s)" >&2
+    fail=1
+  fi
 fi
+
+# ------------------------------------------------------------------
+# Gate 2: parallel runtime (within-run: determinism + overhead)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_PAR_GATE:-0}" = 1 ]; then
+  echo "check_regression: par gate skipped (SKIP_PAR_GATE=1)"
+else
+  # `bench par` exits non-zero itself when outputs differ across -j.
+  BENCH_PAR_OUT="$par_fresh" BENCH_PAR_JOBS="${BENCH_PAR_JOBS:-1 4}" \
+    dune exec bench/main.exe -- par
+
+  # Re-check identity from the JSON, and bound the parallel overhead:
+  # the largest pool must not be more than max_pct% slower than -j 1.
+  par_verdict=$(awk -v p="$max_pct" '
+    /"jobs":/ {
+      j = $0;  sub(/.*"jobs": /, "", j);       sub(/[,} ].*/, "", j)
+      s = $0;  sub(/.*"seconds": /, "", s);    sub(/[,} ].*/, "", s)
+      id = $0; sub(/.*"identical": /, "", id); sub(/[,} ].*/, "", id)
+      if (id != "true") bad = 1
+      if (j == 1) base = s
+      last = s
+    }
+    END {
+      if (bad) { print "nondeterministic"; exit }
+      if (base == "" || last == "") { print "unparseable"; exit }
+      if (last > base * (1 + p / 100.0)) { print "slow"; exit }
+      print "ok"
+    }' "$par_fresh")
+
+  case "$par_verdict" in
+    ok) echo "check_regression: par gate OK" ;;
+    nondeterministic)
+      echo "check_regression: FAIL — parallel output differs from -j 1" >&2
+      fail=1 ;;
+    slow)
+      echo "check_regression: FAIL — parallel run more than ${max_pct}% slower than -j 1" >&2
+      fail=1 ;;
+    *)
+      echo "check_regression: FAIL — could not parse $par_fresh" >&2
+      fail=1 ;;
+  esac
+fi
+
+exit "$fail"

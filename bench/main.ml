@@ -11,7 +11,21 @@
      dune exec bench/main.exe bdd             -- BDD manager kernels + JSON
                                                  (BENCH_bdd.json / $BENCH_BDD_OUT)
      dune exec bench/main.exe profile         -- per-phase wall-clock breakdown
+     dune exec bench/main.exe par             -- parallel-runtime scaling + JSON
+                                                 (BENCH_par.json / $BENCH_PAR_OUT,
+                                                  domain counts: $BENCH_PAR_JOBS)
      dune exec bench/main.exe all             -- everything (fast table2)
+
+   `-j N` (or `--jobs N`, or LOOKAHEAD_JOBS=N) sets the domain-pool
+   size for every target; `-j 1` bypasses the pool entirely. Tables are
+   bit-identical at any -j: every (circuit x tool) cell is an
+   independent pool job that builds its circuit itself, and results are
+   assembled in submission order (see lib/par). The one exception is
+   the anytime deadline (Driver.options.time_limit_s): a run the
+   deadline cuts short is a function of wall-clock scheduling by
+   construction, so the `par` identity workload disables the deadline
+   and drops the one fast-subset circuit (C432) whose run is only
+   bounded by it.
 
    Absolute numbers differ from the paper (synthetic substrates, see
    DESIGN.md); the shape — which tool wins, by roughly what factor — is
@@ -24,6 +38,26 @@ let tools : (string * (Aig.t -> Aig.t)) list =
     ("DC", Baselines.dc_like);
     ("Lookahead", fun g -> Lookahead.optimize g);
   ]
+
+(* The same four tools with the lookahead anytime deadline disabled.
+   The deadline makes cut-short results depend on wall-clock
+   scheduling, so the cross-[-j] identity check in [par_bench] must run
+   a workload where it can never fire. The driver terminates without it
+   (the round loops are depth-improvement fixpoints with bounded
+   budgets); the deadline only matters for circuits like C432 where
+   convergence is slower than anyone wants to wait. *)
+let tools_nolimit : (string * (Aig.t -> Aig.t)) list =
+  List.map
+    (fun (name, f) ->
+      if String.equal name "Lookahead" then
+        ( name,
+          fun g ->
+            Lookahead.optimize
+              ~options:
+                { Lookahead.Driver.default with time_limit_s = infinity }
+              g )
+      else (name, f))
+    tools
 
 type metrics = { gates : int; levels : int; delay : float; power : float }
 
@@ -40,29 +74,34 @@ let measure g =
 (* Table 1: best AIG levels for n-bit ripple-carry adders.             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+let table1 ?(tools = tools) () =
   print_endline
     "== Table 1: AIG levels after timing optimization, n-bit adders ==";
   Printf.printf "%-4s %-8s %-6s %-6s %-6s %-10s\n" "n" "Optimum" "SIS" "ABC"
     "DC" "Lookahead";
-  List.iter
-    (fun n ->
-      let rca = Circuits.Adders.ripple_carry n in
+  let ns = [ 2; 4; 8; 16 ] in
+  (* Every (adder size x tool) cell is one pool job. The job rebuilds
+     its adder instead of sharing one graph across domains (generation
+     is deterministic, so the results are unchanged); the CEC assert
+     rides in the job and its failure propagates out of the await. *)
+  let cells =
+    Par.map_list
+      (fun (n, (_, f)) ->
+        let rca = Circuits.Adders.ripple_carry n in
+        let o = f rca in
+        assert (Aig.Cec.equivalent rca o);
+        Aig.depth o)
+      (List.concat_map (fun n -> List.map (fun t -> (n, t)) tools) ns)
+  in
+  List.iteri
+    (fun i n ->
       let optimum = Circuits.Adders.optimum_levels n in
-      let cols =
-        List.map
-          (fun (_, f) ->
-            let o = f rca in
-            assert (Aig.Cec.equivalent rca o);
-            Aig.depth o)
-          tools
-      in
-      match cols with
+      match List.filteri (fun j _ -> j / List.length tools = i) cells with
       | [ sis; abc; dc; la ] ->
         Printf.printf "%-4d %-8d %-6d %-6d %-6d %-10d\n%!" n optimum sis abc
           dc la
       | _ -> assert false)
-    [ 2; 4; 8; 16 ];
+    ns;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -75,7 +114,7 @@ let fast_subset =
     "lsu_stb_ctl_flat";
   ]
 
-let table2 ~full () =
+let table2 ?(tools = tools) ?names ~full () =
   Printf.printf
     "== Table 2: comparison with the best SIS / ABC / DC results%s ==\n"
     (if full then "" else " (fast subset; use table2-full for all 15)");
@@ -86,11 +125,14 @@ let table2 ~full () =
     "Name" "PI/PO" "gates" "lev" "delay" "power" "gates" "lev" "delay" "power"
     "gates" "lev" "delay" "power" "gates" "lev" "delay" "power";
   let names =
-    if full then
-      List.map
-        (fun (i : Circuits.Suite.info) -> i.Circuits.Suite.name)
-        Circuits.Suite.all
-    else fast_subset
+    match names with
+    | Some ns -> ns
+    | None ->
+      if full then
+        List.map
+          (fun (i : Circuits.Suite.info) -> i.Circuits.Suite.name)
+          Circuits.Suite.all
+      else fast_subset
   in
   let sums = Hashtbl.create 8 in
   let add tool field v =
@@ -98,30 +140,41 @@ let table2 ~full () =
     let prev = try Hashtbl.find sums key with Not_found -> 0.0 in
     Hashtbl.replace sums key (prev +. v)
   in
-  List.iter
-    (fun name ->
+  (* Fan out the (circuit x tool) cells on the pool. Each job builds
+     its own circuit (Suite.build is deterministic), optimizes, checks
+     equivalence and maps — nothing is shared across domains. Printing
+     and the float accumulations stay sequential in submission order, so
+     the table (sums included, addition order and all) is bit-identical
+     at any -j. *)
+  let cells =
+    Par.map_list
+      (fun (name, (_tool, f)) ->
+        let g = Circuits.Suite.build name in
+        let o = f g in
+        assert (Aig.Cec.equivalent g o);
+        measure o)
+      (List.concat_map (fun n -> List.map (fun t -> (n, t)) tools) names)
+  in
+  List.iteri
+    (fun i name ->
       let info = Circuits.Suite.find name in
-      let g = Circuits.Suite.build name in
-      let cells =
-        List.map
-          (fun (tool, f) ->
-            let o = f g in
-            assert (Aig.Cec.equivalent g o);
-            let m = measure o in
-            add tool "gates" (float_of_int m.gates);
-            add tool "levels" (float_of_int m.levels);
-            add tool "delay" m.delay;
-            add tool "power" m.power;
-            m)
-          tools
+      let row =
+        List.filteri (fun j _ -> j / List.length tools = i) cells
       in
+      List.iter2
+        (fun (tool, _) m ->
+          add tool "gates" (float_of_int m.gates);
+          add tool "levels" (float_of_int m.levels);
+          add tool "delay" m.delay;
+          add tool "power" m.power)
+        tools row;
       Printf.printf "%-24s %3d/%-3d" name info.Circuits.Suite.pi
         info.Circuits.Suite.po;
       List.iter
         (fun m ->
           Printf.printf " | %5d %4d %7.1f %6.3f" m.gates m.levels m.delay
             m.power)
-        cells;
+        row;
       print_newline ();
       flush stdout)
     names;
@@ -371,6 +424,143 @@ let bdd_bench () =
   Printf.printf "wrote %s\n\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-runtime scaling: re-run table1 + the table2 fast subset at  *)
+(* several domain-pool sizes, check the output is bit-identical to the  *)
+(* -j 1 run, and emit the wall-clocks as JSON (BENCH_par.json, or       *)
+(* $BENCH_PAR_OUT). bench/check_regression.sh gates on both properties. *)
+(*                                                                      *)
+(* The workload runs with the lookahead anytime deadline disabled and   *)
+(* without C432 (see [tools_nolimit]): a deadline-cut result depends on *)
+(* how much CPU the cell got before the wall-clock ran out, which is    *)
+(* exactly the scheduling dependence the identity check exists to rule  *)
+(* out of everything else.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Capture everything printed by [f] so two runs can be compared
+   byte-for-byte. The tables print through stdout directly, so swap the
+   fd rather than threading a formatter through every table. *)
+let with_captured_stdout f =
+  let tmp = Filename.temp_file "bench_par" ".txt" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  (try
+     f ();
+     restore ()
+   with e ->
+     restore ();
+     Sys.remove tmp;
+     raise e);
+  let ic = open_in_bin tmp in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  text
+
+let par_bench () =
+  let jobs_list =
+    match Sys.getenv_opt "BENCH_PAR_JOBS" with
+    | Some s ->
+      let tokens =
+        List.filter
+          (fun t -> t <> "")
+          (String.split_on_char ' '
+             (String.map (function ',' -> ' ' | c -> c) s))
+      in
+      let js = List.filter_map int_of_string_opt tokens in
+      (* A typo'd list must not silently fall back to the full (and
+         expensive) default set. *)
+      if List.length js <> List.length tokens || js = [] then begin
+        Printf.eprintf
+          "bench par: BENCH_PAR_JOBS='%s' is not a list of integers\n" s;
+        exit 2
+      end;
+      js
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  Printf.printf
+    "== Parallel runtime scaling (table1 + table2 fast subset sans \
+     C432, no deadline), host domains: %d ==\n%!"
+    (Domain.recommended_domain_count ());
+  let names =
+    List.filter (fun n -> not (String.equal n "C432")) fast_subset
+  in
+  let workload () =
+    table1 ~tools:tools_nolimit ();
+    table2 ~tools:tools_nolimit ~names ~full:false ()
+  in
+  let runs =
+    List.map
+      (fun j ->
+        Par.set_default_jobs j;
+        let t0 = Par.Clock.now_s () in
+        let text = with_captured_stdout workload in
+        let dt = Par.Clock.now_s () -. t0 in
+        Printf.printf "-j %-2d  %8.1f s\n%!" j dt;
+        (j, dt, text))
+      jobs_list
+  in
+  Par.set_default_jobs 0;
+  let _, base_dt, base_text =
+    match List.find_opt (fun (j, _, _) -> j = 1) runs with
+    | Some r -> r
+    | None -> List.hd runs
+  in
+  let rows =
+    List.map
+      (fun (j, dt, text) -> (j, dt, String.equal text base_text))
+      runs
+  in
+  Printf.printf "\n%-6s %10s %9s %10s\n" "jobs" "seconds" "speedup"
+    "identical";
+  List.iter
+    (fun (j, dt, same) ->
+      Printf.printf "%-6d %10.1f %8.2fx %10s\n" j dt (base_dt /. dt)
+        (if same then "yes" else "NO"))
+    rows;
+  print_newline ();
+  let out =
+    match Sys.getenv_opt "BENCH_PAR_OUT" with
+    | Some p -> p
+    | None -> "BENCH_par.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"par-bench/v1\",\n\
+    \  \"workload\": \"table1+table2-fast-sans-C432-nolimit\",\n\
+    \  \"host_domains\": %d,\n\
+    \  \"runs\": [\n"
+    (Domain.recommended_domain_count ());
+  let rec emit = function
+    | [] -> ()
+    | (j, dt, same) :: rest ->
+      Printf.fprintf oc
+        "    {\"jobs\": %d, \"seconds\": %.3f, \"identical\": %b}%s\n" j dt
+        same
+        (if rest = [] then "" else ",");
+      emit rest
+  in
+  emit rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n\n" out;
+  if not (List.for_all (fun (_, _, same) -> same) rows) then begin
+    prerr_endline "par: output differs across -j values";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table / kernel.             *)
 (* ------------------------------------------------------------------ *)
 
@@ -465,6 +655,31 @@ let profile () =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  (* -j N / --jobs N / -jN: domain-pool size for every target. *)
+  let rec strip_jobs = function
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j ->
+        Par.set_default_jobs j;
+        strip_jobs rest
+      | None ->
+        Printf.eprintf "bench: -j: invalid value '%s', expected an integer\n"
+          n;
+        exit 2)
+    | [ ("-j" | "--jobs") ] ->
+      prerr_endline "bench: -j requires a value";
+      exit 2
+    | arg :: rest
+      when String.length arg > 2 && String.sub arg 0 2 = "-j"
+           && int_of_string_opt (String.sub arg 2 (String.length arg - 2))
+              <> None ->
+      Par.set_default_jobs
+        (int_of_string (String.sub arg 2 (String.length arg - 2)));
+      strip_jobs rest
+    | arg :: rest -> arg :: strip_jobs rest
+    | [] -> []
+  in
+  let args = strip_jobs args in
   let args = if args = [] then [ "all" ] else args in
   List.iter
     (fun arg ->
@@ -476,6 +691,7 @@ let () =
       | "extension" -> extension ()
       | "bechamel" -> bechamel ()
       | "bdd" -> bdd_bench ()
+      | "par" -> par_bench ()
       | "profile" -> profile ()
       | "all" ->
         table1 ();

@@ -8,6 +8,23 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+(* Shared -j/--jobs flag: size of the lib/par domain pool used by the
+   optimizer and the equivalence checker. 0 = automatic (LOOKAHEAD_JOBS
+   env, else Domain.recommended_domain_count); 1 bypasses the pool
+   entirely. Results are bit-identical at any value. *)
+let jobs_arg =
+  Cmdliner.Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime (0 = automatic, from \
+           $(b,LOOKAHEAD_JOBS) or the recommended domain count; 1 bypasses \
+           the pool).")
+
+let setup_jobs jobs =
+  if jobs > 0 then Par.set_default_jobs jobs
+
 type source =
   | Named of string
   | Blif of string
@@ -94,8 +111,9 @@ let opt_cmd =
            ~doc:"Write the optimized circuit as BLIF.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
-  let run circuit blif bench adder tool check out_blif verbose =
+  let run circuit blif bench adder tool check out_blif verbose jobs =
     setup_logs verbose;
+    setup_jobs jobs;
     let source, name =
       match (circuit, blif, bench, adder) with
       | Some n, None, None, None -> (Named n, n)
@@ -127,7 +145,7 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Optimize a circuit and report Table 2 metrics.")
     Term.(
       const run $ circuit $ blif $ bench $ adder $ tool $ check $ out_blif
-      $ verbose)
+      $ verbose $ jobs_arg)
 
 let timing_cmd =
   let circuit =
@@ -138,8 +156,9 @@ let timing_cmd =
     Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
            ~doc:"Optimizer applied before timing analysis.")
   in
-  let run circuit tool =
+  let run circuit tool jobs =
     setup_logs false;
+    setup_jobs jobs;
     let g = Circuits.Suite.build circuit in
     let optimized = tool_of_name tool g in
     let netlist = Techmap.Mapper.map optimized in
@@ -149,7 +168,7 @@ let timing_cmd =
   in
   Cmd.v
     (Cmd.info "timing" ~doc:"Map a circuit and print the STA report.")
-    Term.(const run $ circuit $ tool)
+    Term.(const run $ circuit $ tool $ jobs_arg)
 
 let export_cmd =
   let circuit =

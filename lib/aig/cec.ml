@@ -25,36 +25,45 @@ let miter a b =
   (g, diffs)
 
 (* Random simulation on the miter: any set bit of any diff word is a
-   counterexample. *)
+   counterexample. The stimuli are drawn sequentially up front (the RNG
+   stream order is part of the deterministic contract) and the rounds
+   simulate on the domain pool — each round reads the frozen miter and
+   writes only its own value array. Verdicts are scanned in round order,
+   so the counterexample found is the one the sequential loop reports. *)
 let random_counterexample g diffs rounds =
   let ni = Graph.num_inputs g in
   let st = Random.State.make [| 0x5eed; ni |] in
-  let rec loop r =
-    if r = 0 then None
+  let stimuli =
+    let rec draw r acc =
+      if r = 0 then List.rev acc
+      else
+        draw (r - 1)
+          (Array.init ni (fun _ -> Random.State.int64 st Int64.max_int) :: acc)
+    in
+    draw rounds []
+  in
+  let sims = Par.map_list (fun words -> (words, Graph.sim g words)) stimuli in
+  let cex_of (words, values) =
+    let value_of l =
+      let w = values.(Graph.node_of_lit l) in
+      if Graph.is_complemented l then Int64.lognot w else w
+    in
+    let hit =
+      List.fold_left (fun acc d -> Int64.logor acc (value_of d)) 0L diffs
+    in
+    if hit = 0L then None
     else begin
-      let words = Array.init ni (fun _ -> Random.State.int64 st Int64.max_int) in
-      let values = Graph.sim g words in
-      let value_of l =
-        let w = values.(Graph.node_of_lit l) in
-        if Graph.is_complemented l then Int64.lognot w else w
+      let rec bit i =
+        if Int64.logand (Int64.shift_right_logical hit i) 1L = 1L then i
+        else bit (i + 1)
       in
-      let hit =
-        List.fold_left (fun acc d -> Int64.logor acc (value_of d)) 0L diffs
-      in
-      if hit <> 0L then begin
-        let rec bit i =
-          if Int64.logand (Int64.shift_right_logical hit i) 1L = 1L then i
-          else bit (i + 1)
-        in
-        let k = bit 0 in
-        Some
-          (Array.init ni (fun i ->
-               Int64.logand (Int64.shift_right_logical words.(i) k) 1L = 1L))
-      end
-      else loop (r - 1)
+      let k = bit 0 in
+      Some
+        (Array.init ni (fun i ->
+             Int64.logand (Int64.shift_right_logical words.(i) k) 1L = 1L))
     end
   in
-  loop rounds
+  List.find_map cex_of sims
 
 (* Fraig-style sweep of the miter: prove internal equivalences bottom-up
    and substitute, so each remaining diff output collapses to constant
@@ -69,12 +78,27 @@ let sweep_check g live =
   let nn = Graph.num_nodes g in
   let ni = Graph.num_inputs g in
   let st = Random.State.make [| 0xf4a16; nn |] in
-  (* Simulation rounds, newest first; each is one per-node word array. *)
+  (* Simulation rounds, newest first; each is one per-node word array.
+     The eight seed rounds are independent full-graph simulations of the
+     frozen miter, so they run on the domain pool; results land in the
+     same list order as the old sequential loop, keeping the signature
+     classes (and hence every downstream merge and SAT query)
+     bit-identical at any -j. Later counterexample rounds stay
+     sequential — each depends on the previous solver refutation. *)
   let rounds = ref [] in
   let add_round words = rounds := Graph.sim g words :: !rounds in
-  for _ = 1 to 8 do
-    add_round (Array.init ni (fun _ -> Random.State.int64 st Int64.max_int))
-  done;
+  let seed_stimuli =
+    let rec draw r acc =
+      if r = 0 then List.rev acc
+      else
+        draw (r - 1)
+          (Array.init ni (fun _ -> Random.State.int64 st Int64.max_int) :: acc)
+    in
+    draw 8 []
+  in
+  List.iter
+    (fun values -> rounds := values :: !rounds)
+    (Par.map_list (fun words -> Graph.sim g words) seed_stimuli);
   (* A refuting model becomes bit 0 of a fresh round; the remaining 63
      bits stay random so every refutation also buys generic coverage. *)
   let add_cex_round pat =

@@ -150,10 +150,31 @@ let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
   in
   go net0 globals0 opts.max_decomp_levels ~stalls:0 []
 
+(* Result of the parallel per-output decomposition phase. The manager is
+   carried to the (sequential) reconstruction phase: the decomposition's
+   BDDs live in it, and they all die with it once the output is merged. *)
+type decomposed = {
+  man : Bdd.man;
+  y_bdd : Bdd.t;
+  pieces : Reconstruct.pieces;
+}
+
 (* One optimization round over all critical outputs. Returns the new
    graph and the number of outputs reconstructed. [deadline] makes the
    flow an anytime algorithm: outputs past the budget fall back to their
-   original cones. *)
+   original cones.
+
+   Parallel structure: each output's decomposition is an independent job
+   on the shared pool — per the lib/par isolation convention every
+   worker reads its own [Network.copy] of the round's network ([~init])
+   and every job builds a fresh BDD manager, so nothing mutable crosses
+   domains. Reconstruction into the shared destination AIG stays
+   sequential, in output order, which makes the round's result
+   bit-identical to the -j 1 run (decomposition never reads [dst], and
+   reconstruction decisions depend only on structural levels, not on
+   what else has been strashed in). Jobs are forked in waves and merged
+   future-by-future so at most a wave of completed-but-unmerged BDD
+   managers is live at once. *)
 let one_round opts ~deadline g =
   let net = Network.of_aig ~k:opts.cluster_k g in
   let levels = Network.Levels.compute net in
@@ -166,7 +187,7 @@ let one_round opts ~deadline g =
   if l_t = 0 then (g, 0)
   else begin
     let old_levels = Aig.levels g in
-    let old_outputs = Aig.outputs g in
+    let old_outputs = Array.of_list (Aig.outputs g) in
     (* Destination graph shared by all outputs so common logic strashes. *)
     let dst = Aig.create () in
     let lev = Aig.Lev.create dst in
@@ -186,64 +207,96 @@ let one_round opts ~deadline g =
     in
     let decomposed = ref 0 in
     let aig_depth = Aig.depth g in
-    List.iteri
-      (fun out_index (o : Network.output) ->
-        let _, old_lit = List.nth old_outputs out_index in
-        let old_level = old_levels.(Aig.node_of_lit old_lit) in
-        let fallback () = copy_original old_lit in
-        let lit =
-          if old_level < aig_depth then fallback ()
-          else if Network.is_input net o.Network.node then fallback ()
-          else if cone_support net o.Network.node > opts.max_cone_inputs then begin
-            Log.debug (fun m ->
-                m "skip %s: cone support exceeds %d" o.Network.name
-                  opts.max_cone_inputs);
-            fallback ()
-          end
-          else if Unix.gettimeofday () > deadline then begin
-            Log.debug (fun m ->
-                m "skip %s: optimization time budget exhausted" o.Network.name);
-            fallback ()
-          end
-          else begin
-            (* A fresh BDD manager per output keeps memory bounded: all
-               BDDs of one output's decomposition die with its manager. *)
-            let man = Bdd.create () in
-            let globals = Network.Globals.of_net man net in
-            let decomp_levels, final_residue =
-              decompose_output opts man g out_index o net globals
-            in
-            if decomp_levels = [] then fallback ()
-            else begin
-              let pieces =
-                { Reconstruct.levels = decomp_levels; final_residue; out = o }
-              in
-              match
-                Reconstruct.build man ~y_bdd:globals.(o.Network.node) dst lev
-                  ~input_map pieces
-              with
-              | Some l when Aig.Lev.level lev l < old_level ->
-                incr decomposed;
-                Log.debug (fun m ->
-                    m "output %s: %d decomposition level(s), level %d -> %d"
-                      o.Network.name
-                      (List.length decomp_levels)
-                      old_level (Aig.Lev.level lev l));
-                l
-              | Some l ->
-                Log.debug (fun m ->
-                    m "output %s: reconstruction level %d >= old %d, rejected"
-                      o.Network.name (Aig.Lev.level lev l) old_level);
-                fallback ()
-              | None ->
-                Log.debug (fun m ->
-                    m "output %s: no valid reconstruction form" o.Network.name);
-                fallback ()
-            end
-          end
+    let decompose_job wnet (out_index, (o : Network.output), old_level) =
+      if old_level < aig_depth then None
+      else if Network.is_input wnet o.Network.node then None
+      else if cone_support wnet o.Network.node > opts.max_cone_inputs then begin
+        Log.debug (fun m ->
+            m "skip %s: cone support exceeds %d" o.Network.name
+              opts.max_cone_inputs);
+        None
+      end
+      else if Par.Deadline.expired deadline then begin
+        Log.debug (fun m ->
+            m "skip %s: optimization time budget exhausted" o.Network.name);
+        None
+      end
+      else begin
+        (* A fresh BDD manager per output keeps memory bounded: all
+           BDDs of one output's decomposition die with its manager. *)
+        let man = Bdd.create () in
+        let globals = Network.Globals.of_net man wnet in
+        let decomp_levels, final_residue =
+          decompose_output opts man g out_index o wnet globals
         in
-        Aig.add_output dst o.Network.name lit)
-      outs;
+        if decomp_levels = [] then None
+        else
+          Some
+            {
+              man;
+              y_bdd = globals.(o.Network.node);
+              pieces =
+                { Reconstruct.levels = decomp_levels; final_residue; out = o };
+            }
+      end
+    in
+    let merge result (out_index, (o : Network.output), old_level) =
+      let _, old_lit = old_outputs.(out_index) in
+      let fallback () = copy_original old_lit in
+      let lit =
+        match result with
+        | None -> fallback ()
+        | Some { man; y_bdd; pieces } -> (
+          match Reconstruct.build man ~y_bdd dst lev ~input_map pieces with
+          | Some l when Aig.Lev.level lev l < old_level ->
+            incr decomposed;
+            Log.debug (fun m ->
+                m "output %s: %d decomposition level(s), level %d -> %d"
+                  o.Network.name
+                  (List.length pieces.Reconstruct.levels)
+                  old_level (Aig.Lev.level lev l));
+            l
+          | Some l ->
+            Log.debug (fun m ->
+                m "output %s: reconstruction level %d >= old %d, rejected"
+                  o.Network.name (Aig.Lev.level lev l) old_level);
+            fallback ()
+          | None ->
+            Log.debug (fun m ->
+                m "output %s: no valid reconstruction form" o.Network.name);
+            fallback ())
+      in
+      Aig.add_output dst o.Network.name lit
+    in
+    let jobs =
+      List.mapi
+        (fun out_index (o : Network.output) ->
+          let _, old_lit = old_outputs.(out_index) in
+          (out_index, o, old_levels.(Aig.node_of_lit old_lit)))
+        outs
+    in
+    let pool = Par.shared () in
+    let wave = max 1 (4 * Par.Pool.size pool) in
+    let rec waves = function
+      | [] -> ()
+      | jobs ->
+        let this, rest =
+          let rec split k = function
+            | x :: tl when k > 0 ->
+              let a, b = split (k - 1) tl in
+              (x :: a, b)
+            | tl -> ([], tl)
+          in
+          split wave jobs
+        in
+        let futs =
+          Par.fork ~pool ~init:(fun () -> Network.copy net) ~f:decompose_job
+            this
+        in
+        List.iter2 (fun fut job -> merge (Par.await fut) job) futs this;
+        waves rest
+    in
+    waves jobs;
     (Aig.cleanup dst, !decomposed)
   end
 
@@ -273,10 +326,14 @@ let polish g =
 let optimize_with_stats ?(options = default) g0 =
   let g = if options.balance_first then Aig.Balance.run g0 else g0 in
   let initial_depth = Aig.depth g0 in
-  let deadline = Unix.gettimeofday () +. options.time_limit_s in
+  (* One monotonic deadline shared by the whole run — every worker of
+     every round checks the same absolute instant, so the time budget
+     means the same thing at -j 1 and -j 8 and is immune to wall-clock
+     adjustments. *)
+  let deadline = Par.Deadline.after options.time_limit_s in
   (* Inner loop: decomposition rounds while the depth improves. *)
   let rec rounds i g touched =
-    if i >= options.max_rounds || Unix.gettimeofday () > deadline then
+    if i >= options.max_rounds || Par.Deadline.expired deadline then
       (g, i, touched)
     else begin
       let g', n = one_round options ~deadline g in
@@ -296,7 +353,7 @@ let optimize_with_stats ?(options = default) g0 =
     let g2 = polish g1 in
     let g' = if Aig.depth g2 <= Aig.depth g1 then g2 else g1 in
     if budget > 0 && Aig.depth g' < Aig.depth g
-       && Unix.gettimeofday () <= deadline
+       && not (Par.Deadline.expired deadline)
     then outer (budget - 1) g' (rr + r) (touched + n)
     else (g', rr + r, touched + n)
   in

@@ -1,0 +1,251 @@
+(* Deterministic domain-pool parallel runtime. See par.mli for the
+   contract; the two load-bearing pieces are the FIFO queue (submission
+   order is execution order up to worker count, which keeps the -j 1
+   pool bit-identical in both results and interleaving to the old
+   sequential loops) and the helping [await] (no blocking while work is
+   queued, which makes nested submission deadlock-free). *)
+
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+  let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+end
+
+module Deadline = struct
+  (* Absolute CLOCK_MONOTONIC instant in ns; [max_int] means never. *)
+  type t = int64
+
+  let never : t = Int64.max_int
+
+  let after s =
+    if s <= 0.0 || s >= Int64.to_float Int64.max_int *. 1e-9 then never
+    else Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9))
+
+  let expired t = (not (Int64.equal t never)) && Clock.now_ns () > t
+
+  let remaining_s t =
+    if Int64.equal t never then infinity
+    else Int64.to_float (Int64.sub t (Clock.now_ns ())) *. 1e-9
+end
+
+let env_jobs () =
+  match Sys.getenv_opt "LOOKAHEAD_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let forced_jobs = ref None
+
+let default_jobs () =
+  match !forced_jobs with
+  | Some n -> n
+  | None -> (
+    match env_jobs () with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ())
+
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    (* One condition for everything — new work, completions, shutdown.
+       Broadcast is cheap at pool scale and keeps helping awaiters from
+       missing tasks their own pending future depends on. *)
+    wake : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable workers : unit Domain.t list;
+    size : int;
+  }
+
+  let worker_loop pool =
+    let running = ref true in
+    while !running do
+      Mutex.lock pool.mutex;
+      while Queue.is_empty pool.queue && not pool.closed do
+        Condition.wait pool.wake pool.mutex
+      done;
+      if Queue.is_empty pool.queue then begin
+        (* closed, and the queue is drained *)
+        running := false;
+        Mutex.unlock pool.mutex
+      end
+      else begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        task ()
+      end
+    done
+
+  let create ?jobs () =
+    let size = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let pool =
+      {
+        mutex = Mutex.create ();
+        wake = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        workers = [];
+        size;
+      }
+    in
+    pool.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    pool
+
+  let size pool = pool.size
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    if pool.closed then Mutex.unlock pool.mutex
+    else begin
+      pool.closed <- true;
+      Condition.broadcast pool.wake;
+      Mutex.unlock pool.mutex;
+      List.iter Domain.join pool.workers;
+      pool.workers <- []
+    end
+end
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = { pool : Pool.t; mutable state : 'a state }
+
+let submit (pool : Pool.t) f =
+  let fut = { pool; state = Pending } in
+  let task () =
+    let result =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock pool.mutex;
+    fut.state <- result;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Par.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex;
+  fut
+
+let await fut =
+  let pool = fut.pool in
+  (* Runs with the pool mutex held; releases it around task execution. *)
+  let rec resolve () =
+    match fut.state with
+    | Pending ->
+      if not (Queue.is_empty pool.Pool.queue) then begin
+        let task = Queue.pop pool.Pool.queue in
+        Mutex.unlock pool.Pool.mutex;
+        task ();
+        Mutex.lock pool.Pool.mutex;
+        resolve ()
+      end
+      else begin
+        (* Pending and not queued: some other worker is executing it (or
+           a task it transitively needs); its completion broadcasts. *)
+        Condition.wait pool.Pool.wake pool.Pool.mutex;
+        resolve ()
+      end
+    | (Done _ | Failed _) as r -> r
+  in
+  Mutex.lock pool.Pool.mutex;
+  let r = resolve () in
+  Mutex.unlock pool.Pool.mutex;
+  match r with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Shared pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let shared_pool : Pool.t option ref = ref None
+
+let shared () =
+  match !shared_pool with
+  | Some p -> p
+  | None ->
+    let p = Pool.create () in
+    shared_pool := Some p;
+    p
+
+let set_default_jobs n =
+  forced_jobs := (if n <= 0 then None else Some (max 1 n));
+  match !shared_pool with
+  | Some p when Pool.size p <> default_jobs () ->
+    Pool.shutdown p;
+    shared_pool := None
+  | _ -> ()
+
+let () =
+  at_exit (fun () ->
+      match !shared_pool with
+      | Some p ->
+        shared_pool := None;
+        Pool.shutdown p
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic map / fork / map_reduce                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-call context store: one [init ()] per worker domain that executes
+   at least one item of this call (the helping caller included). *)
+type 'w ctx_store = {
+  cm : Mutex.t;
+  tbl : (int, 'w) Hashtbl.t;
+  cinit : unit -> 'w;
+}
+
+let ctx_get store =
+  let id = (Domain.self () :> int) in
+  Mutex.lock store.cm;
+  match Hashtbl.find_opt store.tbl id with
+  | Some c ->
+    Mutex.unlock store.cm;
+    c
+  | None ->
+    (* Init outside the lock: a slow init (a network copy, a fresh BDD
+       manager) must not serialize the other workers' first items. The
+       domain id is unique to this domain, so no double insert. *)
+    Mutex.unlock store.cm;
+    let c = store.cinit () in
+    Mutex.lock store.cm;
+    Hashtbl.add store.tbl id c;
+    Mutex.unlock store.cm;
+    c
+
+let resolve_pool = function Some p -> p | None -> shared ()
+
+let fork ?pool ~init ~f xs =
+  let pool = resolve_pool pool in
+  let store = { cm = Mutex.create (); tbl = Hashtbl.create 8; cinit = init } in
+  List.map (fun x -> submit pool (fun () -> f (ctx_get store) x)) xs
+
+let map ?pool ~init ~f xs =
+  let pool = resolve_pool pool in
+  if Pool.size pool <= 1 then begin
+    (* -j 1: bypass the pool entirely — no queueing, no domains. *)
+    match xs with
+    | [] -> []
+    | xs ->
+      let ctx = init () in
+      List.map (f ctx) xs
+  end
+  else List.map await (fork ~pool ~init ~f xs)
+
+let map_list ?pool f xs = map ?pool ~init:(fun () -> ()) ~f:(fun () x -> f x) xs
+
+let map_reduce ?pool ~init ~f ~combine acc xs =
+  List.fold_left combine acc (map ?pool ~init ~f xs)

@@ -1,0 +1,120 @@
+(** Deterministic domain-pool parallel runtime.
+
+    A fixed-size pool of OCaml 5 domains with a FIFO work queue and
+    futures. The design contract, relied on by every caller in this
+    repository, is {e order determinism}: {!map}, {!fork} and
+    {!map_reduce} assemble results in submission order, so given a
+    deterministic job function the output is bit-identical regardless of
+    worker count or scheduling.
+
+    Shared mutable state (the CUDD-style [Bdd] manager, [Network]s,
+    growing [Aig]s) is single-domain; the isolation convention is that a
+    job either builds all the state it mutates itself, or receives it
+    from the [~init] callback of {!map}/{!fork}, which is invoked at most
+    once per worker domain per call (fresh BDD managers, network copies,
+    scratch buffers). Immutable or frozen structures (an [Aig.t] that is
+    only read, truth tables) may be shared freely — no read path of those
+    modules memoizes.
+
+    {!await} {e helps}: while its future is pending it executes queued
+    tasks instead of blocking, so jobs may submit sub-jobs to the same
+    pool and await them without deadlock, and a 1-job pool (the [-j 1]
+    debugging mode) runs everything in the calling domain with no
+    domains spawned and no cross-domain scheduling at all. *)
+
+(** Monotonic wall-clock (CLOCK_MONOTONIC), immune to system time
+    adjustments — the only clock the synthesis deadline logic uses. *)
+module Clock : sig
+  val now_ns : unit -> int64
+  val now_s : unit -> float
+end
+
+(** A single absolute deadline, shareable across every worker of a run
+    so a time budget means the same thing at [-j 1] and [-j 8]. *)
+module Deadline : sig
+  type t
+
+  (** [after s] expires [s] seconds from now; [s <= 0] or infinite
+      never expires. *)
+  val after : float -> t
+
+  val never : t
+  val expired : t -> bool
+
+  (** Seconds left; [infinity] for {!never}. *)
+  val remaining_s : t -> float
+end
+
+module Pool : sig
+  type t
+
+  (** [create ?jobs ()] spawns [jobs - 1] worker domains (the submitting
+      domain is the remaining worker, via helping {!await}). Default
+      [jobs] is {!default_jobs}. [jobs = 1] spawns nothing. *)
+  val create : ?jobs:int -> unit -> t
+
+  (** Total parallelism ([jobs] of {!create}). *)
+  val size : t -> int
+
+  (** Drain the queue, join the worker domains. Idempotent. *)
+  val shutdown : t -> unit
+end
+
+type 'a future
+
+(** [submit pool f] enqueues [f]; exceptions raised by [f] are stored
+    and re-raised (with their backtrace) by {!await}. *)
+val submit : Pool.t -> (unit -> 'a) -> 'a future
+
+(** Wait for a future, executing queued tasks while it is pending. *)
+val await : 'a future -> 'a
+
+(** Jobs used when no explicit pool/size is given: the last positive
+    {!set_default_jobs}, else [LOOKAHEAD_JOBS], else
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [set_default_jobs n] forces {!default_jobs} to [n] (the [-j] flag);
+    [n <= 0] reverts to automatic. The shared pool is torn down and
+    lazily re-created if its size changes. Call from the main domain
+    only. *)
+val set_default_jobs : int -> unit
+
+(** The process-wide pool, created on first use with {!default_jobs}
+    and shut down at exit. Nested use is safe: jobs that submit to the
+    shared pool themselves are executed by helping {!await}. *)
+val shared : unit -> Pool.t
+
+(** [map ~init ~f xs] runs [f ctx x] for every [x], where [ctx] is the
+    per-worker state from [init] (at most one [init] call per worker
+    domain). Results are in submission order. On a 1-job pool this is
+    [List.map (f (init ())) xs] in the calling domain. *)
+val map :
+  ?pool:Pool.t -> init:(unit -> 'w) -> f:('w -> 'a -> 'b) -> 'a list -> 'b list
+
+(** Stateless {!map}. *)
+val map_list : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Like {!map} but returns the futures in submission order without
+    awaiting, so the caller can merge results incrementally (and bound
+    how much completed-but-unmerged state is live) while later jobs are
+    still running. *)
+val fork :
+  ?pool:Pool.t ->
+  init:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  'a list ->
+  'b future list
+
+(** [map_reduce ~init ~f ~combine acc xs] folds [combine] over the
+    mapped results {e in submission order} — the reduction order, and
+    hence any non-associative effects (floating-point sums), match the
+    sequential run exactly. *)
+val map_reduce :
+  ?pool:Pool.t ->
+  init:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  'acc ->
+  'a list ->
+  'acc
