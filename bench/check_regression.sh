@@ -18,8 +18,15 @@
 # runtime's overhead regressed. Both checks are within-run, so the gate
 # is meaningful on any machine, single-core hosts included.
 #
+# Gate 3 (incr): runs `bench/main.exe incr` (the dirty-region analysis
+# engines vs their from-scratch equivalents on the Table 2 fast subset)
+# and fails when either (a) any incremental result is not bit-identical
+# to the from-scratch one, or (b) the incremental total is slower than
+# the from-scratch total — the engines exist to be faster, so parity is
+# the floor. Both checks are within-run.
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
-# Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1.
+# Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,7 +42,8 @@ dune build bench/main.exe
 
 bdd_fresh="${TMPDIR:-/tmp}/BENCH_bdd.fresh.$$.json"
 par_fresh="${TMPDIR:-/tmp}/BENCH_par.fresh.$$.json"
-trap 'rm -f "$bdd_fresh" "$par_fresh"' EXIT
+incr_fresh="${TMPDIR:-/tmp}/BENCH_incr.fresh.$$.json"
+trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
   awk -v want="$2" '
@@ -113,6 +121,41 @@ else
       fail=1 ;;
     *)
       echo "check_regression: FAIL — could not parse $par_fresh" >&2
+      fail=1 ;;
+  esac
+fi
+
+# ------------------------------------------------------------------
+# Gate 3: incremental analyses (within-run: identity + no slower)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_INCR_GATE:-0}" = 1 ]; then
+  echo "check_regression: incr gate skipped (SKIP_INCR_GATE=1)"
+else
+  # `bench incr` exits non-zero itself when any result differs.
+  BENCH_INCR_OUT="$incr_fresh" dune exec bench/main.exe -- incr
+
+  incr_verdict=$(awk '
+    /"totals":/ {
+      s = $0;  sub(/.*"scratch_s": /, "", s);      sub(/[,} ].*/, "", s)
+      i = $0;  sub(/.*"incr_s": /, "", i);         sub(/[,} ].*/, "", i)
+      id = $0; sub(/.*"all_identical": /, "", id); sub(/[,} ].*/, "", id)
+      if (id != "true") { print "different"; exit }
+      if (s == "" || i == "") { print "unparseable"; exit }
+      if (i + 0 > s + 0) { print "slow"; exit }
+      print "ok"; exit
+    }' "$incr_fresh")
+
+  case "$incr_verdict" in
+    ok) echo "check_regression: incr gate OK" ;;
+    different)
+      echo "check_regression: FAIL — incremental analyses differ from from-scratch" >&2
+      fail=1 ;;
+    slow)
+      echo "check_regression: FAIL — incremental analyses slower than from-scratch" >&2
+      fail=1 ;;
+    *)
+      echo "check_regression: FAIL — could not parse $incr_fresh" >&2
       fail=1 ;;
   esac
 fi

@@ -14,6 +14,9 @@
      dune exec bench/main.exe par             -- parallel-runtime scaling + JSON
                                                  (BENCH_par.json / $BENCH_PAR_OUT,
                                                   domain counts: $BENCH_PAR_JOBS)
+     dune exec bench/main.exe incr            -- incremental analyses vs
+                                                 from-scratch + JSON
+                                                 (BENCH_incr.json / $BENCH_INCR_OUT)
      dune exec bench/main.exe all             -- everything (fast table2)
 
    `-j N` (or `--jobs N`, or LOOKAHEAD_JOBS=N) sets the domain-pool
@@ -561,6 +564,223 @@ let par_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-analysis benchmark: per-phase timings of the dirty-      *)
+(* region engines (cached cones, incremental levels, Globals.update,    *)
+(* batched SPCF) against their from-scratch equivalents, on the Table 2 *)
+(* fast subset, with identical-result checks. Emitted as JSON           *)
+(* (BENCH_incr.json, or $BENCH_INCR_OUT); check_regression.sh gates on  *)
+(* identity and on incremental being no slower in total.                *)
+(* ------------------------------------------------------------------ *)
+
+let incr_bench () =
+  print_endline
+    "== Incremental analyses vs from-scratch (Table 2 fast subset) ==";
+  Printf.printf "%-24s %-8s %10s %10s %8s %10s\n" "circuit" "phase"
+    "scratch(s)" "incr(s)" "speedup" "identical";
+  (* The edit script models the driver's workload: repeated small
+     function edits inside one output's cone, each followed by a level /
+     globals query. Minterm set/clear edits keep the functions close to
+     the originals (the shape a minimization pass produces), so the
+     dirty region the incremental engines must repair is realistic. *)
+  let num_edits = 12 and cone_repeats = 5 in
+  let edit_script net =
+    let internal =
+      Array.of_list
+        (List.filter
+           (fun id -> not (Network.is_input net id))
+           (Network.topo_order net))
+    in
+    List.init num_edits (fun i ->
+        let id = internal.(i * Array.length internal / num_edits) in
+        let nd = Network.node net id in
+        let k = Array.length nd.Network.fanins in
+        let m = Logic.Tt.of_minterms k [ id mod (1 lsl k) ] in
+        let func =
+          if i mod 2 = 0 then Logic.Tt.lor_ nd.Network.func m
+          else Logic.Tt.land_ nd.Network.func (Logic.Tt.lnot m)
+        in
+        (id, func))
+  in
+  let all_rows = ref [] in
+  List.iter
+    (fun name ->
+      let g = Circuits.Suite.build name in
+      let net = Network.of_aig ~k:6 g in
+      let outs = Network.outputs net in
+      let levels0 = Network.Levels.compute net in
+      let deepest =
+        List.fold_left
+          (fun (acc : Network.output) (o : Network.output) ->
+            if levels0.(o.Network.node) > levels0.(acc.Network.node) then o
+            else acc)
+          (List.hd outs) outs
+      in
+      let row phase scratch_s incr_s identical =
+        Printf.printf "%-24s %-8s %10.4f %10.4f %7.1fx %10s\n%!" name phase
+          scratch_s incr_s
+          (scratch_s /. Float.max 1e-9 incr_s)
+          (if identical then "yes" else "NO");
+        all_rows := (name, phase, scratch_s, incr_s, identical) :: !all_rows
+      in
+      (* --- cones: repeated per-output queries, raw walk vs cache. --- *)
+      let t_scr =
+        wall (fun () ->
+            for _ = 1 to cone_repeats do
+              List.iter
+                (fun (o : Network.output) ->
+                  ignore (Network.cone net o.Network.node))
+                outs
+            done)
+      in
+      let analysis = Network.Analysis.create net in
+      let t_inc =
+        wall (fun () ->
+            for _ = 1 to cone_repeats do
+              List.iter
+                (fun (o : Network.output) ->
+                  ignore (Network.Analysis.cone analysis o.Network.node))
+                outs
+            done)
+      in
+      let same =
+        List.for_all
+          (fun (o : Network.output) ->
+            Network.Analysis.cone analysis o.Network.node
+            = Network.cone net o.Network.node)
+          outs
+      in
+      row "cone" t_scr t_inc same;
+      (* --- levels: per-edit full recompute vs dirty-region repair. --- *)
+      let net_lv = Network.copy net in
+      let edits = edit_script net_lv in
+      let inc = Network.Levels.Inc.create net_lv in
+      ignore (Network.Levels.Inc.levels inc);
+      let t_scr = ref 0.0 and t_inc = ref 0.0 and same = ref true in
+      List.iter
+        (fun (id, func) ->
+          Network.set_func net_lv id func;
+          let want = ref [||] in
+          t_scr := !t_scr +. wall (fun () -> want := Network.Levels.compute net_lv);
+          let got = ref [||] in
+          t_inc :=
+            !t_inc
+            +. wall (fun () ->
+                   Network.Levels.Inc.invalidate inc id;
+                   got := Network.Levels.Inc.levels inc);
+          if !got <> !want then same := false)
+        edits;
+      row "levels" !t_scr !t_inc !same;
+      (* --- globals: per-edit of_net vs dirty-region update. Separate
+         managers so neither run warms the other's caches; identity is
+         checked by hash consing inside the incremental manager. --- *)
+      let net_gl = Network.copy net in
+      let edits = edit_script net_gl in
+      let fanouts = Network.fanouts net_gl in
+      let man_scr = Bdd.create () and man_inc = Bdd.create () in
+      ignore (Network.Globals.of_net man_scr net_gl);
+      let globals = ref (Network.Globals.of_net man_inc net_gl) in
+      let t_scr = ref 0.0 and t_inc = ref 0.0 in
+      List.iter
+        (fun (id, func) ->
+          Network.set_func net_gl id func;
+          t_scr :=
+            !t_scr
+            +. wall (fun () -> ignore (Network.Globals.of_net man_scr net_gl));
+          t_inc :=
+            !t_inc
+            +. wall (fun () ->
+                   globals :=
+                     Network.Globals.update man_inc !globals net_gl
+                       ~dirty:[ id ] ~fanouts))
+        edits;
+      let same =
+        Array.for_all2 Bdd.equal !globals
+          (Network.Globals.of_net man_inc net_gl)
+      in
+      row "globals" !t_scr !t_inc same;
+      (* --- SPCF: per-late-node boolean differences vs the batched
+         backward-substitution pass. --- *)
+      let delta = levels0.(deepest.Network.node) in
+      let late =
+        Timing.Spcf.late_nodes net ~levels:levels0 ~out:deepest ~delta
+          ~max_nodes:24
+      in
+      let man_scr = Bdd.create () in
+      let globals_scr = Network.Globals.of_net man_scr net in
+      let t_scr =
+        wall (fun () ->
+            ignore
+              (List.fold_left
+                 (fun acc wrt ->
+                   Bdd.bor man_scr acc
+                     (Timing.Spcf.boolean_difference man_scr net globals_scr
+                        ~wrt ~out:deepest))
+                 (Bdd.bfalse man_scr) late))
+      in
+      let man_inc = Bdd.create () in
+      let globals_inc = Network.Globals.of_net man_inc net in
+      let spcf_inc = ref (Bdd.bfalse man_inc) in
+      let t_inc =
+        wall (fun () ->
+            spcf_inc :=
+              Timing.Spcf.approx man_inc net globals_inc ~levels:levels0
+                ~out:deepest ~delta ~max_nodes:24 ~analysis ())
+      in
+      let spcf_ref =
+        List.fold_left
+          (fun acc wrt ->
+            Bdd.bor man_inc acc
+              (Timing.Spcf.boolean_difference man_inc net globals_inc ~wrt
+                 ~out:deepest))
+          (Bdd.bfalse man_inc) late
+      in
+      row "spcf" t_scr t_inc (Bdd.equal !spcf_inc spcf_ref))
+    fast_subset;
+  let rows = List.rev !all_rows in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let total_scr = total (fun (_, _, s, _, _) -> s) in
+  let total_inc = total (fun (_, _, _, i, _) -> i) in
+  let all_same = List.for_all (fun (_, _, _, _, same) -> same) rows in
+  Printf.printf
+    "\nTOTAL analysis time: from-scratch %.3f s, incremental %.3f s \
+     (%.1fx), identical: %s\n\n"
+    total_scr total_inc
+    (total_scr /. Float.max 1e-9 total_inc)
+    (if all_same then "yes" else "NO");
+  let out =
+    match Sys.getenv_opt "BENCH_INCR_OUT" with
+    | Some p -> p
+    | None -> "BENCH_incr.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"schema\": \"incr-bench/v1\",\n  \"rows\": [\n";
+  let rec emit = function
+    | [] -> ()
+    | (name, phase, s, i, same) :: rest ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"phase\": \"%s\", \"scratch_s\": %.6f, \
+         \"incr_s\": %.6f, \"identical\": %b}%s\n"
+        name phase s i same
+        (if rest = [] then "" else ",");
+      emit rest
+  in
+  emit rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"totals\": {\"scratch_s\": %.6f, \"incr_s\": %.6f, \"speedup\": \
+     %.3f, \"all_identical\": %b}\n\
+     }\n"
+    total_scr total_inc
+    (total_scr /. Float.max 1e-9 total_inc)
+    all_same;
+  close_out oc;
+  Printf.printf "wrote %s\n\n" out;
+  if not all_same then begin
+    prerr_endline "incr: incremental result differs from from-scratch";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table / kernel.             *)
 (* ------------------------------------------------------------------ *)
 
@@ -692,6 +912,7 @@ let () =
       | "bechamel" -> bechamel ()
       | "bdd" -> bdd_bench ()
       | "par" -> par_bench ()
+      | "incr" -> incr_bench ()
       | "profile" -> profile ()
       | "all" ->
         table1 ();

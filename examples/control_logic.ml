@@ -54,9 +54,10 @@ let () =
 
   (* Step 4: one primary simplification pass (Fig. 2) on a copy. *)
   let primary = Network.copy net in
+  let analysis = Network.Analysis.create primary in
   let spcf_count = Bdd.satcount man ~nvars spcf in
   let outcome =
-    Lookahead.Reduce.run man ~globals ~spcf ~spcf_count primary ~out:o
+    Lookahead.Reduce.run man ~analysis ~globals ~spcf ~spcf_count primary ~out:o
       ~target:delta
   in
   Format.printf "primary simplification: %d node(s) edited, level %d -> %d@."

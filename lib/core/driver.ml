@@ -34,40 +34,38 @@ let log = Logs.Src.create "lookahead" ~doc:"lookahead synthesis driver"
 
 module Log = (val Logs.src_log log)
 
-(* Number of primary inputs in the support of an output's cone. *)
-let cone_support net oid =
-  List.length
-    (List.filter (fun id -> Network.is_input net id) (Network.cone net oid))
-
-let spcf_of opts man net globals ~levels ~out ~delta g out_index =
+let spcf_of opts man net globals ~analysis ~levels ~out ~delta g ~aig_depth
+    out_index =
   if opts.use_exact_spcf && Network.num_inputs net <= 14 then begin
     (* Exact floating-mode SPCF on the AIG (unit-delay threshold at the
        AIG depth), converted to a BDD over the primary inputs. *)
-    let tt = Timing.Spcf.exact g ~out:out_index ~delta:(Aig.depth g) in
+    let tt = Timing.Spcf.exact g ~out:out_index ~delta:aig_depth in
     Bdd.apply_tt man tt
       (Array.init (Network.num_inputs net) (fun i -> Bdd.var man i))
   end
   else
     Timing.Spcf.approx man net globals ~levels ~out ~delta
-      ~max_nodes:opts.spcf_max_nodes ()
+      ~max_nodes:opts.spcf_max_nodes ~analysis ()
 
 (* Recursive multi-level decomposition of one output: peel a window off
    the current residue network, then recurse into the secondary circuit.
    Returns the decomposition levels (outermost first) and the final
    residue. *)
-let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
+let decompose_output opts man g out_index (o : Network.output) net0 analysis0
+    globals0 ~aig_depth =
   let oid = o.Network.node in
-  let rec go net globals depth_left ~stalls acc =
+  let rec go net analysis globals depth_left ~stalls acc =
     if depth_left = 0 || (Bdd.stats man).Bdd.live_nodes > opts.bdd_node_limit
     then
       (List.rev acc, net)
     else begin
-      let levels = Network.Levels.compute net in
+      let levels = Network.Analysis.levels analysis in
       let l_out = levels.(oid) in
       if l_out <= 1 then (List.rev acc, net)
       else begin
         let spcf =
-          spcf_of opts man net globals ~levels ~out:o ~delta:l_out g out_index
+          spcf_of opts man net globals ~analysis ~levels ~out:o ~delta:l_out g
+            ~aig_depth out_index
         in
         if Bdd.is_false man spcf then (List.rev acc, net)
         else begin
@@ -75,9 +73,10 @@ let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
             Bdd.satcount man ~nvars:(Network.num_inputs net) spcf
           in
           let primary = Network.copy net in
+          let primary_analysis = Network.Analysis.for_copy analysis primary in
           let outcome =
-            Reduce.run man ~globals ~spcf ~spcf_count primary ~out:o
-              ~target:l_out
+            Reduce.run man ~analysis:primary_analysis ~globals ~spcf
+              ~spcf_count primary ~out:o ~target:l_out
           in
           if outcome.Reduce.marked = [] then begin
             Log.debug (fun m ->
@@ -113,17 +112,15 @@ let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
                 (List.rev (level :: acc), primary)
               else begin
                 let secondary = Network.copy net in
-                Secondary.run man ~globals ~care:(Bdd.bnot man sigma) secondary
-                  ~out:o;
-                let sec_levels = Network.Levels.compute secondary in
-                let residue_changed =
-                  List.exists
-                    (fun id ->
-                      not
-                        (Logic.Tt.equal (Network.node net id).Network.func
-                           (Network.node secondary id).Network.func))
-                    (Network.cone secondary oid)
+                let sec_analysis =
+                  Network.Analysis.for_copy analysis secondary
                 in
+                let edited =
+                  Secondary.run man ~globals ~care:(Bdd.bnot man sigma)
+                    secondary ~analysis:sec_analysis ~out:o
+                in
+                let sec_levels = Network.Analysis.levels sec_analysis in
+                let residue_changed = edited <> [] in
                 let stalled = sec_levels.(oid) >= l_out in
                 if stalled && ((not residue_changed) || stalls >= 1) then begin
                   (* The residue stopped making progress: keep this level
@@ -136,8 +133,13 @@ let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
                   (List.rev (level :: acc), secondary)
                 end
                 else begin
-                  let sec_globals = Network.Globals.of_net man secondary in
-                  go secondary sec_globals (depth_left - 1)
+                  (* Only the cones that contain an edit changed: reuse
+                     every other output's global BDD verbatim. *)
+                  let sec_globals =
+                    Network.Globals.update man globals secondary ~dirty:edited
+                      ~fanouts:(Network.Analysis.fanouts sec_analysis)
+                  in
+                  go secondary sec_analysis sec_globals (depth_left - 1)
                     ~stalls:(if stalled then stalls + 1 else 0)
                     (level :: acc)
                 end
@@ -148,7 +150,7 @@ let decompose_output opts man g out_index (o : Network.output) net0 globals0 =
       end
     end
   in
-  go net0 globals0 opts.max_decomp_levels ~stalls:0 []
+  go net0 analysis0 globals0 opts.max_decomp_levels ~stalls:0 []
 
 (* Result of the parallel per-output decomposition phase. The manager is
    carried to the (sequential) reconstruction phase: the decomposition's
@@ -207,10 +209,18 @@ let one_round opts ~deadline g =
     in
     let decomposed = ref 0 in
     let aig_depth = Aig.depth g in
-    let decompose_job wnet (out_index, (o : Network.output), old_level) =
+    (* [wstate] is per worker (lib/par [~init]): one network copy and
+       one wiring/levels cache shared by every job the worker runs —
+       cones, fanouts and support counts are computed once per worker,
+       not once per output (the round never edits [wnet] itself). *)
+    let decompose_job (wnet, wanalysis)
+        (out_index, (o : Network.output), old_level) =
       if old_level < aig_depth then None
       else if Network.is_input wnet o.Network.node then None
-      else if cone_support wnet o.Network.node > opts.max_cone_inputs then begin
+      else if
+        Network.Analysis.support_count wanalysis o.Network.node
+        > opts.max_cone_inputs
+      then begin
         Log.debug (fun m ->
             m "skip %s: cone support exceeds %d" o.Network.name
               opts.max_cone_inputs);
@@ -227,7 +237,8 @@ let one_round opts ~deadline g =
         let man = Bdd.create () in
         let globals = Network.Globals.of_net man wnet in
         let decomp_levels, final_residue =
-          decompose_output opts man g out_index o wnet globals
+          decompose_output opts man g out_index o wnet wanalysis globals
+            ~aig_depth
         in
         if decomp_levels = [] then None
         else
@@ -290,8 +301,11 @@ let one_round opts ~deadline g =
           split wave jobs
         in
         let futs =
-          Par.fork ~pool ~init:(fun () -> Network.copy net) ~f:decompose_job
-            this
+          Par.fork ~pool
+            ~init:(fun () ->
+              let w = Network.copy net in
+              (w, Network.Analysis.create w))
+            ~f:decompose_job this
         in
         List.iter2 (fun fut job -> merge (Par.await fut) job) futs this;
         waves rest

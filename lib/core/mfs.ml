@@ -1,5 +1,6 @@
 let simplify_network man net =
   let globals = Network.Globals.of_net man net in
+  let fanouts = Network.fanouts net in
   let levels = Network.Levels.compute net in
   let outs = Network.outputs net in
   List.iter
@@ -46,8 +47,11 @@ let simplify_network man net =
               Network.set_func net id func;
               (* Later nodes must see the updated global functions: a
                  change inside the ODC of the *original* network could
-                 otherwise compose unsoundly with a second change. *)
-              let fresh = Network.Globals.of_net man net in
+                 otherwise compose unsoundly with a second change. Only
+                 the edited node's transitive fanout can differ. *)
+              let fresh =
+                Network.Globals.update man globals net ~dirty:[ id ] ~fanouts
+              in
               Array.blit fresh 0 globals 0 (Array.length globals)
             end
           end

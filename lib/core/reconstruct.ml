@@ -49,7 +49,14 @@ let level_values man dst lev ~input_map ~oid l =
           (Network.Globals.tt_image man l.residue_globals l.residue id w))
       (Bdd.btrue man) l.windows
   in
-  let prim_globals = Network.Globals.of_net man l.primary in
+  (* [primary] is [residue] with exactly the windowed nodes re-expressed
+     (same wiring), so the residue's globals plus a dirty-region update
+     give the same hash-consed BDDs as a full rebuild. *)
+  let prim_globals =
+    Network.Globals.update man l.residue_globals l.primary
+      ~dirty:(List.map fst l.windows)
+      ~fanouts:(Network.fanouts l.primary)
+  in
   let cache_res = Hashtbl.create 64 and cache_prim = Hashtbl.create 64 in
   let sigma_lit =
     lazy

@@ -1,55 +1,61 @@
 type outcome = { marked : (int * Logic.Tt.t) list; achieved_level : int }
 
-let run man ~globals ~spcf ~spcf_count net ~out ~target =
+let run man ~analysis ~globals ~spcf ~spcf_count net ~out ~target =
   let oid = out.Network.node in
-  let levels = ref (Network.Levels.compute net) in
+  (* Levels come from the per-network incremental engine: each accepted
+     edit invalidates one node and the next query repairs only its
+     transitive fanout — the contents always equal a from-scratch
+     [Levels.compute]. *)
+  let levels () = Network.Analysis.levels analysis in
   let marked = Hashtbl.create 16 in
   let windows = ref [] in
-  let cone = Network.cone net oid in
+  let cone = Network.Analysis.cone analysis oid in
   (* Deepest unmarked internal node of the cone — the walk's entry point
      each time a descent bottoms out. *)
   let deepest_unmarked () =
+    let levels = levels () in
     List.fold_left
       (fun acc id ->
         if Network.is_input net id || Hashtbl.mem marked id then acc
         else
           match acc with
-          | Some best when !levels.(best) >= !levels.(id) -> acc
+          | Some best when levels.(best) >= levels.(id) -> acc
           | _ -> Some id)
       None cone
   in
   let simplify_node id =
     Hashtbl.replace marked id ();
     let r =
-      Simplify.run man ~globals ~spcf ~spcf_count net ~levels:!levels id
+      Simplify.run man ~globals ~spcf ~spcf_count net ~levels:(levels ()) id
     in
     if r.Simplify.changed then begin
       Network.set_func net id r.Simplify.func;
-      windows := (id, r.Simplify.window) :: !windows;
-      levels := Network.Levels.compute net
+      Network.Analysis.invalidate analysis id;
+      windows := (id, r.Simplify.window) :: !windows
     end
   in
   (* Among the critical fanins of [id], the deepest unmarked internal
      node, if any. *)
   let next_candidate id =
     let nd = Network.node net id in
-    let crit = Network.Levels.critical_inputs net ~levels:!levels id in
+    let levels = levels () in
+    let crit = Network.Levels.critical_inputs net ~levels id in
     List.fold_left
       (fun acc pos ->
         let f = nd.Network.fanins.(pos) in
         if Network.is_input net f || Hashtbl.mem marked f then acc
         else
           match acc with
-          | Some best when !levels.(best) >= !levels.(f) -> acc
+          | Some best when levels.(best) >= levels.(f) -> acc
           | _ -> Some f)
       None crit
   in
   let budget = ref (2 * List.length cone) in
   let rec descend id =
-    if !levels.(oid) >= target && !budget > 0 then begin
+    if (levels ()).(oid) >= target && !budget > 0 then begin
       decr budget;
       simplify_node id;
-      if !levels.(oid) >= target then begin
+      if (levels ()).(oid) >= target then begin
         match next_candidate id with
         | Some f -> descend f
         | None -> (
@@ -62,4 +68,4 @@ let run man ~globals ~spcf ~spcf_count net ~out ~target =
     end
   in
   (match deepest_unmarked () with Some id -> descend id | None -> ());
-  { marked = List.rev !windows; achieved_level = !levels.(oid) }
+  { marked = List.rev !windows; achieved_level = (levels ()).(oid) }

@@ -13,12 +13,18 @@ type outcome = {
   achieved_level : int;  (** level of the output after simplification *)
 }
 
-(** [run man ~globals ~spcf ~spcf_count net ~out ~target] edits [net] in
-    place (node functions only). [globals] are the global functions of
-    the original network; [target] is the level the output must drop
-    below (the paper's [l_T]). *)
+(** [run man ~analysis ~globals ~spcf ~spcf_count net ~out ~target]
+    edits [net] in place (node functions only). [analysis] is the cache
+    for [net]: node levels are read through its incremental engine and
+    every accepted edit is recorded with
+    {!Network.Analysis.invalidate}, so the repeated level queries of
+    the walk repair dirty regions instead of recomputing the full
+    array. [globals] are the global functions of the original network;
+    [target] is the level the output must drop below (the paper's
+    [l_T]). *)
 val run :
   Bdd.man ->
+  analysis:Network.Analysis.t ->
   globals:Bdd.t array ->
   spcf:Bdd.t ->
   spcf_count:float ->

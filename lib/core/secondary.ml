@@ -1,7 +1,13 @@
-let run man ~globals ~care net ~out =
+let run man ~globals ~care net ~analysis ~out =
   let oid = out.Network.node in
-  let cone = Network.cone net oid in
-  let levels = Network.Levels.compute net in
+  let cone = Network.Analysis.cone analysis oid in
+  (* Levels are deliberately read once, before any edit: each node is
+     re-minimized against the level landscape of the unedited network
+     (matching the from-scratch behaviour this pass always had). The
+     copy decouples the snapshot from the analysis engine's in-place
+     repair. *)
+  let levels = Array.copy (Network.Analysis.levels analysis) in
+  let edited = ref [] in
   List.iter
     (fun id ->
       if not (Network.is_input net id) then begin
@@ -32,9 +38,13 @@ let run man ~globals ~care net ~out =
               if depth_of pos <= depth_of neg then Logic.Sop.to_tt pos
               else Logic.Tt.lnot (Logic.Sop.to_tt neg)
             in
-            if not (Logic.Tt.equal func nd.Network.func) then
-              Network.set_func net id func
+            if not (Logic.Tt.equal func nd.Network.func) then begin
+              Network.set_func net id func;
+              Network.Analysis.invalidate analysis id;
+              edited := id :: !edited
+            end
           end
         end
       end)
-    cone
+    cone;
+  List.rev !edited

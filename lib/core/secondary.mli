@@ -9,14 +9,18 @@
     every node is simplified and all cubes with weight equal to zero are
     replaced with a don't care"). *)
 
-(** [run man ~globals ~care net ~out] edits [net] (a fresh copy of the
-    original) in place. [globals] are the original global functions —
-    the wiring of [net] must be identical to the network they were
-    computed on. *)
+(** [run man ~globals ~care net ~analysis ~out] edits [net] (a fresh
+    copy of the original) in place and returns the ids of the nodes it
+    changed, in cone order. [globals] are the original global functions
+    — the wiring of [net] must be identical to the network they were
+    computed on. [analysis] is the cache for [net]; every edit is
+    recorded there with {!Network.Analysis.invalidate}, so the caller's
+    next level query repairs only the dirty region. *)
 val run :
   Bdd.man ->
   globals:Bdd.t array ->
   care:Bdd.t ->
   Network.t ->
+  analysis:Network.Analysis.t ->
   out:Network.output ->
-  unit
+  int list

@@ -1,0 +1,94 @@
+(* Per-decomposition cache of network analyses.
+
+   The decomposition inner loop only ever edits node *functions*
+   ([Graph.set_func]) and output polarities ([Graph.set_output]) — the
+   wiring is fixed once [of_aig] has clustered the round's network, and
+   every working network is a [Graph.copy] of that one. Cones, fanouts
+   and cone-support counts depend on wiring alone, so one cache serves
+   the original and all of its copies ([for_copy]); levels depend on
+   the functions and get a per-network incremental engine seeded from
+   the parent's repaired array. *)
+
+type wiring = {
+  frozen_n : int; (* node count the caches were built for *)
+  mutable fanouts : int list array option;
+  cones : (int, int list) Hashtbl.t;
+  supports : (int, int) Hashtbl.t; (* id -> #primary inputs in cone *)
+}
+
+type t = {
+  net : Graph.t;
+  wiring : wiring; (* shared across [for_copy] descendants *)
+  mutable inc : Levels.Inc.t option; (* per-network, lazily created *)
+}
+
+let create net =
+  {
+    net;
+    wiring =
+      {
+        frozen_n = Graph.num_nodes net;
+        fanouts = None;
+        cones = Hashtbl.create 16;
+        supports = Hashtbl.create 16;
+      };
+    inc = None;
+  }
+
+let net t = t.net
+
+let check_frozen t =
+  (* Appending nodes would stale every wiring cache (and the shared
+     tables of the other copies); the decomposition loop never does. *)
+  assert (Graph.num_nodes t.net = t.wiring.frozen_n)
+
+let fanouts t =
+  check_frozen t;
+  match t.wiring.fanouts with
+  | Some fo -> fo
+  | None ->
+    let fo = Graph.fanouts t.net in
+    t.wiring.fanouts <- Some fo;
+    fo
+
+let cone t id =
+  check_frozen t;
+  match Hashtbl.find_opt t.wiring.cones id with
+  | Some c -> c
+  | None ->
+    let c = Graph.cone t.net id in
+    Hashtbl.replace t.wiring.cones id c;
+    c
+
+let support_count t id =
+  check_frozen t;
+  match Hashtbl.find_opt t.wiring.supports id with
+  | Some s -> s
+  | None ->
+    let s =
+      List.fold_left
+        (fun acc n -> if Graph.is_input t.net n then acc + 1 else acc)
+        0 (cone t id)
+    in
+    Hashtbl.replace t.wiring.supports id s;
+    s
+
+let inc t =
+  match t.inc with
+  | Some i -> i
+  | None ->
+    let i = Levels.Inc.of_levels t.net ~fanouts:(fanouts t) (Levels.compute t.net) in
+    t.inc <- Some i;
+    i
+
+let levels t = Levels.Inc.levels (inc t)
+let invalidate t id = Levels.Inc.invalidate (inc t) id
+
+let for_copy t net' =
+  check_frozen t;
+  assert (Graph.num_nodes net' = t.wiring.frozen_n);
+  (* Seed the copy's level engine from the parent's repaired levels:
+     the copy is fresh, so its functions — and therefore its levels —
+     are still the parent's. *)
+  let inc' = Levels.Inc.of_levels net' ~fanouts:(fanouts t) (levels t) in
+  { net = net'; wiring = t.wiring; inc = Some inc' }

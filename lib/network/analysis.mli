@@ -1,0 +1,43 @@
+(** Per-decomposition cache of network analyses: memoized cones,
+    fanouts and cone-support counts (wiring-only, shared across
+    {!Graph.copy} working copies) plus incremental levels
+    ({!Levels.Inc}, per network).
+
+    Invalidation contract: after every {!Graph.set_func} on a cached
+    network, call {!invalidate} with the edited id before the next
+    {!levels} query. Wiring caches never need invalidation — the graph
+    API cannot rewire an existing node — but the node count is frozen
+    at creation: appending nodes to a cached network is a programming
+    error (asserted). {!Graph.set_output} needs no invalidation. *)
+
+type t
+
+(** Fresh cache for [net]. Cheap: everything is computed on demand. *)
+val create : Graph.t -> t
+
+(** [for_copy t net'] is a cache for [net'], a {e fresh, still
+    unedited} [Graph.copy] of [t]'s network: the wiring caches are
+    shared (cones, fanouts, support counts — valid because copies are
+    never rewired), and the copy's level engine is seeded from the
+    parent's repaired levels instead of recomputing from scratch. *)
+val for_copy : t -> Graph.t -> t
+
+(** The network this cache analyzes. *)
+val net : t -> Graph.t
+
+(** Cached {!Graph.cone}. *)
+val cone : t -> int -> int list
+
+(** Cached {!Graph.fanouts}. *)
+val fanouts : t -> int list array
+
+(** Number of primary inputs in the cone of a node (the output-support
+    count the driver gates window sizes on). *)
+val support_count : t -> int -> int
+
+(** Repaired incremental levels — equals {!Levels.compute} on the
+    current functions. Same aliasing rules as {!Levels.Inc.levels}. *)
+val levels : t -> int array
+
+(** Record a {!Graph.set_func} edit on this cache's network. *)
+val invalidate : t -> int -> unit

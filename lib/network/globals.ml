@@ -13,6 +13,32 @@ let of_net man net =
     (Graph.topo_order net);
   globals
 
+(* Incremental rebuild: only nodes whose cone contains an edit can have
+   changed global functions, so recompute the transitive fanout of the
+   dirty set and reuse every other entry verbatim. Within one manager
+   the result is bit-identical to [of_net] — BDDs are hash-consed, so
+   an unchanged function is the same edge whether reused or rebuilt. *)
+let update man globals net ~dirty ~fanouts =
+  let n = Graph.num_nodes net in
+  assert (Array.length globals = n);
+  let affected = Array.make n false in
+  let rec mark id =
+    if not affected.(id) then begin
+      affected.(id) <- true;
+      List.iter mark fanouts.(id)
+    end
+  in
+  List.iter mark dirty;
+  let fresh = Array.copy globals in
+  for id = 0 to n - 1 do
+    if affected.(id) && not (Graph.is_input net id) then begin
+      let nd = Graph.node net id in
+      let args = Array.map (fun f -> fresh.(f)) nd.Graph.fanins in
+      fresh.(id) <- Bdd.apply_tt man nd.Graph.func args
+    end
+  done;
+  fresh
+
 let fanin_globals globals net id =
   let nd = Graph.node net id in
   Array.map (fun f -> globals.(f)) nd.Graph.fanins

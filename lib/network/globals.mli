@@ -6,6 +6,21 @@
 (** Per-node global functions; BDD variable [i] is primary input [i]. *)
 val of_net : Bdd.man -> Graph.t -> Bdd.t array
 
+(** [update man globals net ~dirty ~fanouts] is [of_net man net] given
+    that [globals] was computed (in the same manager) on a network that
+    differed from [net] only in the functions of the [dirty] nodes:
+    entries outside the transitive fanout of [dirty] are reused
+    verbatim, the rest are recomputed. Returns a fresh array; [globals]
+    is not mutated. Bit-identical to a from-scratch [of_net] (same
+    hash-consed edges). *)
+val update :
+  Bdd.man ->
+  Bdd.t array ->
+  Graph.t ->
+  dirty:int list ->
+  fanouts:int list array ->
+  Bdd.t array
+
 (** [cube_image man globals net id cube] is the set of primary-input
     minterms on which the fanin values of node [id] fall inside [cube]
     (a cube over the node's fanin positions). *)

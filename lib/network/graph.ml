@@ -6,12 +6,14 @@ type t = {
   mutable n : int;
   mutable input_ids : int list; (* reversed *)
   mutable num_inputs : int;
-  mutable outs : output list; (* reversed *)
+  mutable outs : output array; (* growable; first [num_outs] live *)
+  mutable num_outs : int;
   names : (int, string) Hashtbl.t;
   input_pos : (int, int) Hashtbl.t;
 }
 
 let dummy_node = { fanins = [||]; func = Logic.Tt.const_false 0 }
+let dummy_output = { name = ""; node = 0; negated = false }
 
 let create () =
   {
@@ -19,7 +21,8 @@ let create () =
     n = 0;
     input_ids = [];
     num_inputs = 0;
-    outs = [];
+    outs = Array.make 4 dummy_output;
+    num_outs = 0;
     names = Hashtbl.create 16;
     input_pos = Hashtbl.create 16;
   }
@@ -55,12 +58,17 @@ let add_node net fanins func =
 
 let add_output net name ?(negated = false) id =
   assert (id >= 0 && id < net.n);
-  net.outs <- { name; node = id; negated } :: net.outs
+  if net.num_outs >= Array.length net.outs then begin
+    let a = Array.make (2 * Array.length net.outs) dummy_output in
+    Array.blit net.outs 0 a 0 net.num_outs;
+    net.outs <- a
+  end;
+  net.outs.(net.num_outs) <- { name; node = id; negated };
+  net.num_outs <- net.num_outs + 1
 
 let set_output net i ~node ~negated =
-  let arr = Array.of_list (List.rev net.outs) in
-  arr.(i) <- { arr.(i) with node; negated };
-  net.outs <- List.rev (Array.to_list arr)
+  assert (i >= 0 && i < net.num_outs);
+  net.outs.(i) <- { net.outs.(i) with node; negated }
 
 let num_nodes net = net.n
 let num_inputs net = net.num_inputs
@@ -69,7 +77,11 @@ let node net id =
   assert (id >= 0 && id < net.n);
   net.nodes.(id)
 
-let outputs net = List.rev net.outs
+let outputs net = List.init net.num_outs (fun i -> net.outs.(i))
+let num_outputs net = net.num_outs
+let output net i =
+  assert (i >= 0 && i < net.num_outs);
+  net.outs.(i)
 let inputs net = List.rev net.input_ids
 let input_index net id = Hashtbl.find net.input_pos id
 
@@ -85,23 +97,29 @@ let copy net =
     n = net.n;
     input_ids = net.input_ids;
     num_inputs = net.num_inputs;
-    outs = net.outs;
+    outs = Array.copy net.outs;
+    num_outs = net.num_outs;
     names = Hashtbl.copy net.names;
     input_pos = Hashtbl.copy net.input_pos;
   }
 
 let topo_order net = List.init net.n Fun.id
 
+(* Ascending node ids are a topological order, so collecting the marked
+   ids and sorting gives the cone in topological order without building
+   (and filtering) the full [topo_order] list. *)
 let cone net root =
   let mark = Array.make net.n false in
+  let members = ref [] in
   let rec visit id =
     if not mark.(id) then begin
       mark.(id) <- true;
+      members := id :: !members;
       if not (is_input net id) then Array.iter visit net.nodes.(id).fanins
     end
   in
   visit root;
-  List.filter (fun id -> mark.(id)) (topo_order net)
+  List.sort compare !members
 
 let fanouts net =
   let fo = Array.make net.n [] in
@@ -264,5 +282,4 @@ let to_aig net =
 let pp_stats ppf net =
   let internal = net.n - net.num_inputs in
   Format.fprintf ppf "network: inputs=%d nodes=%d outputs=%d" net.num_inputs
-    internal
-    (List.length net.outs)
+    internal net.num_outs

@@ -28,6 +28,10 @@ val add_input : ?name:string -> t -> int
 val add_node : t -> int array -> Logic.Tt.t -> int
 
 val add_output : t -> string -> ?negated:bool -> int -> unit
+
+(** [set_output net i ~node ~negated] redirects output [i] (in
+    {!outputs} order) to [node]. O(1): outputs are stored in a growable
+    array. *)
 val set_output : t -> int -> node:int -> negated:bool -> unit
 
 val num_nodes : t -> int
@@ -35,6 +39,10 @@ val num_inputs : t -> int
 val is_input : t -> int -> bool
 val node : t -> int -> node
 val outputs : t -> output list
+val num_outputs : t -> int
+
+(** [output net i] is the [i]-th output, in {!outputs} order. *)
+val output : t -> int -> output
 val inputs : t -> int list
 val input_index : t -> int -> int
 

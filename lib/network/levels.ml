@@ -43,6 +43,99 @@ let compute net =
   List.iter (fun id -> levels.(id) <- node_level net ~levels id) (Graph.topo_order net);
   levels
 
+(* Incremental levels: a dirty-region repair engine over [compute].
+
+   [set_func] edits are recorded with [invalidate]; [levels] repairs by
+   recomputing dirty nodes in ascending id order (ids are topological)
+   and propagating to fanouts only when a node's level actually changed,
+   so a query after an edit costs the transitive fanout of the changed
+   region instead of the whole array. The repaired array is — by
+   induction over ids — identical to a from-scratch [compute]. *)
+module Inc = struct
+  type t = {
+    net : Graph.t;
+    fanouts : int list array;
+    frozen_n : int; (* node count at creation: appends invalidate [t] *)
+    levels : int array;
+    dirty : bool array; (* [dirty.(id)]: queued in [heap] *)
+    mutable heap : int array; (* binary min-heap of dirty ids *)
+    mutable heap_len : int;
+  }
+
+  (* Minimal int min-heap. Propagation only ever pushes ids larger than
+     the id being popped, so ascending-order processing is total. *)
+  let push t id =
+    if not t.dirty.(id) then begin
+      t.dirty.(id) <- true;
+      if t.heap_len >= Array.length t.heap then begin
+        let a = Array.make (max 8 (2 * Array.length t.heap)) 0 in
+        Array.blit t.heap 0 a 0 t.heap_len;
+        t.heap <- a
+      end;
+      let i = ref t.heap_len in
+      t.heap_len <- t.heap_len + 1;
+      t.heap.(!i) <- id;
+      while !i > 0 && t.heap.(((!i - 1) / 2)) > t.heap.(!i) do
+        let p = (!i - 1) / 2 in
+        let tmp = t.heap.(p) in
+        t.heap.(p) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := p
+      done
+    end
+
+  let pop t =
+    let top = t.heap.(0) in
+    t.heap_len <- t.heap_len - 1;
+    t.heap.(0) <- t.heap.(t.heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < t.heap_len && t.heap.(l) < t.heap.(!s) then s := l;
+      if r < t.heap_len && t.heap.(r) < t.heap.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let tmp = t.heap.(!s) in
+        t.heap.(!s) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !s
+      end
+    done;
+    t.dirty.(top) <- false;
+    top
+
+  let of_levels net ~fanouts levels =
+    assert (Array.length levels = Graph.num_nodes net);
+    {
+      net;
+      fanouts;
+      frozen_n = Graph.num_nodes net;
+      levels = Array.copy levels;
+      dirty = Array.make (Graph.num_nodes net) false;
+      heap = Array.make 16 0;
+      heap_len = 0;
+    }
+
+  let create net = of_levels net ~fanouts:(Graph.fanouts net) (compute net)
+  let invalidate t id = push t id
+
+  let levels t =
+    (* The wiring caches freeze the node count: appending nodes would
+       silently stale [fanouts], so it is a programming error. *)
+    assert (Graph.num_nodes t.net = t.frozen_n);
+    while t.heap_len > 0 do
+      let id = pop t in
+      let l = node_level t.net ~levels:t.levels id in
+      if l <> t.levels.(id) then begin
+        t.levels.(id) <- l;
+        List.iter (fun f -> push t f) t.fanouts.(id)
+      end
+    done;
+    t.levels
+end
+
 let depth net =
   let levels = compute net in
   List.fold_left

@@ -25,6 +25,37 @@ val node_level : Graph.t -> levels:int array -> int -> int
 (** Levels of all nodes in topological order. *)
 val compute : Graph.t -> int array
 
+(** Incremental levels with dirty-region repair.
+
+    After a {!Graph.set_func} edit, call {!Inc.invalidate} with the
+    edited node; {!Inc.levels} then repairs only the transitive fanout
+    of the dirty set (pruned where a recomputed level is unchanged) and
+    returns an array identical to a from-scratch {!compute}.
+
+    Contract: the wiring of the network must not change over the
+    lifetime of an [Inc.t] (no [add_node] / [add_input]; [set_output]
+    is fine — levels are per-node). The returned array is the engine's
+    internal state: treat it as read-only, and re-fetch it after the
+    next [invalidate]/[levels] cycle (repair mutates it in place). *)
+module Inc : sig
+  type t
+
+  (** Fresh engine; computes the initial levels from scratch. *)
+  val create : Graph.t -> t
+
+  (** [of_levels net ~fanouts levels] adopts known-correct [levels]
+      (copied) instead of recomputing — e.g. for a {!Graph.copy} whose
+      functions are still identical to the network [levels] came from.
+      [fanouts] may be shared across copies: it depends on wiring only. *)
+  val of_levels : Graph.t -> fanouts:int list array -> int array -> t
+
+  (** Mark a node whose function was edited. O(log dirty). *)
+  val invalidate : t -> int -> unit
+
+  (** Repaired levels of all nodes (see the contract above). *)
+  val levels : t -> int array
+end
+
 (** Level of the deepest output. *)
 val depth : Graph.t -> int
 

@@ -1,3 +1,4 @@
 include Graph
 module Levels = Levels
 module Globals = Globals
+module Analysis = Analysis

@@ -2,7 +2,9 @@
 
     The graph API is at the top level (see {!module:Graph}); {!Levels}
     implements the paper's logic-level quantification and critical-input
-    computation, {!Globals} the BDD global functions and cube images. *)
+    computation, {!Globals} the BDD global functions and cube images,
+    {!Analysis} the incremental per-decomposition cache of cones,
+    fanouts, support counts and dirty-region levels. *)
 
 include module type of struct
   include Graph
@@ -10,3 +12,4 @@ end
 
 module Levels = Levels
 module Globals = Globals
+module Analysis = Analysis

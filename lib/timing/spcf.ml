@@ -36,13 +36,20 @@ let exact g ~out ~delta =
   done;
   Logic.Tt.of_minterms ni !minterms
 
-let boolean_difference man net globals ~wrt ~out =
-  let oid = out.Network.node in
-  (* Fresh variable standing for the value of node [wrt]; placed past all
-     existing variables so it sits at the bottom of the order. *)
-  let vid = Bdd.num_vars man + 1 in
+(* The scratch variable standing for "the value of node [wrt]". One
+   fixed index per network — just below the primary-input block — so
+   repeated SPCF queries reuse a single variable instead of growing the
+   manager's variable count without bound. Every result is independent
+   of the scratch variable (the final xor of cofactors eliminates it),
+   so by BDD canonicity the choice of index does not change any
+   returned function. *)
+let scratch_var net = Network.num_inputs net
+
+(* Forward altered-cone walk: the global function of [oid] over the
+   primary inputs and the scratch variable [v] substituted for node
+   [wrt]. [None] when the output's cone does not contain [wrt]. *)
+let altered_global man net globals ~cone ~vid ~wrt ~oid =
   let v = Bdd.var man vid in
-  let cone = Network.cone net oid in
   let altered = Hashtbl.create 64 in
   Hashtbl.replace altered wrt v;
   List.iter
@@ -62,16 +69,23 @@ let boolean_difference man net globals ~wrt ~out =
         end
       end)
     cone;
-  match Hashtbl.find_opt altered oid with
+  Hashtbl.find_opt altered oid
+
+let boolean_difference man net globals ~wrt ~out =
+  let oid = out.Network.node in
+  let vid = scratch_var net in
+  match
+    altered_global man net globals ~cone:(Network.cone net oid) ~vid ~wrt ~oid
+  with
   | None -> Bdd.bfalse man (* output does not depend on [wrt] *)
   | Some y ->
     Bdd.bxor man (Bdd.restrict man y vid false) (Bdd.restrict man y vid true)
 
-let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) () =
-  let oid = out.Network.node in
-  let cone = Network.cone net oid in
+(* Late-node selection: the internal cone nodes whose level plus
+   level-weighted distance to the output reaches [delta], deepest
+   first, capped at [max_nodes]. *)
+let late_nodes_in net ~cone ~fanouts ~levels ~oid ~delta ~max_nodes =
   (* Longest level-weighted distance from each cone node to the output. *)
-  let fo = Network.fanouts net in
   let rdepth = Hashtbl.create 64 in
   Hashtbl.replace rdepth oid 0;
   List.iter
@@ -83,7 +97,7 @@ let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) () =
             match Hashtbl.find_opt rdepth o with
             | Some d -> best := max !best (d + max 0 (levels.(o) - levels.(id)))
             | None -> ())
-          fo.(id);
+          fanouts.(id);
         if !best > min_int then Hashtbl.replace rdepth id !best
       end)
     (List.rev cone);
@@ -98,16 +112,112 @@ let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) () =
       cone
   in
   (* Deepest nodes first; cap the union for efficiency. *)
-  let late =
-    List.sort (fun a b -> compare levels.(b) levels.(a)) late
-  in
+  let late = List.sort (fun a b -> compare levels.(b) levels.(a)) late in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
     | x :: r -> x :: take (n - 1) r
   in
-  let late = take max_nodes late in
+  take max_nodes late
+
+let late_nodes net ~levels ~out ~delta ~max_nodes =
+  let oid = out.Network.node in
+  late_nodes_in net ~cone:(Network.cone net oid) ~fanouts:(Network.fanouts net)
+    ~levels ~oid ~delta ~max_nodes
+
+let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) ?analysis ()
+    =
+  let oid = out.Network.node in
+  let cone, fanouts =
+    match analysis with
+    | Some a -> (Network.Analysis.cone a oid, Network.Analysis.fanouts a)
+    | None -> (Network.cone net oid, Network.fanouts net)
+  in
+  let late = late_nodes_in net ~cone ~fanouts ~levels ~oid ~delta ~max_nodes in
+  (* All Boolean differences in one shared backward cofactor pass.
+
+     [walk wrt] is the cofactor pair (y[wrt := 0], y[wrt := 1]) — the
+     output with a constant substituted for node [wrt]. Along
+     single-fanout chains — the shape of the critical region this
+     procedure exists for — it is built backward by the chain rule:
+     with [k]'s only cone fanout [k1] and (y0, y1) = [walk k1],
+
+       y[k := b] = ite (f_k1(..., b at k's positions, ...)) y1 y0,
+
+     two [apply_tt] plus two [ite] per chain node, and the memo shares
+     the whole suffix between every late node below it. This is exact:
+     all paths from [k] to the output run through [k1]. Reconvergent
+     (multi-fanout) nodes fall back to a forward altered-cone walk per
+     constant, also memoized. Working with cofactor pairs rather than
+     one BDD over an extra scratch variable keeps every intermediate
+     result a function of the primary inputs alone — roughly half the
+     nodes per operand — which is what makes the pass cheap. The old
+     code re-walked the full altered cone once per late node; the
+     results here are the same functions, hence — BDDs being
+     canonical — the same SPCF. *)
+  let in_cone = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_cone id ()) cone;
+  let cone_fanouts id =
+    List.filter (fun f -> Hashtbl.mem in_cone f) fanouts.(id)
+  in
+  (* Forward walk of the altered cone with the constant [b] substituted
+     for node [wrt]. *)
+  let const_global b ~wrt =
+    let altered = Hashtbl.create 64 in
+    Hashtbl.replace altered wrt
+      (if b then Bdd.btrue man else Bdd.bfalse man);
+    List.iter
+      (fun id ->
+        if (not (Hashtbl.mem altered id)) && not (Network.is_input net id)
+        then begin
+          let nd = Network.node net id in
+          if Array.exists (Hashtbl.mem altered) nd.Network.fanins then begin
+            let args =
+              Array.map
+                (fun f ->
+                  match Hashtbl.find_opt altered f with
+                  | Some x -> x
+                  | None -> globals.(f))
+                nd.Network.fanins
+            in
+            Hashtbl.replace altered id (Bdd.apply_tt man nd.Network.func args)
+          end
+        end)
+      cone;
+    match Hashtbl.find_opt altered oid with
+    | Some y -> y
+    | None -> globals.(oid) (* unreachable: [wrt] is in the cone *)
+  in
+  let memo = Hashtbl.create 64 in
+  let rec walk wrt =
+    if wrt = oid then (Bdd.bfalse man, Bdd.btrue man)
+    else
+      match Hashtbl.find_opt memo wrt with
+      | Some p -> p
+      | None ->
+        let p =
+          match cone_fanouts wrt with
+          | [ k1 ] ->
+            let nd = Network.node net k1 in
+            let args b =
+              Array.map
+                (fun f ->
+                  if f = wrt then
+                    if b then Bdd.btrue man else Bdd.bfalse man
+                  else globals.(f))
+                nd.Network.fanins
+            in
+            let h0 = Bdd.apply_tt man nd.Network.func (args false) in
+            let h1 = Bdd.apply_tt man nd.Network.func (args true) in
+            let y0, y1 = walk k1 in
+            (Bdd.ite man h0 y1 y0, Bdd.ite man h1 y1 y0)
+          | _ -> (const_global false ~wrt, const_global true ~wrt)
+        in
+        Hashtbl.replace memo wrt p;
+        p
+  in
   List.fold_left
     (fun acc id ->
-      Bdd.bor man acc (boolean_difference man net globals ~wrt:id ~out))
+      let y0, y1 = walk id in
+      Bdd.bor man acc (Bdd.bxor man y0 y1))
     (Bdd.bfalse man) late

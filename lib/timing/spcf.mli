@@ -30,7 +30,20 @@ val exact : Aig.t -> out:int -> delta:int -> Logic.Tt.t
 (** [approx man net globals ~levels ~out ~delta ~max_nodes] over the
     technology-independent network. [levels] are the paper's node levels;
     [out] is the output record. At most [max_nodes] late nodes are
-    unioned (deepest first). *)
+    unioned (deepest first).
+
+    All late-node Boolean differences are computed in one shared
+    backward substitution pass: single-fanout chain nodes extend the
+    next node's altered output function by the chain rule (one
+    [apply_tt] + one [compose] each, memoized along the chain), and
+    only reconvergent nodes pay a forward altered-cone walk. One
+    scratch BDD variable (index [Network.num_inputs net]) is reused by
+    every query, so the manager's variable count stays bounded. The
+    result is the same function — hence, BDDs being canonical, the same
+    BDD — as a per-late-node union of {!boolean_difference}.
+
+    [analysis] supplies cached cone/fanout queries; without it they are
+    recomputed from the network. *)
 val approx :
   Bdd.man ->
   Network.t ->
@@ -39,12 +52,28 @@ val approx :
   out:Network.output ->
   delta:int ->
   ?max_nodes:int ->
+  ?analysis:Network.Analysis.t ->
   unit ->
   Bdd.t
 
+(** The late-node set {!approx} unions over: internal cone nodes whose
+    level plus level-weighted distance to the output reaches [delta],
+    deepest first, at most [max_nodes]. Exposed so reference
+    implementations (bench, tests) can reproduce {!approx} as a union
+    of {!boolean_difference}s over the same nodes. *)
+val late_nodes :
+  Network.t ->
+  levels:int array ->
+  out:Network.output ->
+  delta:int ->
+  max_nodes:int ->
+  int list
+
 (** [boolean_difference man net globals ~wrt ~out] is the set of input
     minterms where the value of output [out] changes if node [wrt] is
-    flipped (computed by re-deriving the cone above [wrt] with a fresh
-    BDD variable substituted for it). *)
+    flipped (computed by re-deriving the cone above [wrt] with a scratch
+    BDD variable substituted for it; the variable — index
+    [Network.num_inputs net] — is shared by all queries on the
+    manager). *)
 val boolean_difference :
   Bdd.man -> Network.t -> Bdd.t array -> wrt:int -> out:Network.output -> Bdd.t

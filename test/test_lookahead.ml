@@ -55,9 +55,10 @@ let setup_decomposition seed =
     else begin
       let spcf_count = Bdd.satcount man ~nvars:6 spcf in
       let primary = Network.copy net in
+      let analysis = Network.Analysis.create primary in
       let outcome =
-        Lookahead.Reduce.run man ~globals ~spcf ~spcf_count primary ~out:o
-          ~target:delta
+        Lookahead.Reduce.run man ~analysis ~globals ~spcf ~spcf_count primary
+          ~out:o ~target:delta
       in
       Some (g, net, primary, o, man, globals, outcome)
     end
@@ -112,7 +113,11 @@ let prop_secondary_sound =
           in
           let care = Bdd.bnot man sigma in
           let secondary = Network.copy net in
-          Lookahead.Secondary.run man ~globals ~care secondary ~out:o;
+          let sec_analysis = Network.Analysis.create secondary in
+          let (_ : int list) =
+            Lookahead.Secondary.run man ~globals ~care secondary
+              ~analysis:sec_analysis ~out:o
+          in
           List.for_all
             (fun m ->
               let bits = Array.init 6 (fun i -> (m lsr i) land 1 = 1) in
@@ -191,6 +196,34 @@ let test_optimize_adders () =
     (stats.Lookahead.Driver.final_depth = Aig.depth opt);
   Alcotest.(check bool) "still an adder" true
     (Aig.Cec.equivalent rca opt)
+
+let test_golden_adders () =
+  (* Bit-identity pin: at -j 1 with no time budget the flow is fully
+     deterministic, so the optimized adders must land on exactly these
+     depth/size pairs. Any analysis "optimization" that changes a single
+     acceptance decision shows up here before it shows up in the paper
+     tables. *)
+  Par.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Par.set_default_jobs 0)
+    (fun () ->
+      let golden =
+        [ (2, (5, 19)); (3, (7, 32)); (4, (7, 41)); (6, (9, 78)); (8, (9, 274)) ]
+      in
+      List.iter
+        (fun (n, (depth, ands)) ->
+          let g = Circuits.Adders.ripple_carry n in
+          let o =
+            Lookahead.optimize
+              ~options:
+                { Lookahead.Driver.default with time_limit_s = infinity }
+              g
+          in
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "adder-%d (depth, ands)" n)
+            (depth, ands)
+            (Aig.depth o, Aig.num_reachable_ands o))
+        golden)
 
 let test_optimize_quickstart_chain () =
   (* The serial token chain of the quickstart example must collapse. *)
@@ -296,6 +329,7 @@ let () =
         [
           prop_optimize_equivalent;
           Alcotest.test_case "adders" `Slow test_optimize_adders;
+          Alcotest.test_case "golden adders (-j 1)" `Slow test_golden_adders;
           Alcotest.test_case "token chain" `Quick test_optimize_quickstart_chain;
           Alcotest.test_case "shallow input" `Quick test_optimize_idempotent_on_shallow;
         ] );

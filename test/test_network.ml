@@ -192,6 +192,125 @@ let prop_cube_image =
             (List.init 32 Fun.id))
         (Network.topo_order net))
 
+(* --- incremental analyses ----------------------------------------------- *)
+
+(* Random truth table of arity [k]. *)
+let random_tt st k =
+  let tt = ref (Tt.const_false k) in
+  for m = 0 to (1 lsl k) - 1 do
+    if Random.State.bool st then tt := Tt.lor_ !tt (Tt.of_minterms k [ m ])
+  done;
+  !tt
+
+(* One random edit session: bursts of [set_func] edits (reported through
+   [invalidate]) and [set_output] rewires (levels are per-node, so these
+   must not need invalidation), with [check] called after each burst. *)
+let edit_session ~seed ~rounds net ~invalidate ~check =
+  let st = Random.State.make [| seed; 0x1e7e15 |] in
+  let internal =
+    Array.of_list
+      (List.filter (fun id -> not (Network.is_input net id))
+         (Network.topo_order net))
+  in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let dirty = ref [] in
+    for _ = 1 to 1 + Random.State.int st 3 do
+      let id = internal.(Random.State.int st (Array.length internal)) in
+      let k = Array.length (Network.node net id).Network.fanins in
+      Network.set_func net id (random_tt st k);
+      invalidate id;
+      dirty := id :: !dirty
+    done;
+    if Random.State.bool st then begin
+      let i = Random.State.int st (Network.num_outputs net) in
+      let id = internal.(Random.State.int st (Array.length internal)) in
+      Network.set_output net i ~node:id ~negated:(Random.State.bool st)
+    end;
+    if not (check !dirty) then ok := false
+  done;
+  !ok
+
+let prop_inc_levels =
+  qtest ~count:40 "incremental levels equal from-scratch under edits" gen_seed
+    (fun seed ->
+      let g = random_aig ~inputs:6 ~gates:40 seed in
+      let net = Network.of_aig ~k:4 g in
+      let inc = Network.Levels.Inc.create net in
+      edit_session ~seed ~rounds:10 net
+        ~invalidate:(Network.Levels.Inc.invalidate inc)
+        ~check:(fun _ ->
+          Network.Levels.Inc.levels inc = Network.Levels.compute net))
+
+let prop_inc_globals =
+  qtest ~count:25 "Globals.update equals of_net under edits" gen_seed
+    (fun seed ->
+      let g = random_aig ~inputs:5 ~gates:30 seed in
+      let net = Network.of_aig ~k:4 g in
+      let man = Bdd.create () in
+      let fanouts = Network.fanouts net in
+      let globals = ref (Network.Globals.of_net man net) in
+      edit_session ~seed ~rounds:8 net
+        ~invalidate:(fun _ -> ())
+        ~check:(fun dirty ->
+          let fresh = Network.Globals.update man !globals net ~dirty ~fanouts in
+          globals := fresh;
+          let scratch = Network.Globals.of_net man net in
+          (* Hash consing: equal functions are pointer-equal edges. *)
+          Array.for_all2 Bdd.equal fresh scratch))
+
+let prop_analysis_cache =
+  qtest ~count:25 "Analysis agrees with from-scratch under edits" gen_seed
+    (fun seed ->
+      let g = random_aig ~inputs:6 ~gates:35 seed in
+      let net = Network.of_aig ~k:4 g in
+      let analysis = Network.Analysis.create net in
+      let wiring_ok =
+        Network.Analysis.fanouts analysis = Network.fanouts net
+        && List.for_all
+             (fun id ->
+               Network.Analysis.cone analysis id = Network.cone net id
+               && Network.Analysis.support_count analysis id
+                  = List.length
+                      (List.filter (Network.is_input net)
+                         (Network.cone net id)))
+             (Network.topo_order net)
+      in
+      wiring_ok
+      && edit_session ~seed ~rounds:8 net
+           ~invalidate:(Network.Analysis.invalidate analysis)
+           ~check:(fun _ ->
+             Network.Analysis.levels analysis = Network.Levels.compute net)
+      (* Wiring caches survive the edits: functions don't change cones. *)
+      && Network.Analysis.cone analysis (Network.num_nodes net - 1)
+         = Network.cone net (Network.num_nodes net - 1))
+
+let prop_analysis_for_copy =
+  qtest ~count:25 "Analysis.for_copy seeds a correct child cache" gen_seed
+    (fun seed ->
+      let g = random_aig ~inputs:6 ~gates:35 seed in
+      let net = Network.of_aig ~k:4 g in
+      let analysis = Network.Analysis.create net in
+      (* Edit the parent a little first so the child is seeded from
+         repaired (not pristine) levels. *)
+      let parent_ok =
+        edit_session ~seed ~rounds:3 net
+          ~invalidate:(Network.Analysis.invalidate analysis)
+          ~check:(fun _ ->
+            Network.Analysis.levels analysis = Network.Levels.compute net)
+      in
+      let copy = Network.copy net in
+      let child = Network.Analysis.for_copy analysis copy in
+      let child_ok =
+        edit_session ~seed:(seed + 1) ~rounds:6 copy
+          ~invalidate:(Network.Analysis.invalidate child)
+          ~check:(fun _ ->
+            Network.Analysis.levels child = Network.Levels.compute copy)
+      in
+      (* The parent cache is unaffected by the child's edits. *)
+      parent_ok && child_ok
+      && Network.Analysis.levels analysis = Network.Levels.compute net)
+
 let () =
   Alcotest.run "network"
     [
@@ -210,4 +329,11 @@ let () =
           prop_levels_bound_aig_depth;
         ] );
       ( "globals", [ prop_globals; prop_cube_image ] );
+      ( "incremental",
+        [
+          prop_inc_levels;
+          prop_inc_globals;
+          prop_analysis_cache;
+          prop_analysis_for_copy;
+        ] );
     ]
