@@ -25,8 +25,18 @@
 # the from-scratch total — the engines exist to be faster, so parity is
 # the floor. Both checks are within-run.
 #
+# Gate 4 (obs): runs the optimizer on a fast-subset circuit with
+# --stats/--report/--trace at -j 1 and -j 4 (deadline disabled), then
+# validates both JSON exports with the bench validators (schema, types,
+# counter invariants like bdd hits + misses = lookups, trace-event
+# well-formedness) and requires the two reports' "deterministic"
+# subtrees to be byte-identical — the lib/obs determinism contract.
+# The -j 1 trace is left at $OBS_TRACE_OUT (default BENCH_obs_trace.json)
+# for CI to archive.
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
-# Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1.
+# Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1
+# / SKIP_OBS_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,7 +53,9 @@ dune build bench/main.exe
 bdd_fresh="${TMPDIR:-/tmp}/BENCH_bdd.fresh.$$.json"
 par_fresh="${TMPDIR:-/tmp}/BENCH_par.fresh.$$.json"
 incr_fresh="${TMPDIR:-/tmp}/BENCH_incr.fresh.$$.json"
-trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh"' EXIT
+obs_r1="${TMPDIR:-/tmp}/BENCH_obs.r1.$$.json"
+obs_r4="${TMPDIR:-/tmp}/BENCH_obs.r4.$$.json"
+trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
   awk -v want="$2" '
@@ -158,6 +170,38 @@ else
       echo "check_regression: FAIL — could not parse $incr_fresh" >&2
       fail=1 ;;
   esac
+fi
+
+# ------------------------------------------------------------------
+# Gate 4: observation exports (validity + cross -j determinism)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_OBS_GATE:-0}" = 1 ]; then
+  echo "check_regression: obs gate skipped (SKIP_OBS_GATE=1)"
+else
+  dune build bin/lookahead_opt.exe
+  obs_circuit="${OBS_GATE_CIRCUIT:-lsu_stb_ctl_flat}"
+  obs_trace="${OBS_TRACE_OUT:-BENCH_obs_trace.json}"
+
+  # --time-limit 0: a deadline cut depends on wall-clock scheduling,
+  # which is exactly what the identity check must rule out.
+  dune exec bin/lookahead_opt.exe -- opt -c "$obs_circuit" --time-limit 0 \
+    -j 1 --stats --report "$obs_r1" --trace "$obs_trace" >/dev/null
+  dune exec bin/lookahead_opt.exe -- opt -c "$obs_circuit" --time-limit 0 \
+    -j 4 --report "$obs_r4" >/dev/null
+
+  obs_ok=1
+  dune exec bench/main.exe -- check-report "$obs_r1" || obs_ok=0
+  dune exec bench/main.exe -- check-report "$obs_r4" || obs_ok=0
+  dune exec bench/main.exe -- check-trace "$obs_trace" || obs_ok=0
+  dune exec bench/main.exe -- compare-reports "$obs_r1" "$obs_r4" || obs_ok=0
+
+  if [ "$obs_ok" = 1 ]; then
+    echo "check_regression: obs gate OK (trace at $obs_trace)"
+  else
+    echo "check_regression: FAIL — observation exports invalid or nondeterministic" >&2
+    fail=1
+  fi
 fi
 
 exit "$fail"

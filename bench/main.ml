@@ -19,6 +19,16 @@
                                                  (BENCH_incr.json / $BENCH_INCR_OUT)
      dune exec bench/main.exe all             -- everything (fast table2)
 
+   Observation (lib/obs) plumbing:
+     --stats / --report FILE / --trace FILE   -- record counters + phase spans
+                                                 while running the targets and
+                                                 export them at the end
+     check-report FILE                        -- validate a --report JSON file
+                                                 (schema, types, invariants)
+     check-trace FILE                         -- validate a --trace JSON file
+     compare-reports A B                      -- compare the deterministic
+                                                 subtrees of two reports
+
    `-j N` (or `--jobs N`, or LOOKAHEAD_JOBS=N) sets the domain-pool
    size for every target; `-j 1` bypasses the pool entirely. Tables are
    bit-identical at any -j: every (circuit x tool) cell is an
@@ -318,10 +328,8 @@ let run_bechamel tests =
          | Some _ | None -> None)
        rows)
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let _ = f () in
-  Unix.gettimeofday () -. t0
+(* All bench wall-clocks go through the one shared monotonic clock. *)
+let wall f = snd (Obs.time f)
 
 let bdd_bench () =
   let open Bechamel in
@@ -506,9 +514,7 @@ let par_bench () =
     List.map
       (fun j ->
         Par.set_default_jobs j;
-        let t0 = Par.Clock.now_s () in
-        let text = with_captured_stdout workload in
-        let dt = Par.Clock.now_s () -. t0 in
+        let text, dt = Obs.time (fun () -> with_captured_stdout workload) in
         Printf.printf "-j %-2d  %8.1f s\n%!" j dt;
         (j, dt, text))
       jobs_list
@@ -839,11 +845,7 @@ let profile () =
   Printf.printf "== per-phase wall-clock (seconds), Table 2 fast subset ==\n";
   Printf.printf "%-24s %8s %8s %8s %8s %8s %8s\n%!" "circuit" "SIS" "ABC" "DC"
     "Lookahd" "cec" "map";
-  let timed f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
+  let timed = Obs.time in
   let totals = Array.make 6 0.0 in
   List.iter
     (fun name ->
@@ -873,6 +875,171 @@ let profile () =
   Array.iter (fun t -> Printf.printf " %8.1f" t) totals;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Observation-report validators: check_regression.sh gate 4 runs the  *)
+(* optimizer with --report/--trace and then validates the files here,  *)
+(* so a malformed export or a broken counter invariant fails CI.       *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+let parse_json_file what path =
+  match Obs.Json.of_string (read_file path) with
+  | Some j -> j
+  | None -> fail "%s: %s does not parse as JSON" what path
+
+let check_report path =
+  let j = parse_json_file "check-report" path in
+  (match Obs.Json.member "schema" j with
+  | Some (Obs.Json.String "lookahead-obs-report/1") -> ()
+  | _ -> fail "check-report: %s: bad or missing schema" path);
+  let det = Obs.det_subtree j in
+  (* The deterministic subtree must never leak wall-clock data. *)
+  (match det with
+  | Obs.Json.Obj kvs ->
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k [ "counters"; "gauges"; "histograms" ]) then
+          fail "check-report: %s: unexpected deterministic key %s" path k)
+      kvs
+  | _ -> fail "check-report: %s: missing deterministic subtree" path);
+  let section subtree name =
+    match Obs.Json.member name subtree with
+    | Some (Obs.Json.Obj kvs) -> kvs
+    | _ -> []
+  in
+  let check_int_section what kvs =
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Obs.Json.Int n when n >= 0 -> ()
+        | _ ->
+          fail "check-report: %s: %s %s is not a non-negative integer" path
+            what name)
+      kvs
+  in
+  let det_counters = section det "counters" in
+  check_int_section "counter" det_counters;
+  check_int_section "gauge" (section det "gauges");
+  let runtime =
+    match Obs.Json.member "runtime" j with
+    | Some r -> r
+    | None -> fail "check-report: %s: missing runtime subtree" path
+  in
+  check_int_section "counter" (section runtime "counters");
+  List.iter
+    (fun (name, v) ->
+      match (Obs.Json.member "count" v, Obs.Json.member "total_ns" v) with
+      | Some (Obs.Json.Int c), Some (Obs.Json.Int t) when c >= 0 && t >= 0 ->
+        ()
+      | _ -> fail "check-report: %s: malformed duration %s" path name)
+    (section runtime "durations");
+  (* Cross-counter invariants of the instrumented layers. *)
+  let value name =
+    match List.assoc_opt name det_counters with
+    | Some (Obs.Json.Int n) -> Some n
+    | _ -> None
+  in
+  List.iter
+    (fun cache ->
+      match
+        ( value (Printf.sprintf "bdd.%s_lookups" cache),
+          value (Printf.sprintf "bdd.%s_hits" cache),
+          value (Printf.sprintf "bdd.%s_misses" cache) )
+      with
+      | Some l, Some h, Some m ->
+        if h + m <> l then
+          fail "check-report: %s: bdd.%s hits %d + misses %d <> lookups %d"
+            path cache h m l
+      | _ -> ())
+    [ "ite"; "restrict"; "compose" ];
+  (match (value "cec.sat_calls", value "cec.budget_exhausted") with
+  | Some s, Some b when b > s ->
+    fail "check-report: %s: cec.budget_exhausted %d > cec.sat_calls %d" path b
+      s
+  | _ -> ());
+  (match (value "globals.updates", value "globals.recomputed") with
+  | Some 0, Some r when r > 0 ->
+    fail "check-report: %s: globals.recomputed %d with no updates" path r
+  | _ -> ());
+  Printf.printf "report OK: %s (%d deterministic counter(s))\n" path
+    (List.length det_counters)
+
+let check_trace path =
+  let j = parse_json_file "check-trace" path in
+  let events =
+    match Obs.Json.member "traceEvents" j with
+    | Some (Obs.Json.List es) -> es
+    | _ -> fail "check-trace: %s: missing traceEvents list" path
+  in
+  let n_complete = ref 0 and tids = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let str k =
+        match Obs.Json.member k e with
+        | Some (Obs.Json.String s) -> Some s
+        | _ -> None
+      in
+      let tid =
+        match Obs.Json.member "tid" e with
+        | Some (Obs.Json.Int t) -> t
+        | _ -> fail "check-trace: %s: event without integer tid" path
+      in
+      match str "ph" with
+      | Some "X" -> (
+        n_complete := !n_complete + 1;
+        match (Obs.Json.member "ts" e, Obs.Json.member "dur" e, str "name") with
+        | Some (Obs.Json.Float ts), Some (Obs.Json.Float dur), Some _
+          when ts >= 0.0 && dur >= 0.0 ->
+          if not (Hashtbl.mem tids tid) then
+            fail "check-trace: %s: track %d has no thread_name metadata" path
+              tid
+        | _ -> fail "check-trace: %s: malformed complete event" path)
+      | Some "M" -> Hashtbl.replace tids tid ()
+      | _ -> fail "check-trace: %s: unknown event phase" path)
+    events;
+  Printf.printf "trace OK: %s (%d span event(s) on %d track(s))\n" path
+    !n_complete (Hashtbl.length tids)
+
+(* First differing path between two JSON trees with identical shape
+   expectations — a named mismatch beats a bare "differ" in CI logs. *)
+let rec first_diff path a b =
+  match (a, b) with
+  | Obs.Json.Obj xs, Obs.Json.Obj ys when List.map fst xs = List.map fst ys ->
+    List.fold_left2
+      (fun acc (k, va) (_, vb) ->
+        match acc with
+        | Some _ -> acc
+        | None -> first_diff (path ^ "." ^ k) va vb)
+      None xs ys
+  | _ -> if Obs.Json.equal a b then None else Some path
+
+let compare_reports a b =
+  let ja = parse_json_file "compare-reports" a in
+  let jb = parse_json_file "compare-reports" b in
+  let da = Obs.det_subtree ja and db = Obs.det_subtree jb in
+  if da = Obs.Json.Null || db = Obs.Json.Null then
+    fail "compare-reports: missing deterministic subtree";
+  if Obs.Json.equal da db then
+    print_endline "deterministic subtrees identical"
+  else
+    fail "compare-reports: deterministic subtrees differ (at %s)"
+      (match first_diff "deterministic" da db with
+      | Some p -> p
+      | None -> "<structure>")
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   (* -j N / --jobs N / -jN: domain-pool size for every target. *)
@@ -900,6 +1067,52 @@ let () =
     | [] -> []
   in
   let args = strip_jobs args in
+  (* --stats / --report FILE / --trace FILE: record while the targets
+     run, export when they are done (same contract as bin/lookahead_opt). *)
+  let obs_stats = ref false in
+  let obs_report = ref None in
+  let obs_trace = ref None in
+  let rec strip_obs = function
+    | "--stats" :: rest ->
+      obs_stats := true;
+      strip_obs rest
+    | "--report" :: path :: rest ->
+      obs_report := Some path;
+      strip_obs rest
+    | "--trace" :: path :: rest ->
+      obs_trace := Some path;
+      strip_obs rest
+    | [ ("--report" | "--trace") ] ->
+      prerr_endline "bench: --report/--trace require a file argument";
+      exit 2
+    | arg :: rest -> arg :: strip_obs rest
+    | [] -> []
+  in
+  let args = strip_obs args in
+  if !obs_stats || !obs_report <> None || !obs_trace <> None then
+    Obs.enable ();
+  let finish_obs () =
+    if Obs.enabled () then begin
+      let snap = Obs.snapshot () in
+      let write path json =
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string json ^ "\n");
+        close_out oc
+      in
+      (match !obs_report with
+      | Some path -> write path (Obs.report_json snap)
+      | None -> ());
+      (match !obs_trace with
+      | Some path -> write path (Obs.trace_json snap)
+      | None -> ());
+      if !obs_stats then Obs.pp_summary Format.err_formatter snap
+    end
+  in
+  match args with
+  | [ "check-report"; path ] -> check_report path
+  | [ "check-trace"; path ] -> check_trace path
+  | [ "compare-reports"; a; b ] -> compare_reports a b
+  | args ->
   let args = if args = [] then [ "all" ] else args in
   List.iter
     (fun arg ->
@@ -925,4 +1138,5 @@ let () =
         extension ();
         bechamel ()
       | other -> Printf.eprintf "unknown target %s\n" other)
-    args
+    args;
+  finish_obs ()

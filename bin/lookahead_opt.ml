@@ -25,6 +25,57 @@ let jobs_arg =
 let setup_jobs jobs =
   if jobs > 0 then Par.set_default_jobs jobs
 
+(* Shared observation flags (lib/obs): any of them switches recording
+   on; export happens once the work is done. *)
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observation summary (work counters, phase wall-clocks) \
+           to stderr.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the observation report as JSON. Its $(b,deterministic) \
+           subtree is bit-identical at any $(b,-j) for deadline-free runs \
+           (see $(b,--time-limit)).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file (open in Perfetto or \
+           chrome://tracing).")
+
+let setup_obs stats report trace =
+  if stats || report <> None || trace <> None then Obs.enable ()
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let finish_obs stats report trace =
+  if Obs.enabled () then begin
+    let snap = Obs.snapshot () in
+    (match report with
+    | Some path ->
+      write_file path (Obs.Json.to_string (Obs.report_json snap) ^ "\n")
+    | None -> ());
+    (match trace with
+    | Some path ->
+      write_file path (Obs.Json.to_string (Obs.trace_json snap) ^ "\n")
+    | None -> ());
+    if stats then Obs.pp_summary Format.err_formatter snap
+  end
+
 type source =
   | Named of string
   | Blif of string
@@ -53,8 +104,18 @@ let load = function
     | "skip" -> Circuits.Adders.carry_skip n
     | k -> invalid_arg (Printf.sprintf "unknown adder kind %s" k))
 
-let tool_of_name = function
-  | "lookahead" -> fun g -> Lookahead.optimize g
+let tool_of_name ?time_limit = function
+  | "lookahead" ->
+    let options =
+      match time_limit with
+      | None -> Lookahead.Driver.default
+      | Some s ->
+        {
+          Lookahead.Driver.default with
+          time_limit_s = (if s <= 0.0 then infinity else s);
+        }
+    in
+    fun g -> Lookahead.optimize ~options g
   | "resub" -> fun g -> Aig.Resub.run (Aig.Balance.run g)
   | "mfs" -> fun g -> Lookahead.Mfs.run g
   | "none" -> Fun.id
@@ -111,9 +172,23 @@ let opt_cmd =
            ~doc:"Write the optimized circuit as BLIF.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
-  let run circuit blif bench adder tool check out_blif verbose jobs =
+  let time_limit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-limit" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the lookahead optimizer; 0 disables the \
+             anytime deadline entirely. Default: the driver's built-in \
+             budget. Identity-checked runs (comparing $(b,--report) output \
+             across $(b,-j)) should pass 0 — a deadline cut depends on \
+             scheduling.")
+  in
+  let run circuit blif bench adder tool check out_blif verbose jobs time_limit
+      stats report_file trace =
     setup_logs verbose;
     setup_jobs jobs;
+    setup_obs stats report_file trace;
     let source, name =
       match (circuit, blif, bench, adder) with
       | Some n, None, None, None -> (Named n, n)
@@ -125,8 +200,9 @@ let opt_cmd =
       | _ -> invalid_arg "choose exactly one circuit source"
     in
     let g = load source in
-    let optimized = tool_of_name tool g in
+    let optimized = tool_of_name ?time_limit tool g in
     report name tool g optimized;
+    finish_obs stats report_file trace;
     if check then begin
       match Aig.Cec.check g optimized with
       | Aig.Cec.Equivalent -> Fmt.pr "equivalence: PASS@."
@@ -145,7 +221,7 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Optimize a circuit and report Table 2 metrics.")
     Term.(
       const run $ circuit $ blif $ bench $ adder $ tool $ check $ out_blif
-      $ verbose $ jobs_arg)
+      $ verbose $ jobs_arg $ time_limit $ stats_arg $ report_arg $ trace_arg)
 
 let timing_cmd =
   let circuit =
@@ -156,19 +232,23 @@ let timing_cmd =
     Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
            ~doc:"Optimizer applied before timing analysis.")
   in
-  let run circuit tool jobs =
+  let run circuit tool jobs stats report_file trace =
     setup_logs false;
     setup_jobs jobs;
+    setup_obs stats report_file trace;
     let g = Circuits.Suite.build circuit in
     let optimized = tool_of_name tool g in
     let netlist = Techmap.Mapper.map optimized in
     let report = Techmap.Sta.analyze netlist in
     Fmt.pr "circuit: %s, tool: %s@." circuit tool;
-    Techmap.Sta.pp_report Format.std_formatter (netlist, report)
+    Techmap.Sta.pp_report Format.std_formatter (netlist, report);
+    finish_obs stats report_file trace
   in
   Cmd.v
     (Cmd.info "timing" ~doc:"Map a circuit and print the STA report.")
-    Term.(const run $ circuit $ tool $ jobs_arg)
+    Term.(
+      const run $ circuit $ tool $ jobs_arg $ stats_arg $ report_arg
+      $ trace_arg)
 
 let export_cmd =
   let circuit =

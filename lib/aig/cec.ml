@@ -1,5 +1,39 @@
 type verdict = Equivalent | Counterexample of bool array
 
+type stats = {
+  sim_rounds : int;
+  sat_calls : int;
+  merges : int;
+  budget_exhausted : int;
+}
+
+(* Running totals for one [check]. *)
+type acc = {
+  mutable a_sim : int;
+  mutable a_sat : int;
+  mutable a_merge : int;
+  mutable a_budget : int;
+}
+
+let m_checks = Obs.counter "cec.checks"
+let m_sim_rounds = Obs.counter "cec.sim_rounds"
+let m_sat_calls = Obs.counter "cec.sat_calls"
+let m_merges = Obs.counter "cec.fraig_merges"
+let m_budget = Obs.counter "cec.budget_exhausted"
+let m_sim_refuted = Obs.counter "cec.sim_refutations"
+let m_sat_conflicts = Obs.counter "sat.conflicts"
+let m_sat_decisions = Obs.counter "sat.decisions"
+let m_sat_propagations = Obs.counter "sat.propagations"
+let m_sat_restarts = Obs.counter "sat.restarts"
+let sp_check = Obs.span "cec.check"
+
+let record_solver_stats solver =
+  let s = Sat.Solver.stats solver in
+  Obs.add m_sat_conflicts s.Sat.Solver.conflicts;
+  Obs.add m_sat_decisions s.Sat.Solver.decisions;
+  Obs.add m_sat_propagations s.Sat.Solver.propagations;
+  Obs.add m_sat_restarts s.Sat.Solver.restarts
+
 (* Build a miter graph: shared inputs, one XOR literal per output pair.
    Strashing makes structurally identical cones collapse, so many pairs
    reduce to constant false without any SAT work. *)
@@ -74,7 +108,7 @@ let random_counterexample g diffs rounds =
    signatures. XOR-heavy miters (the error-correcting benchmarks) are
    intractable for monolithic CDCL but fall apart this way: every proof
    is local to two small structurally-close cones. *)
-let sweep_check g live =
+let sweep_check acc g live =
   let nn = Graph.num_nodes g in
   let ni = Graph.num_inputs g in
   let st = Random.State.make [| 0xf4a16; nn |] in
@@ -86,7 +120,10 @@ let sweep_check g live =
      bit-identical at any -j. Later counterexample rounds stay
      sequential — each depends on the previous solver refutation. *)
   let rounds = ref [] in
-  let add_round words = rounds := Graph.sim g words :: !rounds in
+  let add_round words =
+    acc.a_sim <- acc.a_sim + 1;
+    rounds := Graph.sim g words :: !rounds
+  in
   let seed_stimuli =
     let rec draw r acc =
       if r = 0 then List.rev acc
@@ -97,7 +134,9 @@ let sweep_check g live =
     draw 8 []
   in
   List.iter
-    (fun values -> rounds := values :: !rounds)
+    (fun values ->
+      acc.a_sim <- acc.a_sim + 1;
+      rounds := values :: !rounds)
     (Par.map_list (fun words -> Graph.sim g words) seed_stimuli);
   (* A refuting model becomes bit 0 of a fresh round; the remaining 63
      bits stay random so every refutation also buys generic coverage. *)
@@ -184,19 +223,21 @@ let sweep_check g live =
   in
   (* Prove [x == y] (literals in dst) with a bounded budget. *)
   let limit = 4000 in
+  let solve_bounded assumptions =
+    acc.a_sat <- acc.a_sat + 1;
+    match Sat.Solver.solve_limited ~assumptions ~conflict_limit:limit solver with
+    | None ->
+      acc.a_budget <- acc.a_budget + 1;
+      None
+    | r -> r
+  in
   let prove_equal x y =
     let lx = sat_lit x and ly = sat_lit y in
-    match
-      Sat.Solver.solve_limited ~assumptions:[ lx; -ly ] ~conflict_limit:limit
-        solver
-    with
+    match solve_bounded [ lx; -ly ] with
     | Some Sat.Solver.Sat -> `Refuted (cex_pattern ())
     | None -> `Unknown
     | Some Sat.Solver.Unsat -> (
-      match
-        Sat.Solver.solve_limited ~assumptions:[ -lx; ly ]
-          ~conflict_limit:limit solver
-      with
+      match solve_bounded [ -lx; ly ] with
       | Some Sat.Solver.Sat -> `Refuted (cex_pattern ())
       | None -> `Unknown
       | Some Sat.Solver.Unsat -> `Proved)
@@ -225,7 +266,9 @@ let sweep_check g live =
             else Graph.bnot image.(rep)
           in
           (match prove_equal image.(id) rep_lit with
-           | `Proved -> image.(id) <- rep_lit
+           | `Proved ->
+             acc.a_merge <- acc.a_merge + 1;
+             image.(id) <- rep_lit
            | `Unknown -> ()
            | `Refuted pat ->
              add_cex_round pat;
@@ -250,21 +293,46 @@ let sweep_check g live =
     | d :: rest -> (
       let im = image_of_lit d in
       if im = Graph.const_false then finish rest
-      else
+      else begin
+        acc.a_sat <- acc.a_sat + 1;
         match Sat.Solver.solve ~assumptions:[ sat_lit im ] solver with
         | Sat.Solver.Unsat -> finish rest
-        | Sat.Solver.Sat -> Counterexample (cex_pattern ()))
+        | Sat.Solver.Sat -> Counterexample (cex_pattern ())
+      end)
   in
-  finish live
+  let verdict = finish live in
+  record_solver_stats solver;
+  verdict
 
-let check a b =
+let check_with_stats a b =
+  let tok = Obs.span_begin sp_check in
+  Obs.incr m_checks;
+  let acc = { a_sim = 0; a_sat = 0; a_merge = 0; a_budget = 0 } in
   let g, diffs = miter a b in
   let live = List.filter (fun d -> d <> Graph.const_false) diffs in
-  if live = [] then Equivalent
-  else
-    match random_counterexample g live 16 with
-    | Some cex -> Counterexample cex
-    | None -> sweep_check g live
+  let verdict =
+    if live = [] then Equivalent
+    else begin
+      acc.a_sim <- acc.a_sim + 16;
+      match random_counterexample g live 16 with
+      | Some cex ->
+        Obs.incr m_sim_refuted;
+        Counterexample cex
+      | None -> sweep_check acc g live
+    end
+  in
+  Obs.add m_sim_rounds acc.a_sim;
+  Obs.add m_sat_calls acc.a_sat;
+  Obs.add m_merges acc.a_merge;
+  Obs.add m_budget acc.a_budget;
+  Obs.span_end sp_check tok;
+  ( verdict,
+    { sim_rounds = acc.a_sim;
+      sat_calls = acc.a_sat;
+      merges = acc.a_merge;
+      budget_exhausted = acc.a_budget } )
+
+let check a b = fst (check_with_stats a b)
 
 let equivalent a b =
   match check a b with Equivalent -> true | Counterexample _ -> false

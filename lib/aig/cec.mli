@@ -14,3 +14,18 @@ type verdict =
 val check : Graph.t -> Graph.t -> verdict
 
 val equivalent : Graph.t -> Graph.t -> bool
+
+(** Work counters for one check: simulation rounds run (seed,
+    refutation-refinement, and miter-level), SAT queries issued, fraig
+    merges proven, and bounded queries that exhausted their conflict
+    budget. Deterministic for a given input pair at any [-j]. *)
+type stats = {
+  sim_rounds : int;
+  sat_calls : int;
+  merges : int;
+  budget_exhausted : int;
+}
+
+(** [check] plus the sweep's work counters (also recorded under the
+    [cec.*] and [sat.*] [Obs] metrics when observation is enabled). *)
+val check_with_stats : Graph.t -> Graph.t -> verdict * stats

@@ -1,5 +1,15 @@
 let cleanup = Graph.cleanup
 
+let m_pairs = Obs.counter "sweep.candidate_pairs"
+let m_sat_calls = Obs.counter "sweep.sat_calls"
+let m_merges = Obs.counter "sweep.merges"
+
+(* Shared with [Cec] (same names; registration is idempotent). *)
+let m_sat_conflicts = Obs.counter "sat.conflicts"
+let m_sat_decisions = Obs.counter "sat.decisions"
+let m_sat_propagations = Obs.counter "sat.propagations"
+let m_sat_restarts = Obs.counter "sat.restarts"
+
 let sat_sweep ?(rounds = 8) ?(max_pairs = 2000) g =
   let nn = Graph.num_nodes g in
   let ni = Graph.num_inputs g in
@@ -57,6 +67,7 @@ let sat_sweep ?(rounds = 8) ?(max_pairs = 2000) g =
       in
       take max_pairs sorted
     in
+    Obs.add m_pairs (List.length pairs);
     if pairs = [] then Graph.cleanup g
     else begin
       let solver = Sat.Solver.create () in
@@ -82,14 +93,22 @@ let sat_sweep ?(rounds = 8) ?(max_pairs = 2000) g =
             if Graph.node_of_lit rep_lit <> id then begin
               let a = sat_lit (Graph.lit_of_node id false) in
               let b = sat_lit (if flipped then Graph.bnot rep_lit else rep_lit) in
+              Obs.add m_sat_calls 2;
               let ne1 = Sat.Solver.solve ~assumptions:[ a; -b ] solver in
               let ne2 = Sat.Solver.solve ~assumptions:[ -a; b ] solver in
-              if ne1 = Sat.Solver.Unsat && ne2 = Sat.Solver.Unsat then
+              if ne1 = Sat.Solver.Unsat && ne2 = Sat.Solver.Unsat then begin
+                Obs.incr m_merges;
                 Hashtbl.replace subst id
                   (if flipped then Graph.bnot rep_lit else rep_lit)
+              end
             end
           end)
         pairs;
+      (let s = Sat.Solver.stats solver in
+       Obs.add m_sat_conflicts s.Sat.Solver.conflicts;
+       Obs.add m_sat_decisions s.Sat.Solver.decisions;
+       Obs.add m_sat_propagations s.Sat.Solver.propagations;
+       Obs.add m_sat_restarts s.Sat.Solver.restarts);
       if Hashtbl.length subst = 0 then Graph.cleanup g
       else begin
         (* Rebuild with substitutions applied. *)

@@ -36,6 +36,7 @@ type cache = {
   mutable c_lookups : int;
   mutable c_hits : int;
   mutable c_inserts : int; (* since the last resize *)
+  mutable c_grows : int;
   c_max_bits : int;
 }
 
@@ -50,6 +51,7 @@ let cache_create bits max_bits =
     c_lookups = 0;
     c_hits = 0;
     c_inserts = 0;
+    c_grows = 0;
     c_max_bits = max_bits;
   }
 
@@ -67,6 +69,7 @@ let[@inline] cache_find c k1 k2 k3 =
   else -1
 
 let cache_grow c =
+  c.c_grows <- c.c_grows + 1;
   let old_k1 = c.c_k1 and old_k2 = c.c_k2 in
   let old_k3 = c.c_k3 and old_r = c.c_r in
   let n = 2 * (c.c_mask + 1) in
@@ -113,6 +116,7 @@ type man = {
   mutable unique : int array; (* node ids; 0 = empty slot *)
   mutable unique_mask : int;
   mutable unique_count : int;
+  mutable unique_grows : int;
   mutable nvars : int;
   ite_cache : cache;
   restrict_cache : cache;
@@ -141,6 +145,7 @@ let create ?(cache_size = 1 lsl 14) () =
     unique = Array.make (1 lsl 12) 0;
     unique_mask = (1 lsl 12) - 1;
     unique_count = 0;
+    unique_grows = 0;
     nvars = 0;
     ite_cache = cache_create (min (bits cache_size) 20) 20;
     restrict_cache = cache_create 10 18;
@@ -180,6 +185,7 @@ let grow_nodes man =
   man.hi_ <- g man.hi_ 0
 
 let unique_grow man =
+  man.unique_grows <- man.unique_grows + 1;
   let n = 2 * (man.unique_mask + 1) in
   let tbl = Array.make n 0 in
   let mask = n - 1 in
@@ -510,15 +516,19 @@ type stats = {
   live_nodes : int;
   total_allocated : int;
   unique_capacity : int;
+  unique_growths : int;
   ite_cache_capacity : int;
   ite_lookups : int;
   ite_hits : int;
+  ite_cache_growths : int;
   restrict_cache_capacity : int;
   restrict_lookups : int;
   restrict_hits : int;
+  restrict_cache_growths : int;
   compose_cache_capacity : int;
   compose_lookups : int;
   compose_hits : int;
+  compose_cache_growths : int;
   apply_memo_entries : int;
 }
 
@@ -527,15 +537,19 @@ let stats man =
     live_nodes = man.next - 1;
     total_allocated = man.next;
     unique_capacity = man.unique_mask + 1;
+    unique_growths = man.unique_grows;
     ite_cache_capacity = man.ite_cache.c_mask + 1;
     ite_lookups = man.ite_cache.c_lookups;
     ite_hits = man.ite_cache.c_hits;
+    ite_cache_growths = man.ite_cache.c_grows;
     restrict_cache_capacity = man.restrict_cache.c_mask + 1;
     restrict_lookups = man.restrict_cache.c_lookups;
     restrict_hits = man.restrict_cache.c_hits;
+    restrict_cache_growths = man.restrict_cache.c_grows;
     compose_cache_capacity = man.compose_cache.c_mask + 1;
     compose_lookups = man.compose_cache.c_lookups;
     compose_hits = man.compose_cache.c_hits;
+    compose_cache_growths = man.compose_cache.c_grows;
     apply_memo_entries = Hashtbl.length man.apply_memo;
   }
 

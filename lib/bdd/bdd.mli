@@ -92,15 +92,19 @@ type stats = {
   live_nodes : int;  (** internal nodes currently in the unique table *)
   total_allocated : int;  (** nodes ever allocated, terminal included *)
   unique_capacity : int;
+  unique_growths : int;  (** unique-table doublings since [create] *)
   ite_cache_capacity : int;
   ite_lookups : int;
   ite_hits : int;
+  ite_cache_growths : int;
   restrict_cache_capacity : int;
   restrict_lookups : int;
   restrict_hits : int;
+  restrict_cache_growths : int;
   compose_cache_capacity : int;
   compose_lookups : int;
   compose_hits : int;
+  compose_cache_growths : int;
   apply_memo_entries : int;
 }
 

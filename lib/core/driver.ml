@@ -34,8 +34,75 @@ let log = Logs.Src.create "lookahead" ~doc:"lookahead synthesis driver"
 
 module Log = (val Logs.src_log log)
 
+(* --- observation ---------------------------------------------------- *)
+
+(* Work counters are [Det] — identical at any -j for a deadline-free
+   run (an expired time budget cuts work at a wall-clock instant, so
+   deadline-cut runs are inherently schedule-dependent; the regression
+   gate and the -j identity tests disable the time limit). *)
+let m_rounds = Obs.counter "opt.rounds"
+let m_outputs_decomposed = Obs.counter "opt.outputs_decomposed"
+let m_windows = Obs.counter "opt.windows_marked"
+let m_decomp_levels = Obs.histogram "opt.decomp_levels"
+let m_skip_support = Obs.counter "opt.jobs_skipped_support"
+
+let m_skip_deadline =
+  Obs.counter ~stability:Obs.Sched "opt.jobs_skipped_deadline"
+
+let sp_round = Obs.span "opt.round"
+let sp_decompose = Obs.span "opt.decompose"
+let sp_spcf = Obs.span "opt.spcf"
+let sp_window = Obs.span "opt.window"
+let sp_secondary = Obs.span "opt.secondary"
+let sp_reconstruct = Obs.span "opt.reconstruct"
+let sp_balance = Obs.span "opt.balance"
+let sp_polish = Obs.span "opt.polish"
+let sp_sat_sweep = Obs.span "opt.sat_sweep"
+let sp_final_cec = Obs.span "opt.final_cec"
+
+(* Per-manager counters, recorded once per decomposition job (and by
+   [Mfs]); each job's fresh manager does identical work at any -j, so
+   the sums are [Det]. Misses are recorded explicitly so report
+   validators can check hits + misses = lookups. *)
+let m_bdd_managers = Obs.counter "bdd.managers"
+let m_bdd_nodes = Obs.counter "bdd.nodes_allocated"
+let g_bdd_peak = Obs.gauge "bdd.peak_live_nodes"
+let m_bdd_unique_growths = Obs.counter "bdd.unique_growths"
+let m_bdd_cache_growths = Obs.counter "bdd.cache_growths"
+let m_ite_lookups = Obs.counter "bdd.ite_lookups"
+let m_ite_hits = Obs.counter "bdd.ite_hits"
+let m_ite_misses = Obs.counter "bdd.ite_misses"
+let m_restrict_lookups = Obs.counter "bdd.restrict_lookups"
+let m_restrict_hits = Obs.counter "bdd.restrict_hits"
+let m_restrict_misses = Obs.counter "bdd.restrict_misses"
+let m_compose_lookups = Obs.counter "bdd.compose_lookups"
+let m_compose_hits = Obs.counter "bdd.compose_hits"
+let m_compose_misses = Obs.counter "bdd.compose_misses"
+
+let record_bdd_stats man =
+  if Obs.enabled () then begin
+    let s = Bdd.stats man in
+    Obs.incr m_bdd_managers;
+    Obs.add m_bdd_nodes s.Bdd.total_allocated;
+    Obs.gauge_max g_bdd_peak s.Bdd.live_nodes;
+    Obs.add m_bdd_unique_growths s.Bdd.unique_growths;
+    Obs.add m_bdd_cache_growths
+      (s.Bdd.ite_cache_growths + s.Bdd.restrict_cache_growths
+     + s.Bdd.compose_cache_growths);
+    Obs.add m_ite_lookups s.Bdd.ite_lookups;
+    Obs.add m_ite_hits s.Bdd.ite_hits;
+    Obs.add m_ite_misses (s.Bdd.ite_lookups - s.Bdd.ite_hits);
+    Obs.add m_restrict_lookups s.Bdd.restrict_lookups;
+    Obs.add m_restrict_hits s.Bdd.restrict_hits;
+    Obs.add m_restrict_misses (s.Bdd.restrict_lookups - s.Bdd.restrict_hits);
+    Obs.add m_compose_lookups s.Bdd.compose_lookups;
+    Obs.add m_compose_hits s.Bdd.compose_hits;
+    Obs.add m_compose_misses (s.Bdd.compose_lookups - s.Bdd.compose_hits)
+  end
+
 let spcf_of opts man net globals ~analysis ~levels ~out ~delta g ~aig_depth
     out_index =
+  Obs.with_span sp_spcf @@ fun () ->
   if opts.use_exact_spcf && Network.num_inputs net <= 14 then begin
     (* Exact floating-mode SPCF on the AIG (unit-delay threshold at the
        AIG depth), converted to a BDD over the primary inputs. *)
@@ -75,9 +142,11 @@ let decompose_output opts man g out_index (o : Network.output) net0 analysis0
           let primary = Network.copy net in
           let primary_analysis = Network.Analysis.for_copy analysis primary in
           let outcome =
+            Obs.with_span sp_window @@ fun () ->
             Reduce.run man ~analysis:primary_analysis ~globals ~spcf
               ~spcf_count primary ~out:o ~target:l_out
           in
+          Obs.add m_windows (List.length outcome.Reduce.marked);
           if outcome.Reduce.marked = [] then begin
             Log.debug (fun m ->
                 m "decompose %s: stop (no simplification at level %d)"
@@ -116,6 +185,7 @@ let decompose_output opts man g out_index (o : Network.output) net0 analysis0
                   Network.Analysis.for_copy analysis secondary
                 in
                 let edited =
+                  Obs.with_span sp_secondary @@ fun () ->
                   Secondary.run man ~globals ~care:(Bdd.bnot man sigma)
                     secondary ~analysis:sec_analysis ~out:o
                 in
@@ -221,17 +291,20 @@ let one_round opts ~deadline g =
         Network.Analysis.support_count wanalysis o.Network.node
         > opts.max_cone_inputs
       then begin
+        Obs.incr m_skip_support;
         Log.debug (fun m ->
             m "skip %s: cone support exceeds %d" o.Network.name
               opts.max_cone_inputs);
         None
       end
       else if Par.Deadline.expired deadline then begin
+        Obs.incr m_skip_deadline;
         Log.debug (fun m ->
             m "skip %s: optimization time budget exhausted" o.Network.name);
         None
       end
       else begin
+        Obs.with_span sp_decompose @@ fun () ->
         (* A fresh BDD manager per output keeps memory bounded: all
            BDDs of one output's decomposition die with its manager. *)
         let man = Bdd.create () in
@@ -240,7 +313,12 @@ let one_round opts ~deadline g =
           decompose_output opts man g out_index o wnet wanalysis globals
             ~aig_depth
         in
-        if decomp_levels = [] then None
+        Obs.observe m_decomp_levels (List.length decomp_levels);
+        if decomp_levels = [] then begin
+          (* Managers that never reach [merge] are still accounted for. *)
+          record_bdd_stats man;
+          None
+        end
         else
           Some
             {
@@ -252,6 +330,7 @@ let one_round opts ~deadline g =
       end
     in
     let merge result (out_index, (o : Network.output), old_level) =
+      Obs.with_span sp_reconstruct @@ fun () ->
       let _, old_lit = old_outputs.(out_index) in
       let fallback () = copy_original old_lit in
       let lit =
@@ -277,6 +356,12 @@ let one_round opts ~deadline g =
                 m "output %s: no valid reconstruction form" o.Network.name);
             fallback ())
       in
+      (* After [Reconstruct.build] so its manager traffic is included;
+         [merge] runs sequentially in submission order, so the sums
+         stay deterministic. *)
+      (match result with
+      | Some { man; _ } -> record_bdd_stats man
+      | None -> ());
       Aig.add_output dst o.Network.name lit
     in
     let jobs =
@@ -320,6 +405,7 @@ let one_round opts ~deadline g =
    circuits — so the driver applies the same polish before and after the
    decomposition rounds. *)
 let polish g =
+  Obs.with_span sp_polish @@ fun () ->
   let step g =
     Aig.Balance.run (Aig.Rewrite.run ~k:6 ~per_node:8 ~objective:`Delay g)
   in
@@ -337,8 +423,10 @@ let polish g =
   in
   fixpoint 6 (step g)
 
+let balance g = Obs.with_span sp_balance (fun () -> Aig.Balance.run g)
+
 let optimize_with_stats ?(options = default) g0 =
-  let g = if options.balance_first then Aig.Balance.run g0 else g0 in
+  let g = if options.balance_first then balance g0 else g0 in
   let initial_depth = Aig.depth g0 in
   (* One monotonic deadline shared by the whole run — every worker of
      every round checks the same absolute instant, so the time budget
@@ -350,8 +438,12 @@ let optimize_with_stats ?(options = default) g0 =
     if i >= options.max_rounds || Par.Deadline.expired deadline then
       (g, i, touched)
     else begin
-      let g', n = one_round options ~deadline g in
-      let g' = Aig.Balance.run g' in
+      let g', n =
+        Obs.with_span sp_round (fun () -> one_round options ~deadline g)
+      in
+      Obs.incr m_rounds;
+      Obs.add m_outputs_decomposed n;
+      let g' = balance g' in
       Log.debug (fun m ->
           m "round %d: depth %d -> %d (%d output(s) reconstructed)" (i + 1)
             (Aig.depth g) (Aig.depth g') n);
@@ -383,10 +475,10 @@ let optimize_with_stats ?(options = default) g0 =
     then conventional
     else best
   in
-  let best = Aig.Sweep.sat_sweep best in
+  let best = Obs.with_span sp_sat_sweep (fun () -> Aig.Sweep.sat_sweep best) in
   (* The paper performs an equivalence check after optimization; a failed
      check would indicate a bug, so enforce it. *)
-  (match Aig.Cec.check g0 best with
+  (match Obs.with_span sp_final_cec (fun () -> Aig.Cec.check g0 best) with
    | Aig.Cec.Equivalent -> ()
    | Aig.Cec.Counterexample _ ->
      invalid_arg "Lookahead.Driver.optimize: internal equivalence failure");

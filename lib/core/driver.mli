@@ -46,3 +46,10 @@ val optimize : ?options:options -> Aig.t -> Aig.t
 
 (** Same, also returning run statistics. *)
 val optimize_with_stats : ?options:options -> Aig.t -> Aig.t * stats
+
+(** Fold a manager's {!Bdd.stats} into the [bdd.*] observation counters
+    (managers, nodes allocated, peak live nodes, growths, and per-cache
+    lookups/hits/misses). The driver calls this once per decomposition
+    job; other sequential passes that own a private manager ({!Mfs})
+    call it too. No-op while observation is disabled. *)
+val record_bdd_stats : Bdd.man -> unit

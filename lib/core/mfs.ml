@@ -1,3 +1,5 @@
+let sp_mfs = Obs.span "opt.mfs"
+
 let simplify_network man net =
   let globals = Network.Globals.of_net man net in
   let fanouts = Network.fanouts net in
@@ -60,9 +62,11 @@ let simplify_network man net =
     (Network.topo_order net)
 
 let run ?(k = 6) g =
+  Obs.with_span sp_mfs @@ fun () ->
   let net = Network.of_aig ~k g in
   let man = Bdd.create () in
   simplify_network man net;
+  Driver.record_bdd_stats man;
   let out = Aig.cleanup (Network.to_aig net) in
   match Aig.Cec.check g out with
   | Aig.Cec.Equivalent -> out

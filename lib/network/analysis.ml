@@ -22,6 +22,18 @@ type t = {
   mutable inc : Levels.Inc.t option; (* per-network, lazily created *)
 }
 
+(* The wiring cache is shared by every job a worker runs, so its
+   hit/miss split depends on which jobs landed there — [Sched].
+   [for_copy] seeding is per-job work — [Det]. *)
+let m_cone_hits = Obs.counter ~stability:Obs.Sched "analysis.cone_hits"
+let m_cone_misses = Obs.counter ~stability:Obs.Sched "analysis.cone_misses"
+let m_support_hits = Obs.counter ~stability:Obs.Sched "analysis.support_hits"
+
+let m_support_misses =
+  Obs.counter ~stability:Obs.Sched "analysis.support_misses"
+
+let m_copies_seeded = Obs.counter "analysis.copies_seeded"
+
 let create net =
   {
     net;
@@ -54,8 +66,11 @@ let fanouts t =
 let cone t id =
   check_frozen t;
   match Hashtbl.find_opt t.wiring.cones id with
-  | Some c -> c
+  | Some c ->
+    Obs.incr m_cone_hits;
+    c
   | None ->
+    Obs.incr m_cone_misses;
     let c = Graph.cone t.net id in
     Hashtbl.replace t.wiring.cones id c;
     c
@@ -63,8 +78,11 @@ let cone t id =
 let support_count t id =
   check_frozen t;
   match Hashtbl.find_opt t.wiring.supports id with
-  | Some s -> s
+  | Some s ->
+    Obs.incr m_support_hits;
+    s
   | None ->
+    Obs.incr m_support_misses;
     let s =
       List.fold_left
         (fun acc n -> if Graph.is_input t.net n then acc + 1 else acc)
@@ -86,6 +104,7 @@ let invalidate t id = Levels.Inc.invalidate (inc t) id
 
 let for_copy t net' =
   check_frozen t;
+  Obs.incr m_copies_seeded;
   assert (Graph.num_nodes net' = t.wiring.frozen_n);
   (* Seed the copy's level engine from the parent's repaired levels:
      the copy is fresh, so its functions — and therefore its levels —

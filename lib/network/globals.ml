@@ -1,4 +1,14 @@
+(* All [Det]: one build/update per decompose step of a deterministic
+   job, and the affected set depends only on the edit, not on which
+   worker runs it. *)
+let m_builds = Obs.counter "globals.builds"
+let m_updates = Obs.counter "globals.updates"
+let m_recomputed = Obs.counter "globals.recomputed"
+let m_reused = Obs.counter "globals.reused"
+let m_dirty_region = Obs.histogram "globals.dirty_region"
+
 let of_net man net =
+  Obs.incr m_builds;
   let n = Graph.num_nodes net in
   let globals = Array.make n (Bdd.bfalse man) in
   List.iter
@@ -19,6 +29,7 @@ let of_net man net =
    the result is bit-identical to [of_net] — BDDs are hash-consed, so
    an unchanged function is the same edge whether reused or rebuilt. *)
 let update man globals net ~dirty ~fanouts =
+  Obs.incr m_updates;
   let n = Graph.num_nodes net in
   assert (Array.length globals = n);
   let affected = Array.make n false in
@@ -30,13 +41,18 @@ let update man globals net ~dirty ~fanouts =
   in
   List.iter mark dirty;
   let fresh = Array.copy globals in
+  let recomputed = ref 0 in
   for id = 0 to n - 1 do
     if affected.(id) && not (Graph.is_input net id) then begin
+      incr recomputed;
       let nd = Graph.node net id in
       let args = Array.map (fun f -> fresh.(f)) nd.Graph.fanins in
       fresh.(id) <- Bdd.apply_tt man nd.Graph.func args
     end
   done;
+  Obs.add m_recomputed !recomputed;
+  Obs.add m_reused (n - !recomputed);
+  Obs.observe m_dirty_region !recomputed;
   fresh
 
 let fanin_globals globals net id =

@@ -38,7 +38,19 @@ let node_level net ~levels id =
     end
   end
 
+(* From-scratch computes are [Sched]: the lazy per-worker analysis
+   caches trigger one per worker domain that runs at least one job, so
+   the count depends on scheduling. The incremental-repair counters
+   below are [Det]: repairs run on per-job engines whose level values
+   are bit-identical across schedules (PR 3 contract), so each job does
+   the same repair work wherever it runs. *)
+let m_scratch = Obs.counter ~stability:Obs.Sched "levels.scratch_computes"
+let m_invalidations = Obs.counter "levels.invalidations"
+let m_repair_visits = Obs.counter "levels.repair_visits"
+let m_repaired = Obs.counter "levels.repaired"
+
 let compute net =
+  Obs.incr m_scratch;
   let levels = Array.make (Graph.num_nodes net) 0 in
   List.iter (fun id -> levels.(id) <- node_level net ~levels id) (Graph.topo_order net);
   levels
@@ -119,20 +131,30 @@ module Inc = struct
     }
 
   let create net = of_levels net ~fanouts:(Graph.fanouts net) (compute net)
-  let invalidate t id = push t id
+
+  let invalidate t id =
+    Obs.incr m_invalidations;
+    push t id
 
   let levels t =
     (* The wiring caches freeze the node count: appending nodes would
        silently stale [fanouts], so it is a programming error. *)
     assert (Graph.num_nodes t.net = t.frozen_n);
-    while t.heap_len > 0 do
-      let id = pop t in
-      let l = node_level t.net ~levels:t.levels id in
-      if l <> t.levels.(id) then begin
-        t.levels.(id) <- l;
-        List.iter (fun f -> push t f) t.fanouts.(id)
-      end
-    done;
+    if t.heap_len > 0 then begin
+      let visits = ref 0 and repaired = ref 0 in
+      while t.heap_len > 0 do
+        incr visits;
+        let id = pop t in
+        let l = node_level t.net ~levels:t.levels id in
+        if l <> t.levels.(id) then begin
+          incr repaired;
+          t.levels.(id) <- l;
+          List.iter (fun f -> push t f) t.fanouts.(id)
+        end
+      done;
+      Obs.add m_repair_visits !visits;
+      Obs.add m_repaired !repaired
+    end;
     t.levels
 end
 

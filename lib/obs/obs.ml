@@ -1,0 +1,705 @@
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+  let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+end
+
+let time f =
+  let t0 = Clock.now_s () in
+  let r = f () in
+  (r, Clock.now_s () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(*                                                                    *)
+(* Metrics allocate fixed slot ranges in a single flat int space; a   *)
+(* sink is just an int array indexed by slot plus a trace-event list. *)
+(* Slot merge semantics live in [slot_max]: a slot merges by [max]    *)
+(* (gauges) or by addition (everything else).                         *)
+(* ------------------------------------------------------------------ *)
+
+type stability = Det | Sched
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type metric = {
+  m_name : string;
+  m_kind : kind;
+  m_stab : stability;
+  m_base : int;
+}
+
+(* Histogram layout: 64 power-of-two buckets, then count, then sum. *)
+let hist_buckets = 64
+let hist_slots = hist_buckets + 2
+
+type span = { s_name : string; s_dur : int; s_cnt : int }
+
+type event = { e_name : string; e_tid : int; e_ts : int; e_dur : int }
+
+type sink = { mutable slots : int array; mutable events : event list }
+
+let new_sink () = { slots = [||]; events = [] }
+
+let registry_mutex = Mutex.create ()
+let metrics : (string, metric) Hashtbl.t = Hashtbl.create 64
+let metric_order : metric list ref = ref []
+let spans_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
+let span_order : span list ref = ref []
+let next_slot = ref 0
+let slot_max : bool array ref = ref (Array.make 64 false)
+let sinks : sink list ref = ref []
+let probes : (unit -> unit) list ref = ref []
+let epoch_ns = ref (Clock.now_ns ())
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* Call with the registry mutex held. *)
+let alloc_slots ~max_merge n =
+  let base = !next_slot in
+  next_slot := base + n;
+  let cap = Array.length !slot_max in
+  if !next_slot > cap then begin
+    let bigger = Array.make (max (2 * cap) !next_slot) false in
+    Array.blit !slot_max 0 bigger 0 cap;
+    slot_max := bigger
+  end;
+  if max_merge then
+    for i = base to base + n - 1 do
+      !slot_max.(i) <- true
+    done;
+  base
+
+let register_metric name kind stab n =
+  locked (fun () ->
+      match Hashtbl.find_opt metrics name with
+      | Some m ->
+        if m.m_kind <> kind || m.m_stab <> stab then
+          invalid_arg ("Obs: metric re-registered with a different \
+                        kind or stability: " ^ name);
+        m
+      | None ->
+        let base = alloc_slots ~max_merge:(kind = Kgauge) n in
+        let m = { m_name = name; m_kind = kind; m_stab = stab; m_base = base } in
+        Hashtbl.replace metrics name m;
+        metric_order := m :: !metric_order;
+        m)
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let counter ?(stability = Det) name = register_metric name Kcounter stability 1
+let gauge ?(stability = Det) name = register_metric name Kgauge stability 1
+
+let histogram ?(stability = Det) name =
+  register_metric name Khistogram stability hist_slots
+
+let span name =
+  locked (fun () ->
+      match Hashtbl.find_opt spans_tbl name with
+      | Some s -> s
+      | None ->
+        let dur = alloc_slots ~max_merge:false 2 in
+        let s = { s_name = name; s_dur = dur; s_cnt = dur + 1 } in
+        Hashtbl.replace spans_tbl name s;
+        span_order := s :: !span_order;
+        s)
+
+let register_probe f = locked (fun () -> probes := f :: !probes)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+type dstate = { mutable current : sink }
+
+let dstate_key =
+  Domain.DLS.new_key (fun () ->
+      let s = new_sink () in
+      locked (fun () -> sinks := s :: !sinks);
+      { current = s })
+
+let current_sink () = (Domain.DLS.get dstate_key).current
+
+let ensure_capacity s slot =
+  let cap = Array.length s.slots in
+  if slot >= cap then begin
+    let want = locked (fun () -> !next_slot) in
+    let bigger = Array.make (max want (slot + 1)) 0 in
+    Array.blit s.slots 0 bigger 0 cap;
+    s.slots <- bigger
+  end
+
+let slot_add slot v =
+  let s = current_sink () in
+  ensure_capacity s slot;
+  s.slots.(slot) <- s.slots.(slot) + v
+
+let slot_maximize slot v =
+  let s = current_sink () in
+  ensure_capacity s slot;
+  if v > s.slots.(slot) then s.slots.(slot) <- v
+
+let add c v = if Atomic.get on then slot_add c.m_base v
+let incr c = if Atomic.get on then slot_add c.m_base 1
+let gauge_max g v = if Atomic.get on then slot_maximize g.m_base v
+
+(* Number of binary digits of [v]: bucket 0 holds v <= 0 (and 1 holds
+   exactly 1, 2 holds 2..3, ...), capped at the last bucket. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    min !b (hist_buckets - 1)
+  end
+
+let observe h v =
+  if Atomic.get on then begin
+    let s = current_sink () in
+    ensure_capacity s (h.m_base + hist_slots - 1);
+    let sl = s.slots in
+    sl.(h.m_base + bucket_of v) <- sl.(h.m_base + bucket_of v) + 1;
+    sl.(h.m_base + hist_buckets) <- sl.(h.m_base + hist_buckets) + 1;
+    sl.(h.m_base + hist_buckets + 1) <- sl.(h.m_base + hist_buckets + 1) + v
+  end
+
+let span_begin _s =
+  if Atomic.get on then Int64.to_int (Clock.now_ns ()) else -1
+
+let span_end sp token =
+  if token >= 0 && Atomic.get on then begin
+    let now = Int64.to_int (Clock.now_ns ()) in
+    let dur = now - token in
+    let s = current_sink () in
+    ensure_capacity s (sp.s_cnt + 1);
+    s.slots.(sp.s_dur) <- s.slots.(sp.s_dur) + dur;
+    s.slots.(sp.s_cnt) <- s.slots.(sp.s_cnt) + 1;
+    s.events <-
+      { e_name = sp.s_name;
+        e_tid = (Domain.self () :> int);
+        e_ts = token;
+        e_dur = dur }
+      :: s.events
+  end
+
+let with_span sp f =
+  let token = span_begin sp in
+  match f () with
+  | r ->
+    span_end sp token;
+    r
+  | exception e ->
+    span_end sp token;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_capacity_raw s slot =
+  let cap = Array.length s.slots in
+  if slot >= cap then begin
+    let bigger = Array.make (max (2 * max cap 16) (slot + 1)) 0 in
+    Array.blit s.slots 0 bigger 0 cap;
+    s.slots <- bigger
+  end
+
+let merge_into ~dst ~src =
+  let n = Array.length src.slots in
+  if n > 0 then begin
+    ensure_capacity_raw dst (n - 1);
+    let mx = !slot_max in
+    for i = 0 to n - 1 do
+      let v = src.slots.(i) in
+      if v <> 0 then
+        if i < Array.length mx && mx.(i) then begin
+          if v > dst.slots.(i) then dst.slots.(i) <- v
+        end
+        else dst.slots.(i) <- dst.slots.(i) + v
+    done
+  end;
+  dst.events <- src.events @ dst.events
+
+module Sink = struct
+  type t = sink
+
+  let create () = new_sink ()
+
+  let with_current s f =
+    let d = Domain.DLS.get dstate_key in
+    let prev = d.current in
+    d.current <- s;
+    Fun.protect ~finally:(fun () -> d.current <- prev) f
+
+  let absorb s =
+    let dst = current_sink () in
+    merge_into ~dst ~src:s;
+    s.slots <- [||];
+    s.events <- []
+end
+
+let enable () =
+  if not (Atomic.get on) then begin
+    epoch_ns := Clock.now_ns ();
+    Atomic.set on true
+  end
+
+let disable () = Atomic.set on false
+
+let reset () =
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.slots 0 (Array.length s.slots) 0;
+          s.events <- [])
+        !sinks);
+  epoch_ns := Clock.now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let float_repr f =
+    (* Shortest decimal form that parses back to exactly [f]. *)
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    (* Keep it a JSON number that our parser reads back as Float. *)
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' (* inf/nan — not valid JSON, best effort *)
+    then s
+    else s ^ ".0"
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s -> escape b s
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    write b t;
+    Buffer.contents b
+
+  exception Bad
+
+  let of_string str =
+    let n = String.length str in
+    let pos = ref 0 in
+    let peek () = if !pos < n then str.[!pos] else '\255' in
+    let advance () = pos := !pos + 1 in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match str.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        pos := !pos + 1
+      done
+    in
+    let expect c = if peek () = c then advance () else raise Bad in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise Bad;
+        match str.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | '"' -> Buffer.add_char b '"'; advance ()
+           | '\\' -> Buffer.add_char b '\\'; advance ()
+           | '/' -> Buffer.add_char b '/'; advance ()
+           | 'n' -> Buffer.add_char b '\n'; advance ()
+           | 'r' -> Buffer.add_char b '\r'; advance ()
+           | 't' -> Buffer.add_char b '\t'; advance ()
+           | 'b' -> Buffer.add_char b '\b'; advance ()
+           | 'f' -> Buffer.add_char b '\012'; advance ()
+           | 'u' ->
+             advance ();
+             if !pos + 4 > n then raise Bad;
+             let code =
+               try int_of_string ("0x" ^ String.sub str !pos 4)
+               with _ -> raise Bad
+             in
+             pos := !pos + 4;
+             (* UTF-8 encode the BMP code point. *)
+             if code < 0x80 then Buffer.add_char b (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char b
+                 (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+           | _ -> raise Bad);
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = '-' then advance ();
+      while (match peek () with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done;
+      let is_float = ref false in
+      if peek () = '.' then begin
+        is_float := true;
+        advance ();
+        while (match peek () with '0' .. '9' -> true | _ -> false) do
+          advance ()
+        done
+      end;
+      (match peek () with
+       | 'e' | 'E' ->
+         is_float := true;
+         advance ();
+         (match peek () with '+' | '-' -> advance () | _ -> ());
+         while (match peek () with '0' .. '9' -> true | _ -> false) do
+           advance ()
+         done
+       | _ -> ());
+      let s = String.sub str start (!pos - start) in
+      if s = "" || s = "-" then raise Bad;
+      if !is_float then Float (float_of_string s)
+      else
+        match int_of_string_opt s with
+        | Some i -> Int i
+        | None -> Float (float_of_string s)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | 'n' -> literal "null" Null
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | '"' -> String (parse_string ())
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items (v :: acc)
+            | ']' -> advance (); List.rev (v :: acc)
+            | _ -> raise Bad
+          in
+          List (items [])
+        end
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec pairs acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); pairs ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> raise Bad
+          in
+          pairs []
+        end
+      | _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then raise Bad;
+      v
+    with
+    | v -> Some v
+    | exception (Bad | Failure _) -> None
+
+  let rec equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Bool x, Bool y -> x = y
+    | Int x, Int y -> x = y
+    | Float x, Float y -> x = y
+    | String x, String y -> String.equal x y
+    | List x, List y ->
+      List.length x = List.length y && List.for_all2 equal x y
+    | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+           x y
+    | _ -> false
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and exports                                              *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = { snap : sink }
+
+let snapshot () =
+  let merged = new_sink () in
+  let all, probe_fns =
+    locked (fun () -> (!sinks, !probes))
+  in
+  (* Pull-model metrics record into a transient sink merged into this
+     snapshot only, so cumulative probe values are never double-counted
+     across snapshots. *)
+  if Atomic.get on && probe_fns <> [] then begin
+    let p = new_sink () in
+    Sink.with_current p (fun () -> List.iter (fun f -> f ()) probe_fns);
+    merge_into ~dst:merged ~src:p
+  end;
+  List.iter (fun s -> merge_into ~dst:merged ~src:s) all;
+  { snap = merged }
+
+let slot_value snap i =
+  if i < Array.length snap.snap.slots then snap.snap.slots.(i) else 0
+
+let counter_value snap name =
+  match locked (fun () -> Hashtbl.find_opt metrics name) with
+  | Some m when m.m_kind = Kcounter -> slot_value snap m.m_base
+  | _ -> 0
+
+let sorted_metrics () =
+  locked (fun () -> !metric_order)
+  |> List.sort (fun a b -> String.compare a.m_name b.m_name)
+
+let sorted_spans () =
+  locked (fun () -> !span_order)
+  |> List.sort (fun a b -> String.compare a.s_name b.s_name)
+
+let hist_json snap m =
+  let buckets = ref [] in
+  for b = hist_buckets - 1 downto 0 do
+    let c = slot_value snap (m.m_base + b) in
+    if c <> 0 then buckets := (string_of_int b, Json.Int c) :: !buckets
+  done;
+  Json.Obj
+    [ ("count", Json.Int (slot_value snap (m.m_base + hist_buckets)));
+      ("sum", Json.Int (slot_value snap (m.m_base + hist_buckets + 1)));
+      ("buckets", Json.Obj !buckets) ]
+
+let metric_section ~stab kind to_json =
+  List.filter_map
+    (fun m ->
+      if m.m_kind = kind && m.m_stab = stab then Some (m.m_name, to_json m)
+      else None)
+    (sorted_metrics ())
+
+let scalar snap m = Json.Int (slot_value snap m.m_base)
+
+let subtree snap stab extra =
+  Json.Obj
+    ([ ("counters", Json.Obj (metric_section ~stab Kcounter (scalar snap)));
+       ("gauges", Json.Obj (metric_section ~stab Kgauge (scalar snap)));
+       ("histograms",
+        Json.Obj (metric_section ~stab Khistogram (hist_json snap))) ]
+     @ extra)
+
+let durations_json snap =
+  Json.Obj
+    (List.map
+       (fun s ->
+         ( s.s_name,
+           Json.Obj
+             [ ("count", Json.Int (slot_value snap s.s_cnt));
+               ("total_ns", Json.Int (slot_value snap s.s_dur)) ] ))
+       (sorted_spans ()))
+
+let schema_version = "lookahead-obs-report/1"
+
+let report_json snap =
+  Json.Obj
+    [ ("schema", Json.String schema_version);
+      ("deterministic", subtree snap Det []);
+      ("runtime",
+       subtree snap Sched [ ("durations", durations_json snap) ]) ]
+
+let det_subtree j =
+  match Json.member "deterministic" j with Some d -> d | None -> Json.Null
+
+let trace_json snap =
+  let epoch = Int64.to_int !epoch_ns in
+  let events =
+    List.sort
+      (fun a b ->
+        match compare a.e_ts b.e_ts with
+        | 0 -> (
+          match compare a.e_tid b.e_tid with
+          | 0 -> String.compare a.e_name b.e_name
+          | c -> c)
+        | c -> c)
+      snap.snap.events
+  in
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.e_tid) events)
+  in
+  let meta =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [ ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("args",
+             Json.Obj
+               [ ("name", Json.String (Printf.sprintf "domain %d" tid)) ]) ])
+      tids
+  in
+  let spans =
+    List.map
+      (fun e ->
+        Json.Obj
+          [ ("name", Json.String e.e_name);
+            ("ph", Json.String "X");
+            ("ts", Json.Float (float_of_int (e.e_ts - epoch) /. 1e3));
+            ("dur", Json.Float (float_of_int e.e_dur /. 1e3));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int e.e_tid) ])
+      events
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (meta @ spans));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let pp_summary fmt snap =
+  let line = String.make 66 '-' in
+  let header title =
+    Format.fprintf fmt "%s@.%s@.%s@." line title line
+  in
+  let metric_rows stab kind =
+    List.filter
+      (fun m ->
+        m.m_kind = kind && m.m_stab = stab
+        &&
+        match kind with
+        | Khistogram -> slot_value snap (m.m_base + hist_buckets) <> 0
+        | _ -> slot_value snap m.m_base <> 0)
+      (sorted_metrics ())
+  in
+  let print_scalars title rows =
+    if rows <> [] then begin
+      header title;
+      List.iter
+        (fun m ->
+          Format.fprintf fmt "  %-44s %17d@." m.m_name
+            (slot_value snap m.m_base))
+        rows
+    end
+  in
+  print_scalars "counters (deterministic)" (metric_rows Det Kcounter);
+  print_scalars "counters (runtime)" (metric_rows Sched Kcounter);
+  print_scalars "gauges (max)" (metric_rows Det Kgauge @ metric_rows Sched Kgauge);
+  let hists = metric_rows Det Khistogram @ metric_rows Sched Khistogram in
+  if hists <> [] then begin
+    header "histograms";
+    Format.fprintf fmt "  %-34s %10s %13s %10s@." "" "count" "sum" "mean";
+    List.iter
+      (fun m ->
+        let count = slot_value snap (m.m_base + hist_buckets) in
+        let sum = slot_value snap (m.m_base + hist_buckets + 1) in
+        Format.fprintf fmt "  %-34s %10d %13d %10.1f@." m.m_name count sum
+          (float_of_int sum /. float_of_int (max 1 count)))
+      hists
+  end;
+  let spans =
+    List.filter (fun s -> slot_value snap s.s_cnt <> 0) (sorted_spans ())
+  in
+  if spans <> [] then begin
+    header "phases (wall clock)";
+    Format.fprintf fmt "  %-34s %10s %13s %10s@." "" "count" "total ms"
+      "mean ms";
+    List.iter
+      (fun s ->
+        let count = slot_value snap s.s_cnt in
+        let ns = slot_value snap s.s_dur in
+        Format.fprintf fmt "  %-34s %10d %13.2f %10.3f@." s.s_name count
+          (float_of_int ns /. 1e6)
+          (float_of_int ns /. 1e6 /. float_of_int (max 1 count)))
+      spans
+  end;
+  Format.fprintf fmt "%s@." line

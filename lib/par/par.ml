@@ -56,6 +56,13 @@ module Pool = struct
     mutable closed : bool;
     mutable workers : unit Domain.t list;
     size : int;
+    (* Introspection, all mutated with [mutex] held. [per_domain] maps
+       a domain id to the tasks it completed; [n_helped] counts the
+       subset executed inside a helping [await]. *)
+    mutable n_submitted : int;
+    mutable n_completed : int;
+    mutable n_helped : int;
+    per_domain : (int, int) Hashtbl.t;
   }
 
   let worker_loop pool =
@@ -87,6 +94,10 @@ module Pool = struct
         closed = false;
         workers = [];
         size;
+        n_submitted = 0;
+        n_completed = 0;
+        n_helped = 0;
+        per_domain = Hashtbl.create 8;
       }
     in
     pool.workers <-
@@ -94,6 +105,32 @@ module Pool = struct
     pool
 
   let size pool = pool.size
+
+  type stats = {
+    pool_size : int;
+    submitted : int;
+    completed : int;
+    helped : int;
+    per_domain_completed : (int * int) list;
+  }
+
+  let stats pool =
+    Mutex.lock pool.mutex;
+    let per =
+      Hashtbl.fold (fun d n acc -> (d, n) :: acc) pool.per_domain []
+      |> List.sort compare
+    in
+    let s =
+      {
+        pool_size = pool.size;
+        submitted = pool.n_submitted;
+        completed = pool.n_completed;
+        helped = pool.n_helped;
+        per_domain_completed = per;
+      }
+    in
+    Mutex.unlock pool.mutex;
+    s
 
   let shutdown pool =
     Mutex.lock pool.mutex;
@@ -112,18 +149,34 @@ type 'a state =
   | Done of 'a
   | Failed of exn * Printexc.raw_backtrace
 
-type 'a future = { pool : Pool.t; mutable state : 'a state }
+type 'a future = {
+  pool : Pool.t;
+  mutable state : 'a state;
+  (* The task's private Obs sink (observation enabled only); taken by
+     [await] under the pool mutex and absorbed into the awaiting
+     context, so aggregates merge in submission order. *)
+  mutable fsink : Obs.Sink.t option;
+}
 
 let submit (pool : Pool.t) f =
-  let fut = { pool; state = Pending } in
+  let fut = { pool; state = Pending; fsink = None } in
   let task () =
-    let result =
+    let sink = if Obs.enabled () then Some (Obs.Sink.create ()) else None in
+    let run () =
       match f () with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
+    let result =
+      match sink with None -> run () | Some s -> Obs.Sink.with_current s run
+    in
     Mutex.lock pool.mutex;
+    fut.fsink <- sink;
     fut.state <- result;
+    pool.n_completed <- pool.n_completed + 1;
+    (let d = (Domain.self () :> int) in
+     Hashtbl.replace pool.per_domain d
+       (1 + Option.value ~default:0 (Hashtbl.find_opt pool.per_domain d)));
     Condition.broadcast pool.wake;
     Mutex.unlock pool.mutex
   in
@@ -132,6 +185,7 @@ let submit (pool : Pool.t) f =
     Mutex.unlock pool.mutex;
     invalid_arg "Par.submit: pool is shut down"
   end;
+  pool.n_submitted <- pool.n_submitted + 1;
   Queue.push task pool.queue;
   Condition.broadcast pool.wake;
   Mutex.unlock pool.mutex;
@@ -145,6 +199,7 @@ let await fut =
     | Pending ->
       if not (Queue.is_empty pool.Pool.queue) then begin
         let task = Queue.pop pool.Pool.queue in
+        pool.Pool.n_helped <- pool.Pool.n_helped + 1;
         Mutex.unlock pool.Pool.mutex;
         task ();
         Mutex.lock pool.Pool.mutex;
@@ -160,7 +215,12 @@ let await fut =
   in
   Mutex.lock pool.Pool.mutex;
   let r = resolve () in
+  let sink = fut.fsink in
+  fut.fsink <- None;
   Mutex.unlock pool.Pool.mutex;
+  (* Outside the mutex: absorb touches only domain-local state, and the
+     None above makes a second await of the same future a no-op. *)
+  (match sink with Some s -> Obs.Sink.absorb s | None -> ());
   match r with
   | Done v -> v
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -195,6 +255,32 @@ let () =
         shared_pool := None;
         Pool.shutdown p
       | None -> ())
+
+(* Pool introspection, surfaced as a pull-model Obs probe reading the
+   live shared pool at snapshot time. Every value is scheduling-
+   dependent — at -j 1 [map] bypasses the pool and submits nothing at
+   all — hence [Sched]. *)
+let m_pool_size = Obs.gauge ~stability:Sched "par.pool_size"
+let m_submitted = Obs.counter ~stability:Sched "par.tasks_submitted"
+let m_completed = Obs.counter ~stability:Sched "par.tasks_completed"
+let m_helped = Obs.counter ~stability:Sched "par.await_helped"
+
+let m_per_domain =
+  Obs.histogram ~stability:Sched "par.tasks_per_domain"
+
+let () =
+  Obs.register_probe (fun () ->
+      match !shared_pool with
+      | None -> ()
+      | Some p ->
+        let s = Pool.stats p in
+        Obs.gauge_max m_pool_size s.Pool.pool_size;
+        Obs.add m_submitted s.Pool.submitted;
+        Obs.add m_completed s.Pool.completed;
+        Obs.add m_helped s.Pool.helped;
+        List.iter
+          (fun (_, n) -> Obs.observe m_per_domain n)
+          s.Pool.per_domain_completed)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic map / fork / map_reduce                               *)

@@ -56,6 +56,23 @@ module Pool : sig
   (** Total parallelism ([jobs] of {!create}). *)
   val size : t -> int
 
+  (** Pool introspection snapshot. [helped] counts the tasks executed
+      inside a helping {!await} rather than a worker loop;
+      [per_domain_completed] maps domain ids to tasks completed there,
+      ascending. All values are scheduling-dependent (at [-j 1] {!map}
+      bypasses the pool entirely, so nothing is ever submitted); the
+      shared pool's numbers are exported through [Obs] probes as the
+      [Sched]-class [par.*] metrics. *)
+  type stats = {
+    pool_size : int;
+    submitted : int;
+    completed : int;
+    helped : int;
+    per_domain_completed : (int * int) list;
+  }
+
+  val stats : t -> stats
+
   (** Drain the queue, join the worker domains. Idempotent. *)
   val shutdown : t -> unit
 end
@@ -66,7 +83,12 @@ type 'a future
     and re-raised (with their backtrace) by {!await}. *)
 val submit : Pool.t -> (unit -> 'a) -> 'a future
 
-(** Wait for a future, executing queued tasks while it is pending. *)
+(** Wait for a future, executing queued tasks while it is pending.
+    When observation is enabled ([Obs.enable]), each task records into
+    its own private sink, and [await] folds that sink into the awaiting
+    context — so {!map}/{!fork} callers merge per-task metrics in
+    submission order and aggregate counts are bit-identical at any
+    [-j]. *)
 val await : 'a future -> 'a
 
 (** Jobs used when no explicit pool/size is given: the last positive

@@ -27,6 +27,9 @@ type t = {
   mutable ok : bool;
   mutable conflicts : int;
   mutable last_conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
   mutable seen : bool array;
   mutable phase : Bytes.t; (* saved polarity per variable: 0 false, 1 true *)
   mutable heap : int array; (* binary max-heap of variables by activity *)
@@ -52,6 +55,9 @@ let create () =
     ok = true;
     conflicts = 0;
     last_conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
     seen = Array.make 2 false;
     phase = Bytes.make 2 '\000';
     heap = Array.make 16 0;
@@ -205,6 +211,7 @@ let propagate s =
   while !conflict = None && s.qhead < s.trail_size do
     let l = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
     (* l became true; visit clauses watching (neg l). *)
     let cs = s.watches.(l) in
     s.watches.(l) <- [];
@@ -442,6 +449,7 @@ let solve_internal ?(assumptions = []) ~conflict_limit s =
           decr restart_budget;
           if !restart_budget <= 0 then begin
             restart_budget := 100 + (s.conflicts / 10);
+            s.restarts <- s.restarts + 1;
             backtrack s !assumption_level
           end
         end
@@ -449,6 +457,7 @@ let solve_internal ?(assumptions = []) ~conflict_limit s =
         let v = pick_branch s in
         if v = 0 then result := Some Sat
         else begin
+          s.decisions <- s.decisions + 1;
           s.trail_lim <- s.trail_size :: s.trail_lim;
           (* Saved phase (false for never-assigned variables). *)
           let pos = Bytes.unsafe_get s.phase v = '\001' in
@@ -472,3 +481,18 @@ let solve_limited ?assumptions ~conflict_limit s =
 let value s v =
   assert (v > 0 && v <= s.nvars);
   s.assign.(v) = 1
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+}
+
+let stats (s : t) =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+  }

@@ -43,3 +43,16 @@ val num_clauses : t -> int
 
 (** Number of conflicts in the last [solve] call, for diagnostics. *)
 val last_conflicts : t -> int
+
+(** Cumulative search statistics since [create]. Deterministic for a
+    deterministic sequence of [add_clause]/[solve] calls — the solver has
+    no randomization — so callers may record deltas of these into
+    deterministic [Obs] counters. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+}
+
+val stats : t -> stats

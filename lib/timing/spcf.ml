@@ -1,3 +1,12 @@
+(* All [Det]: every call happens inside one output's decomposition job
+   (or the sequential MFS pass) and does the same work at any -j. *)
+let m_approx_calls = Obs.counter "spcf.approx_calls"
+let m_exact_calls = Obs.counter "spcf.exact_calls"
+let m_late_nodes = Obs.histogram "spcf.late_nodes"
+let m_chain_steps = Obs.counter "spcf.chain_steps"
+let m_reconvergent = Obs.counter "spcf.reconvergent_walks"
+let m_bool_diffs = Obs.counter "spcf.bool_diffs"
+
 let floating_delays g bits =
   let words = Array.map (fun b -> if b then -1L else 0L) bits in
   let values = Aig.sim g words in
@@ -24,6 +33,7 @@ let floating_delays g bits =
   delay
 
 let exact g ~out ~delta =
+  Obs.incr m_exact_calls;
   let ni = Aig.num_inputs g in
   assert (ni <= 16);
   let _, ol = List.nth (Aig.outputs g) out in
@@ -72,6 +82,7 @@ let altered_global man net globals ~cone ~vid ~wrt ~oid =
   Hashtbl.find_opt altered oid
 
 let boolean_difference man net globals ~wrt ~out =
+  Obs.incr m_bool_diffs;
   let oid = out.Network.node in
   let vid = scratch_var net in
   match
@@ -128,12 +139,14 @@ let late_nodes net ~levels ~out ~delta ~max_nodes =
 let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) ?analysis ()
     =
   let oid = out.Network.node in
+  Obs.incr m_approx_calls;
   let cone, fanouts =
     match analysis with
     | Some a -> (Network.Analysis.cone a oid, Network.Analysis.fanouts a)
     | None -> (Network.cone net oid, Network.fanouts net)
   in
   let late = late_nodes_in net ~cone ~fanouts ~levels ~oid ~delta ~max_nodes in
+  Obs.observe m_late_nodes (List.length late);
   (* All Boolean differences in one shared backward cofactor pass.
 
      [walk wrt] is the cofactor pair (y[wrt := 0], y[wrt := 1]) — the
@@ -198,6 +211,7 @@ let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) ?analysis ()
         let p =
           match cone_fanouts wrt with
           | [ k1 ] ->
+            Obs.incr m_chain_steps;
             let nd = Network.node net k1 in
             let args b =
               Array.map
@@ -211,7 +225,9 @@ let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) ?analysis ()
             let h1 = Bdd.apply_tt man nd.Network.func (args true) in
             let y0, y1 = walk k1 in
             (Bdd.ite man h0 y1 y0, Bdd.ite man h1 y1 y0)
-          | _ -> (const_global false ~wrt, const_global true ~wrt)
+          | _ ->
+            Obs.incr m_reconvergent;
+            (const_global false ~wrt, const_global true ~wrt)
         in
         Hashtbl.replace memo wrt p;
         p
