@@ -1,0 +1,38 @@
+.PHONY: all build test bench coverage coverage-clean clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- table1
+
+# Coverage via bisect_ppx. Every library/executable carries an
+# (instrumentation (backend bisect_ppx)) stanza, which is inert unless
+# dune is invoked with --instrument-with, so regular builds never need
+# the package. This target degrades gracefully where bisect_ppx is not
+# installed (e.g. the pinned dev container): CI installs it and runs
+# `make coverage` to publish the baseline recorded in EXPERIMENTS.md.
+coverage:
+	@if ! ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  echo "coverage: bisect_ppx not installed; skipping."; \
+	  echo "coverage: install it (opam install bisect_ppx) and re-run."; \
+	else \
+	  rm -rf _coverage && mkdir -p _coverage; \
+	  BISECT_FILE=$$(pwd)/_coverage/bisect \
+	    dune runtest --force --instrument-with bisect_ppx && \
+	  bisect-ppx-report html --coverage-path _coverage -o _coverage/html && \
+	  bisect-ppx-report summary --coverage-path _coverage \
+	    | tee _coverage/summary.txt; \
+	  echo "coverage: report at _coverage/html/index.html"; \
+	fi
+
+coverage-clean:
+	rm -rf _coverage
+
+clean:
+	dune clean

@@ -34,9 +34,19 @@
 # The -j 1 trace is left at $OBS_TRACE_OUT (default BENCH_obs_trace.json)
 # for CI to archive.
 #
+# Gate 5 (guard): runs the table2 fast subset with a mid-run injected
+# BDD blowup (`bench/main.exe table2-guard --inject ...`, deadline
+# disabled) at -j 1 and -j 4. Every cell of that target CEC-checks its
+# output against its input, so mere completion is the completion+CEC
+# check; on top of that the gate requires (a) the injected-fault
+# counter to actually be non-zero in the report — a silently unfired
+# fault would make the gate vacuous — and (b) the two reports'
+# deterministic subtrees to be byte-identical, i.e. degraded runs obey
+# the same -j identity contract as healthy ones.
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
 # Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1
-# / SKIP_OBS_GATE=1.
+# / SKIP_OBS_GATE=1 / SKIP_GUARD_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,7 +65,10 @@ par_fresh="${TMPDIR:-/tmp}/BENCH_par.fresh.$$.json"
 incr_fresh="${TMPDIR:-/tmp}/BENCH_incr.fresh.$$.json"
 obs_r1="${TMPDIR:-/tmp}/BENCH_obs.r1.$$.json"
 obs_r4="${TMPDIR:-/tmp}/BENCH_obs.r4.$$.json"
-trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4"' EXIT
+guard_r1="${TMPDIR:-/tmp}/BENCH_guard.r1.$$.json"
+guard_r4="${TMPDIR:-/tmp}/BENCH_guard.r4.$$.json"
+trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4" \
+  "$guard_r1" "$guard_r4"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
   awk -v want="$2" '
@@ -200,6 +213,42 @@ else
     echo "check_regression: obs gate OK (trace at $obs_trace)"
   else
     echo "check_regression: FAIL — observation exports invalid or nondeterministic" >&2
+    fail=1
+  fi
+fi
+
+# ------------------------------------------------------------------
+# Gate 5: degradation ladder (faulted completion + cross -j identity)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_GUARD_GATE:-0}" = 1 ]; then
+  echo "check_regression: guard gate skipped (SKIP_GUARD_GATE=1)"
+else
+  guard_inject="${GUARD_GATE_INJECT:-bdd@500:r}"
+
+  # Each table2-guard cell asserts CEC-equivalence itself, so a clean
+  # exit here IS the completion+CEC half of the gate.
+  dune exec bench/main.exe -- table2-guard --inject "$guard_inject" \
+    -j 1 --report "$guard_r1" >/dev/null
+  dune exec bench/main.exe -- table2-guard --inject "$guard_inject" \
+    -j 4 --report "$guard_r4" >/dev/null
+
+  guard_ok=1
+  dune exec bench/main.exe -- check-report "$guard_r1" || guard_ok=0
+  dune exec bench/main.exe -- check-report "$guard_r4" || guard_ok=0
+  dune exec bench/main.exe -- compare-reports "$guard_r1" "$guard_r4" \
+    || guard_ok=0
+
+  # The fault must actually have fired, or the gate checks nothing.
+  if ! grep -q '"guard.injected.bdd_blowup":[1-9]' "$guard_r1"; then
+    echo "check_regression: FAIL — injected fault ($guard_inject) never fired" >&2
+    guard_ok=0
+  fi
+
+  if [ "$guard_ok" = 1 ]; then
+    echo "check_regression: guard gate OK (inject $guard_inject)"
+  else
+    echo "check_regression: FAIL — faulted run broke, diverged across -j, or fault unfired" >&2
     fail=1
   fi
 fi

@@ -1089,6 +1089,25 @@ let () =
     | [] -> []
   in
   let args = strip_obs args in
+  (* --inject SPEC: arm deterministic fault injection (lib/guard) for
+     every target that follows — the guard-gate workloads use it to
+     force the degradation ladder mid-run. *)
+  let rec strip_inject = function
+    | "--inject" :: spec :: rest -> (
+      match Guard.Inject.of_string spec with
+      | Ok rules ->
+        Guard.Inject.arm rules;
+        strip_inject rest
+      | Error msg ->
+        Printf.eprintf "bench: --inject: %s\n" msg;
+        exit 2)
+    | [ "--inject" ] ->
+      prerr_endline "bench: --inject requires a spec argument";
+      exit 2
+    | arg :: rest -> arg :: strip_inject rest
+    | [] -> []
+  in
+  let args = strip_inject args in
   if !obs_stats || !obs_report <> None || !obs_trace <> None then
     Obs.enable ();
   let finish_obs () =
@@ -1120,6 +1139,22 @@ let () =
       | "table1" -> table1 ()
       | "table2" -> table2 ~full:false ()
       | "table2-full" -> table2 ~full:true ()
+      | "table2-guard" ->
+        (* Gate 5 workload: the fast subset minus C432 (the one circuit
+           that needs the anytime deadline), deadline disabled, meant to
+           run with --inject armed. Every governed blowup is then an
+           injected one, firing on per-job tick counts, so the report's
+           Det subtree — degradation rungs included — is comparable
+           across -j. Each cell CEC-asserts against its input, so the
+           target completing IS the completion + equivalence check. *)
+        if not (Guard.Inject.armed ()) then
+          prerr_endline
+            "bench: table2-guard: note: no --inject spec armed, running \
+             unfaulted";
+        table2 ~tools:tools_nolimit
+          ~names:
+            (List.filter (fun n -> not (String.equal n "C432")) fast_subset)
+          ~full:false ()
       | "ablation" -> ablation ()
       | "extension" -> extension ()
       | "bechamel" -> bechamel ()

@@ -57,6 +57,31 @@ let trace_arg =
 let setup_obs stats report trace =
   if stats || report <> None || trace <> None then Obs.enable ()
 
+(* Deterministic fault injection (lib/guard), for exercising the
+   degradation ladder from the command line and the regression gates. *)
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection: comma-separated rules \
+           $(i,fault)@$(i,N)[:r][:$(i,site)] with $(i,fault) one of \
+           $(b,bdd), $(b,sat) or $(b,deadline) — fire at the N-th guarded \
+           call of that class per governed unit ($(b,:r) repeats at every \
+           multiple). The run completes, degraded: each fired fault walks \
+           the degradation ladder and is recorded under the \
+           $(b,guard.injected.*) / $(b,guard.rung.*) report counters.")
+
+let setup_inject = function
+  | None -> ()
+  | Some spec -> (
+    match Guard.Inject.of_string spec with
+    | Ok rules -> Guard.Inject.arm rules
+    | Error msg ->
+      Printf.eprintf "lookahead_opt: --inject: %s\n%!" msg;
+      exit 2)
+
 let write_file path text =
   let oc = open_out path in
   output_string oc text;
@@ -185,10 +210,11 @@ let opt_cmd =
              scheduling.")
   in
   let run circuit blif bench adder tool check out_blif verbose jobs time_limit
-      stats report_file trace =
+      stats report_file trace inject =
     setup_logs verbose;
     setup_jobs jobs;
     setup_obs stats report_file trace;
+    setup_inject inject;
     let source, name =
       match (circuit, blif, bench, adder) with
       | Some n, None, None, None -> (Named n, n)
@@ -221,7 +247,8 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Optimize a circuit and report Table 2 metrics.")
     Term.(
       const run $ circuit $ blif $ bench $ adder $ tool $ check $ out_blif
-      $ verbose $ jobs_arg $ time_limit $ stats_arg $ report_arg $ trace_arg)
+      $ verbose $ jobs_arg $ time_limit $ stats_arg $ report_arg $ trace_arg
+      $ inject_arg)
 
 let timing_cmd =
   let circuit =

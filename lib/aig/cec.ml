@@ -108,7 +108,7 @@ let random_counterexample g diffs rounds =
    signatures. XOR-heavy miters (the error-correcting benchmarks) are
    intractable for monolithic CDCL but fall apart this way: every proof
    is local to two small structurally-close cones. *)
-let sweep_check acc g live =
+let sweep_check ~guard acc g live =
   let nn = Graph.num_nodes g in
   let ni = Graph.num_inputs g in
   let st = Random.State.make [| 0xf4a16; nn |] in
@@ -225,7 +225,9 @@ let sweep_check acc g live =
   let limit = 4000 in
   let solve_bounded assumptions =
     acc.a_sat <- acc.a_sat + 1;
-    match Sat.Solver.solve_limited ~assumptions ~conflict_limit:limit solver with
+    match
+      Sat.Solver.solve_limited ~guard ~assumptions ~conflict_limit:limit solver
+    with
     | None ->
       acc.a_budget <- acc.a_budget + 1;
       None
@@ -287,7 +289,9 @@ let sweep_check acc g live =
     end
   done;
   (* Every diff whose image survived the sweep gets a final unbounded
-     query on the swept (much smaller) structure. *)
+     query on the swept (much smaller) structure. Deliberately not
+     guarded: the verdict must stay sound under any budget or injected
+     fault — only the merge-proof effort above is governable. *)
   let rec finish = function
     | [] -> Equivalent
     | d :: rest -> (
@@ -304,7 +308,7 @@ let sweep_check acc g live =
   record_solver_stats solver;
   verdict
 
-let check_with_stats a b =
+let check_with_stats ?(guard = Guard.none) a b =
   let tok = Obs.span_begin sp_check in
   Obs.incr m_checks;
   let acc = { a_sim = 0; a_sat = 0; a_merge = 0; a_budget = 0 } in
@@ -318,7 +322,7 @@ let check_with_stats a b =
       | Some cex ->
         Obs.incr m_sim_refuted;
         Counterexample cex
-      | None -> sweep_check acc g live
+      | None -> sweep_check ~guard acc g live
     end
   in
   Obs.add m_sim_rounds acc.a_sim;
@@ -332,7 +336,7 @@ let check_with_stats a b =
       merges = acc.a_merge;
       budget_exhausted = acc.a_budget } )
 
-let check a b = fst (check_with_stats a b)
+let check ?guard a b = fst (check_with_stats ?guard a b)
 
-let equivalent a b =
-  match check a b with Equivalent -> true | Counterexample _ -> false
+let equivalent ?guard a b =
+  match check ?guard a b with Equivalent -> true | Counterexample _ -> false

@@ -9,11 +9,15 @@ type verdict =
   | Equivalent
   | Counterexample of bool array  (** input assignment where outputs differ *)
 
-(** [check a b] compares two circuits with the same number of inputs and
-    outputs (matched positionally). *)
-val check : Graph.t -> Graph.t -> verdict
+(** [check ?guard a b] compares two circuits with the same number of
+    inputs and outputs (matched positionally). [guard] (default
+    {!Guard.none}) governs only the bounded merge-proof queries of the
+    fraig sweep — a budget or injected fault can make the sweep merge
+    less, never change the verdict, because the final per-diff queries
+    are unbounded and unguarded. *)
+val check : ?guard:Guard.t -> Graph.t -> Graph.t -> verdict
 
-val equivalent : Graph.t -> Graph.t -> bool
+val equivalent : ?guard:Guard.t -> Graph.t -> Graph.t -> bool
 
 (** Work counters for one check: simulation rounds run (seed,
     refutation-refinement, and miter-level), SAT queries issued, fraig
@@ -28,4 +32,4 @@ type stats = {
 
 (** [check] plus the sweep's work counters (also recorded under the
     [cec.*] and [sat.*] [Obs] metrics when observation is enabled). *)
-val check_with_stats : Graph.t -> Graph.t -> verdict * stats
+val check_with_stats : ?guard:Guard.t -> Graph.t -> Graph.t -> verdict * stats

@@ -10,7 +10,7 @@ let m_sat_decisions = Obs.counter "sat.decisions"
 let m_sat_propagations = Obs.counter "sat.propagations"
 let m_sat_restarts = Obs.counter "sat.restarts"
 
-let sat_sweep ?(rounds = 8) ?(max_pairs = 2000) g =
+let sat_sweep ?(guard = Guard.none) ?(rounds = 8) ?(max_pairs = 2000) g =
   let nn = Graph.num_nodes g in
   let ni = Graph.num_inputs g in
   if ni = 0 then Graph.cleanup g
@@ -94,9 +94,22 @@ let sat_sweep ?(rounds = 8) ?(max_pairs = 2000) g =
               let a = sat_lit (Graph.lit_of_node id false) in
               let b = sat_lit (if flipped then Graph.bnot rep_lit else rep_lit) in
               Obs.add m_sat_calls 2;
-              let ne1 = Sat.Solver.solve ~assumptions:[ a; -b ] solver in
-              let ne2 = Sat.Solver.solve ~assumptions:[ -a; b ] solver in
-              if ne1 = Sat.Solver.Unsat && ne2 = Sat.Solver.Unsat then begin
+              (* Guarded with limit 0 (= unlimited unless the budget
+                 caps it): [None] simply skips the merge, which is
+                 always sound. Both queries run unconditionally so the
+                 solver-work counters stay identical to the unguarded
+                 code path. *)
+              let ne1 =
+                Sat.Solver.solve_limited ~guard ~assumptions:[ a; -b ]
+                  ~conflict_limit:0 solver
+              in
+              let ne2 =
+                Sat.Solver.solve_limited ~guard ~assumptions:[ -a; b ]
+                  ~conflict_limit:0 solver
+              in
+              if
+                ne1 = Some Sat.Solver.Unsat && ne2 = Some Sat.Solver.Unsat
+              then begin
                 Obs.incr m_merges;
                 Hashtbl.replace subst id
                   (if flipped then Graph.bnot rep_lit else rep_lit)

@@ -8,7 +8,10 @@
 (** Structural cleanup ({!Graph.cleanup}). *)
 val cleanup : Graph.t -> Graph.t
 
-(** [sat_sweep ?rounds ?max_pairs g] merges proven-equivalent nodes.
-    [rounds] is the number of 64-bit random simulation rounds used to
-    partition candidates; [max_pairs] bounds SAT effort. *)
-val sat_sweep : ?rounds:int -> ?max_pairs:int -> Graph.t -> Graph.t
+(** [sat_sweep ?guard ?rounds ?max_pairs g] merges proven-equivalent
+    nodes. [rounds] is the number of 64-bit random simulation rounds
+    used to partition candidates; [max_pairs] bounds SAT effort.
+    [guard] (default {!Guard.none}) governs the per-pair proof queries:
+    an exhausted or injected budget skips the merge (always sound). *)
+val sat_sweep :
+  ?guard:Guard.t -> ?rounds:int -> ?max_pairs:int -> Graph.t -> Graph.t

@@ -130,9 +130,14 @@ type man = {
   mutable sat_done : Bytes.t;
   mutable mark : int array;
   mutable mark_epoch : int;
+  (* Resource governance: [ceiling] is the guard budget's hard node
+     ceiling snapshot ([max_int] when unguarded), checked at the single
+     allocation point so every public operation becomes cancellable. *)
+  guard : Guard.t;
+  ceiling : int;
 }
 
-let create ?(cache_size = 1 lsl 14) () =
+let create ?(cache_size = 1 lsl 14) ?(guard = Guard.none) () =
   let bits n = max 8 (int_of_float (ceil (log (float_of_int n) /. log 2.))) in
   let cap = 1024 in
   let var_ = Array.make cap 0 in
@@ -156,6 +161,8 @@ let create ?(cache_size = 1 lsl 14) () =
     sat_done = Bytes.empty;
     mark = [||];
     mark_epoch = 0;
+    guard;
+    ceiling = Guard.bdd_ceiling guard;
   }
 
 let bfalse _ = 1
@@ -165,6 +172,7 @@ let is_false _ f = f = 1
 let is_true _ f = f = 0
 let num_vars man = man.nvars
 let allocated man = man.next
+let guard man = man.guard
 
 let[@inline] topvar man e = man.var_.(e lsr 1)
 
@@ -209,6 +217,11 @@ let mk_node man v lo hi =
   while !res < 0 do
     let id = tbl.(!i) in
     if id = 0 then begin
+      if man.next >= man.ceiling then
+        raise
+          (Guard.Blowup
+             { resource = Guard.Bdd_nodes; site = "bdd.mk_node";
+               injected = false });
       if man.next >= Array.length man.var_ then grow_nodes man;
       let id = man.next in
       man.next <- id + 1;
@@ -252,7 +265,7 @@ let[@inline] cof man v e =
 (* ite and the derived connectives.                                    *)
 (* ------------------------------------------------------------------ *)
 
-let rec ite man f g h =
+let rec ite_rec man f g h =
   if f = 0 then g
   else if f = 1 then h
   else begin
@@ -277,13 +290,20 @@ let rec ite man f g h =
         let f0, f1 = cof man v f in
         let g0, g1 = cof man v g in
         let h0, h1 = cof man v h in
-        let lo = ite man f0 g0 h0 and hi = ite man f1 g1 h1 in
+        let lo = ite_rec man f0 g0 h0 and hi = ite_rec man f1 g1 h1 in
         let r = mk man v lo hi in
         cache_put man.ite_cache f g h r;
         r lxor compl_out
       end
     end
   end
+
+(* Public entry points tick the manager's guard once per call — the
+   granularity at which injected faults land; the recursion stays
+   tick-free so guarded and unguarded managers run the same code. *)
+let ite man f g h =
+  Guard.tick_bdd man.guard ~site:"bdd.ite";
+  ite_rec man f g h
 
 let band man f g = ite man f g 1
 let bor man f g = ite man f 0 g
@@ -297,6 +317,7 @@ let implies man f g = ite man f g 0 = 0
 (* ------------------------------------------------------------------ *)
 
 let restrict man f i b =
+  Guard.tick_bdd man.guard ~site:"bdd.restrict";
   let bi = (i lsl 1) lor (if b then 1 else 0) in
   let rec go f =
     if f land lnot 1 = 0 then f
@@ -322,6 +343,7 @@ let restrict man f i b =
   go f
 
 let compose man f i g =
+  Guard.tick_bdd man.guard ~site:"bdd.compose";
   let rec go f =
     if f land lnot 1 = 0 then f
     else begin
@@ -330,7 +352,7 @@ let compose man f i g =
       if v > i then f
       else begin
         let c = f land 1 in
-        if v = i then ite man g (man.hi_.(id) lxor c) (man.lo_.(id) lxor c)
+        if v = i then ite_rec man g (man.hi_.(id) lxor c) (man.lo_.(id) lxor c)
         else begin
           let r = cache_find man.compose_cache f i g in
           if r >= 0 then r
@@ -340,7 +362,7 @@ let compose man f i g =
             (* The substituted variable may rise above [v] in the order,
                so rebuild with ite on the branch variable. *)
             let xv = mk man v 1 0 in
-            let r = ite man xv hi lo in
+            let r = ite_rec man xv hi lo in
             cache_put man.compose_cache f i g r;
             r
           end
@@ -361,6 +383,7 @@ let exists man vars f =
 
 let apply_tt man tt args =
   assert (Array.length args = Logic.Tt.num_vars tt);
+  Guard.tick_bdd man.guard ~site:"bdd.apply_tt";
   (* Memoized per (table, argument edges) in the manager: global node
      functions and window images are rebuilt with identical arguments
      throughout a decomposition, and every repeat is a table hit. *)
@@ -394,7 +417,7 @@ let apply_tt man tt args =
             else
               let f0 = go (Logic.Tt.cofactor tt i false) (i + 1) in
               let f1 = go (Logic.Tt.cofactor tt i true) (i + 1) in
-              ite man args.(i) f1 f0
+              ite_rec man args.(i) f1 f0
           in
           Hashtbl.replace cache key r;
           r

@@ -16,10 +16,22 @@
 type man
 type t
 
-(** [create ?cache_size ()] makes a fresh manager. [cache_size] seeds the
-    initial ite-cache capacity (rounded up to a power of two); all op
-    caches grow by doubling under pressure up to a fixed cap. *)
-val create : ?cache_size:int -> unit -> man
+(** [create ?cache_size ?guard ()] makes a fresh manager. [cache_size]
+    seeds the initial ite-cache capacity (rounded up to a power of two);
+    all op caches grow by doubling under pressure up to a fixed cap.
+
+    [guard] governs the manager: allocation past the budget's
+    [bdd_node_ceiling] raises {!Guard.Blowup}[ Bdd_nodes] from the
+    single allocation point, and every public operation ([ite] and the
+    derived connectives, [restrict], [compose], [apply_tt]) is an
+    injection tick site. A blowup leaves the manager internally
+    consistent (every stored node is canonical), so the caller may
+    discard results built from it and retry elsewhere. Default
+    {!Guard.none}: unlimited, no ticks. *)
+val create : ?cache_size:int -> ?guard:Guard.t -> unit -> man
+
+(** The guard [create] was given ({!Guard.none} by default). *)
+val guard : man -> Guard.t
 
 val bfalse : man -> t
 val btrue : man -> t

@@ -8,6 +8,7 @@ type options = {
   time_limit_s : float;
   use_exact_spcf : bool;
   balance_first : bool;
+  guard_budget : Guard.Budget.t;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     time_limit_s = 90.0;
     use_exact_spcf = false;
     balance_first = true;
+    guard_budget = Guard.Budget.default;
   }
 
 type stats = {
@@ -48,6 +50,19 @@ let m_skip_support = Obs.counter "opt.jobs_skipped_support"
 
 let m_skip_deadline =
   Obs.counter ~stability:Obs.Sched "opt.jobs_skipped_deadline"
+
+(* Degradation-ladder counters: one per rung descent, recording where
+   each governed blowup landed. [Det] because every blowup that is not
+   a real wall-clock expiry fires on a per-job tick count, which
+   depends only on the job's input — never on scheduling. Real deadline
+   cuts are inherently schedule-dependent and quarantined as [Sched]. *)
+let m_rung_approx = Obs.counter "guard.rung.approx_spcf"
+let m_rung_shrink = Obs.counter "guard.rung.shrink_window"
+let m_rung_skip = Obs.counter "guard.rung.skip_output"
+let m_reconstruct_fallback = Obs.counter "guard.reconstruct_fallbacks"
+
+let m_guard_deadline_cut =
+  Obs.counter ~stability:Obs.Sched "guard.deadline_cuts"
 
 let sp_round = Obs.span "opt.round"
 let sp_decompose = Obs.span "opt.decompose"
@@ -100,10 +115,15 @@ let record_bdd_stats man =
     Obs.add m_compose_misses (s.Bdd.compose_lookups - s.Bdd.compose_hits)
   end
 
-let spcf_of opts man net globals ~analysis ~levels ~out ~delta g ~aig_depth
-    out_index =
+(* The exact SPCF is eligible only on narrow cones; the same predicate
+   decides the degradation ladder's entry rung, so keep it shared. *)
+let exact_spcf_eligible opts net =
+  opts.use_exact_spcf && Network.num_inputs net <= 14
+
+let spcf_of opts ~guard man net globals ~analysis ~levels ~out ~delta g
+    ~aig_depth out_index =
   Obs.with_span sp_spcf @@ fun () ->
-  if opts.use_exact_spcf && Network.num_inputs net <= 14 then begin
+  if exact_spcf_eligible opts net then begin
     (* Exact floating-mode SPCF on the AIG (unit-delay threshold at the
        AIG depth), converted to a BDD over the primary inputs. *)
     let tt = Timing.Spcf.exact g ~out:out_index ~delta:aig_depth in
@@ -111,17 +131,22 @@ let spcf_of opts man net globals ~analysis ~levels ~out ~delta g ~aig_depth
       (Array.init (Network.num_inputs net) (fun i -> Bdd.var man i))
   end
   else
-    Timing.Spcf.approx man net globals ~levels ~out ~delta
+    Timing.Spcf.approx ~guard man net globals ~levels ~out ~delta
       ~max_nodes:opts.spcf_max_nodes ~analysis ()
 
 (* Recursive multi-level decomposition of one output: peel a window off
    the current residue network, then recurse into the secondary circuit.
    Returns the decomposition levels (outermost first) and the final
    residue. *)
-let decompose_output opts man g out_index (o : Network.output) net0 analysis0
-    globals0 ~aig_depth =
+let decompose_output opts ~guard man g out_index (o : Network.output) net0
+    analysis0 globals0 ~aig_depth =
   let oid = o.Network.node in
   let rec go net analysis globals depth_left ~stalls acc =
+    (* Cancellation point at every decomposition level: a deadline that
+       expires between secondary simplification and reconstruction must
+       abandon the whole output (the caller falls back to the pre-edit
+       cone), never hand a partially rewired residue to [merge]. *)
+    Guard.check_deadline guard ~site:"driver.decompose";
     if depth_left = 0 || (Bdd.stats man).Bdd.live_nodes > opts.bdd_node_limit
     then
       (List.rev acc, net)
@@ -131,8 +156,8 @@ let decompose_output opts man g out_index (o : Network.output) net0 analysis0
       if l_out <= 1 then (List.rev acc, net)
       else begin
         let spcf =
-          spcf_of opts man net globals ~analysis ~levels ~out:o ~delta:l_out g
-            ~aig_depth out_index
+          spcf_of opts ~guard man net globals ~analysis ~levels ~out:o
+            ~delta:l_out g ~aig_depth out_index
         in
         if Bdd.is_false man spcf then (List.rev acc, net)
         else begin
@@ -206,7 +231,8 @@ let decompose_output opts man g out_index (o : Network.output) net0 analysis0
                   (* Only the cones that contain an edit changed: reuse
                      every other output's global BDD verbatim. *)
                   let sec_globals =
-                    Network.Globals.update man globals secondary ~dirty:edited
+                    Network.Globals.update ~guard man globals secondary
+                      ~dirty:edited
                       ~fanouts:(Network.Analysis.fanouts sec_analysis)
                   in
                   go secondary sec_analysis sec_globals (depth_left - 1)
@@ -305,28 +331,93 @@ let one_round opts ~deadline g =
       end
       else begin
         Obs.with_span sp_decompose @@ fun () ->
-        (* A fresh BDD manager per output keeps memory bounded: all
-           BDDs of one output's decomposition die with its manager. *)
-        let man = Bdd.create () in
-        let globals = Network.Globals.of_net man wnet in
-        let decomp_levels, final_residue =
-          decompose_output opts man g out_index o wnet wanalysis globals
-            ~aig_depth
+        (* One guard context per output job, shared across every rung of
+           the degradation ladder: tick counts carry over between rungs,
+           so a single-shot injected fault fires once per job (the
+           descent), not once per rung, and both budgets and injections
+           land identically at any -j — the tick sequence depends only
+           on the job's input. *)
+        let guard = Guard.create ~deadline opts.guard_budget in
+        let attempt rung =
+          let opts_r =
+            match rung with
+            | `Exact -> opts
+            | `Approx -> { opts with use_exact_spcf = false }
+            | `Shrunk ->
+              {
+                opts with
+                use_exact_spcf = false;
+                spcf_max_nodes = max 4 (opts.spcf_max_nodes / 2);
+                max_decomp_levels = max 1 (opts.max_decomp_levels / 2);
+              }
+          in
+          (* A fresh BDD manager per attempt keeps memory bounded: all
+             BDDs of one attempt die with its manager, and a blown-up
+             attempt leaves no state behind for the next rung. *)
+          let man = Bdd.create ~guard () in
+          match
+            let globals = Network.Globals.of_net ~guard man wnet in
+            let decomp_levels, final_residue =
+              decompose_output opts_r ~guard man g out_index o wnet wanalysis
+                globals ~aig_depth
+            in
+            (globals, decomp_levels, final_residue)
+          with
+          | globals, decomp_levels, final_residue ->
+            Obs.observe m_decomp_levels (List.length decomp_levels);
+            if decomp_levels = [] then begin
+              (* Managers that never reach [merge] are still accounted
+                 for. *)
+              record_bdd_stats man;
+              Ok None
+            end
+            else
+              Ok
+                (Some
+                   {
+                     man;
+                     y_bdd = globals.(o.Network.node);
+                     pieces =
+                       {
+                         Reconstruct.levels = decomp_levels;
+                         final_residue;
+                         out = o;
+                       };
+                   })
+          | exception Guard.Blowup { resource; injected; site = _ } ->
+            record_bdd_stats man;
+            Error (resource, injected)
         in
-        Obs.observe m_decomp_levels (List.length decomp_levels);
-        if decomp_levels = [] then begin
-          (* Managers that never reach [merge] are still accounted for. *)
-          record_bdd_stats man;
-          None
-        end
-        else
-          Some
-            {
-              man;
-              y_bdd = globals.(o.Network.node);
-              pieces =
-                { Reconstruct.levels = decomp_levels; final_residue; out = o };
-            }
+        (* The deterministic degradation ladder: exact SPCF → approximate
+           SPCF → smaller window/depth → skip the output. Time faults
+           jump straight to the terminal rung — retrying cannot buy time
+           back — with injected expiry counted [Det] (it fires on a tick
+           count) and real expiry quarantined as [Sched]. *)
+        let rec ladder rung =
+          match attempt rung with
+          | Ok r -> r
+          | Error (Guard.Time, injected) ->
+            if injected then Obs.incr m_rung_skip
+            else begin
+              Obs.incr m_guard_deadline_cut;
+              Log.debug (fun m ->
+                  m "skip %s: deadline expired mid-decomposition"
+                    o.Network.name)
+            end;
+            None
+          | Error ((Guard.Bdd_nodes | Guard.Sat_conflicts), _) -> (
+            match rung with
+            | `Exact ->
+              Obs.incr m_rung_approx;
+              ladder `Approx
+            | `Approx ->
+              Obs.incr m_rung_shrink;
+              ladder `Shrunk
+            | `Shrunk ->
+              Obs.incr m_rung_skip;
+              None)
+        in
+        ladder (if exact_spcf_eligible opts wnet then `Exact else `Approx)
       end
     in
     let merge result (out_index, (o : Network.output), old_level) =
@@ -354,6 +445,17 @@ let one_round opts ~deadline g =
           | None ->
             Log.debug (fun m ->
                 m "output %s: no valid reconstruction form" o.Network.name);
+            fallback ()
+          | exception Guard.Blowup _ ->
+            (* Reconstruction keeps ticking the job's manager, so a
+               budget crossed (or fault injected) this late lands here:
+               drop the half-built form and restore the pre-edit cone.
+               [dst] is unharmed — [Reconstruct.build] only adds nodes,
+               and unreferenced ones die in the final cleanup. *)
+            Obs.incr m_reconstruct_fallback;
+            Log.debug (fun m ->
+                m "output %s: blowup during reconstruction, restored"
+                  o.Network.name);
             fallback ())
       in
       (* After [Reconstruct.build] so its manager traffic is included;
@@ -433,6 +535,11 @@ let optimize_with_stats ?(options = default) g0 =
      means the same thing at -j 1 and -j 8 and is immune to wall-clock
      adjustments. *)
   let deadline = Par.Deadline.after options.time_limit_s in
+  (* Run-level guard context for the sequential finishing passes (SAT
+     sweep, final CEC); per-output decomposition jobs get their own.
+     Deliberately deadline-free — the finishing passes always run to
+     completion, like the existing flow. *)
+  let run_guard = Guard.create options.guard_budget in
   (* Inner loop: decomposition rounds while the depth improves. *)
   let rec rounds i g touched =
     if i >= options.max_rounds || Par.Deadline.expired deadline then
@@ -475,10 +582,17 @@ let optimize_with_stats ?(options = default) g0 =
     then conventional
     else best
   in
-  let best = Obs.with_span sp_sat_sweep (fun () -> Aig.Sweep.sat_sweep best) in
+  let best =
+    Obs.with_span sp_sat_sweep (fun () ->
+        Aig.Sweep.sat_sweep ~guard:run_guard best)
+  in
   (* The paper performs an equivalence check after optimization; a failed
-     check would indicate a bug, so enforce it. *)
-  (match Obs.with_span sp_final_cec (fun () -> Aig.Cec.check g0 best) with
+     check would indicate a bug, so enforce it. The guard can only
+     reduce the check's merge effort, never its soundness. *)
+  (match
+     Obs.with_span sp_final_cec (fun () ->
+         Aig.Cec.check ~guard:run_guard g0 best)
+   with
    | Aig.Cec.Equivalent -> ()
    | Aig.Cec.Counterexample _ ->
      invalid_arg "Lookahead.Driver.optimize: internal equivalence failure");

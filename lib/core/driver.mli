@@ -26,6 +26,16 @@ type options = {
       (** use the exact floating-mode SPCF when the circuit is small
           enough (otherwise the node-based approximation) *)
   balance_first : bool;  (** run {!Aig.Balance} before decomposing *)
+  guard_budget : Guard.Budget.t;
+      (** hard resource ceilings for every governed substrate. One
+          {!Guard} context is created per decomposition job (shared
+          across the rungs of its degradation ladder) and one for the
+          run's finishing passes; on exhaustion the driver walks
+          exact SPCF → approximate SPCF → smaller window → skip the
+          output, each descent recorded as a [Det] [guard.rung.*]
+          counter, so degraded runs stay bit-identical at any [-j].
+          The default ceilings sit far above the paper's workloads, so
+          unfaulted default runs match the ungoverned flow exactly. *)
 }
 
 val default : options

@@ -1,7 +1,11 @@
 let sp_mfs = Obs.span "opt.mfs"
 
-let simplify_network man net =
-  let globals = Network.Globals.of_net man net in
+(* [Det]: the pass is sequential, so whether its guard blows up depends
+   only on the input circuit (or an injected fault's tick count). *)
+let m_mfs_degraded = Obs.counter "guard.mfs_degraded"
+
+let simplify_network ~guard man net =
+  let globals = Network.Globals.of_net ~guard man net in
   let fanouts = Network.fanouts net in
   let levels = Network.Levels.compute net in
   let outs = Network.outputs net in
@@ -52,7 +56,8 @@ let simplify_network man net =
                  otherwise compose unsoundly with a second change. Only
                  the edited node's transitive fanout can differ. *)
               let fresh =
-                Network.Globals.update man globals net ~dirty:[ id ] ~fanouts
+                Network.Globals.update ~guard man globals net ~dirty:[ id ]
+                  ~fanouts
               in
               Array.blit fresh 0 globals 0 (Array.length globals)
             end
@@ -64,11 +69,20 @@ let simplify_network man net =
 let run ?(k = 6) g =
   Obs.with_span sp_mfs @@ fun () ->
   let net = Network.of_aig ~k g in
-  let man = Bdd.create () in
-  simplify_network man net;
-  Driver.record_bdd_stats man;
-  let out = Aig.cleanup (Network.to_aig net) in
-  match Aig.Cec.check g out with
-  | Aig.Cec.Equivalent -> out
-  | Aig.Cec.Counterexample _ ->
-    invalid_arg "Lookahead.Mfs.run: internal equivalence failure"
+  (* Deadline-free guard: the pass is an optional polish, so the
+     recovery for any blowup (real or injected) is simply to return the
+     input unchanged — [net] is discarded whole, never half-applied. *)
+  let guard = Guard.create Guard.Budget.default in
+  let man = Bdd.create ~guard () in
+  match simplify_network ~guard man net with
+  | () -> (
+    Driver.record_bdd_stats man;
+    let out = Aig.cleanup (Network.to_aig net) in
+    match Aig.Cec.check g out with
+    | Aig.Cec.Equivalent -> out
+    | Aig.Cec.Counterexample _ ->
+      invalid_arg "Lookahead.Mfs.run: internal equivalence failure")
+  | exception Guard.Blowup _ ->
+    Driver.record_bdd_stats man;
+    Obs.incr m_mfs_degraded;
+    g

@@ -17,9 +17,16 @@
     output can observe. *)
 
 (** [run ?k g] clusters, simplifies every node, and rebuilds.
-    Result is equivalent (SAT-checked internally). *)
+    Result is equivalent (SAT-checked internally). The pass runs under
+    a default-budget {!Guard}; on {!Guard.Blowup} (real or injected)
+    the half-simplified network is discarded whole and [g] is returned
+    unchanged, with the [guard.mfs_degraded] counter recording the
+    degradation. *)
 val run : ?k:int -> Aig.t -> Aig.t
 
 (** Network-level entry point used by [run] and the tests: simplifies
-    [net] in place against its own outputs. *)
-val simplify_network : Bdd.man -> Network.t -> unit
+    [net] in place against its own outputs. May raise {!Guard.Blowup}
+    when [guard]'s budget is exhausted; [net] is then half-simplified
+    but still equivalent (every applied edit was individually sound),
+    though callers normally discard it. *)
+val simplify_network : guard:Guard.t -> Bdd.man -> Network.t -> unit

@@ -1,0 +1,149 @@
+(** Resource governance for every bounded operation in the stack.
+
+    The synthesis flow is full of substrates that can run out of road:
+    window BDDs and exact SPCF blow up on wide cones, SAT budgets
+    exhaust mid-sweep, and the anytime deadline can expire between any
+    two steps. [Guard] turns each of those events into a {e typed,
+    recoverable outcome} — a single {!Blowup} exception carrying the
+    exhausted resource and the site that hit it — instead of an ad-hoc
+    bail scattered through the callers. The driver catches {!Blowup}
+    and walks a deterministic degradation ladder (exact SPCF →
+    approximate SPCF → smaller window → skip the output), each rung
+    logged as a [Det]-classified {!Obs} counter.
+
+    {b Contexts.} A {!t} is a per-governed-unit context: one per
+    decomposition job, one per MFS run, one per driver run for the
+    final sweep/CEC. Tick counts live in the context, so the sequence
+    of guarded calls inside a unit is a pure function of that unit's
+    input — never of scheduling — which is what keeps fault injection
+    (and hence degraded runs) bit-identical at any [-j].
+
+    {b Zero cost when off.} Like [Obs], the fast path of every hook is
+    a couple of loads: {!none} contexts never tick, never expire and
+    never fire, and armed-injection checks are behind a single
+    [Atomic.get]. *)
+
+(** Monotonic wall-clock (CLOCK_MONOTONIC), immune to system time
+    adjustments — the only clock deadline logic uses. *)
+module Clock : sig
+  val now_ns : unit -> int64
+  val now_s : unit -> float
+end
+
+(** A single absolute deadline, shareable across every worker of a run
+    so a time budget means the same thing at [-j 1] and [-j 8].
+    (Moved here from [Par], which re-exports it.) *)
+module Deadline : sig
+  type t
+
+  (** [after s] expires [s] seconds from now; [s <= 0] or infinite
+      never expires. *)
+  val after : float -> t
+
+  val never : t
+  val expired : t -> bool
+
+  (** Seconds left; [infinity] for {!never}. *)
+  val remaining_s : t -> float
+end
+
+(** The resource classes a guarded operation can exhaust. *)
+type resource = Bdd_nodes | Sat_conflicts | Time
+
+val resource_name : resource -> string
+
+(** Raised by a guarded operation when its budget is exhausted (or a
+    matching injected fault fires — [injected] distinguishes the two).
+    Always recoverable: the raising substrate leaves no dangling shared
+    state, so the catcher may retry with a smaller configuration or
+    skip the unit of work entirely. *)
+exception Blowup of { resource : resource; site : string; injected : bool }
+
+module Budget : sig
+  type t = {
+    bdd_node_ceiling : int;
+        (** Hard ceiling on total allocated nodes of a guarded BDD
+            manager; crossing it raises {!Blowup}[ Bdd_nodes]. [<= 0]
+            means unlimited. Distinct from the driver's soft
+            [bdd_node_limit], which stops decomposition gracefully
+            long before this fires. *)
+    sat_conflict_ceiling : int;
+        (** Caps the [conflict_limit] of every guarded
+            [Sat.Solver.solve_limited] call. [<= 0] means the caller's
+            own limit stands. *)
+  }
+
+  (** 48M BDD nodes, no SAT cap — far above anything the paper's
+      workloads allocate, so default-budget runs are byte-identical to
+      unguarded ones. *)
+  val default : t
+
+  val unlimited : t
+end
+
+type t
+
+(** The unguarded context: never ticks, never fires, no deadline. *)
+val none : t
+
+val create : ?deadline:Deadline.t -> Budget.t -> t
+val budget : t -> Budget.t
+val deadline : t -> Deadline.t
+
+(** Deterministic fault injection. Rules are global (armed once, before
+    workers start) but fire against per-context tick counts, so where a
+    fault lands is independent of scheduling. Disabled, the hooks cost
+    one atomic load — the [Obs] pattern. *)
+module Inject : sig
+  type fault = Bdd_blowup | Sat_exhaust | Deadline_expire
+
+  type rule = {
+    fault : fault;
+    at : int;
+        (** Fire at the [at]-th matching guarded call of each context.
+            A rule with a [site] counts only calls at that site, so
+            ["deadline@2:driver.decompose"] means "the second
+            decompose-loop check of each job". *)
+    repeat : bool;  (** Re-fire at every further multiple of [at]. *)
+    site : string option;  (** Restrict to one site; [None] = any. *)
+  }
+
+  val arm : rule list -> unit
+  val disarm : unit -> unit
+  val armed : unit -> bool
+
+  (** Parse a spec like ["bdd@500,sat@3:r,deadline@7:driver.decompose"]:
+      comma-separated rules, each [fault@N] with optional [:r] (repeat)
+      and [:site] suffixes; fault is [bdd], [sat] or [deadline]. *)
+  val of_string : string -> (rule list, string) result
+
+  val to_string : rule list -> string
+
+  (** Deterministic pseudo-random rule list for fuzzing: same seed,
+      same rules. *)
+  val seeded : seed:int -> rule list
+end
+
+(** [tick_bdd t ~site] marks one guarded BDD entry point call. Raises
+    an [injected] {!Blowup}[ Bdd_nodes] when an armed rule fires. *)
+val tick_bdd : t -> site:string -> unit
+
+(** Ceiling for a manager built on this context; [max_int] when
+    unlimited. *)
+val bdd_ceiling : t -> int
+
+(** [tick_sat t ~site] marks one guarded bounded-SAT call; [true]
+    means an armed rule fired and the caller must report budget
+    exhaustion (return [None]) without touching the solver. *)
+val tick_sat : t -> site:string -> bool
+
+(** Effective conflict limit: the caller's [requested] capped by the
+    budget's ceiling ([<= 0] on either side meaning unlimited). *)
+val sat_limit : t -> requested:int -> int
+
+(** [check_deadline t ~site] raises {!Blowup}[ Time] when the context's
+    deadline has expired (real, [injected = false]) or an armed
+    deadline rule fires ([injected = true]). Cancellation points are
+    placed so the catcher can always discard the unit's private state
+    and fall back to the pre-edit cone. *)
+val check_deadline : t -> site:string -> unit

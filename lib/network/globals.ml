@@ -7,12 +7,15 @@ let m_recomputed = Obs.counter "globals.recomputed"
 let m_reused = Obs.counter "globals.reused"
 let m_dirty_region = Obs.histogram "globals.dirty_region"
 
-let of_net man net =
+let of_net ?(guard = Guard.none) man net =
   Obs.incr m_builds;
   let n = Graph.num_nodes net in
   let globals = Array.make n (Bdd.bfalse man) in
   List.iter
     (fun id ->
+      (* Per-node cancellation point: a build over a wide cone is the
+         longest uninterruptible stretch of a decompose job without it. *)
+      Guard.check_deadline guard ~site:"globals.of_net";
       if Graph.is_input net id then
         globals.(id) <- Bdd.var man (Graph.input_index net id)
       else begin
@@ -28,7 +31,7 @@ let of_net man net =
    dirty set and reuse every other entry verbatim. Within one manager
    the result is bit-identical to [of_net] — BDDs are hash-consed, so
    an unchanged function is the same edge whether reused or rebuilt. *)
-let update man globals net ~dirty ~fanouts =
+let update ?(guard = Guard.none) man globals net ~dirty ~fanouts =
   Obs.incr m_updates;
   let n = Graph.num_nodes net in
   assert (Array.length globals = n);
@@ -44,6 +47,7 @@ let update man globals net ~dirty ~fanouts =
   let recomputed = ref 0 in
   for id = 0 to n - 1 do
     if affected.(id) && not (Graph.is_input net id) then begin
+      Guard.check_deadline guard ~site:"globals.update";
       incr recomputed;
       let nd = Graph.node net id in
       let args = Array.map (fun f -> fresh.(f)) nd.Graph.fanins in

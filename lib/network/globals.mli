@@ -3,8 +3,12 @@
     of node-local functions (the [glob(c)] sets that weight cubes against
     the SPCF in the paper's [Simplify]). *)
 
-(** Per-node global functions; BDD variable [i] is primary input [i]. *)
-val of_net : Bdd.man -> Graph.t -> Bdd.t array
+(** Per-node global functions; BDD variable [i] is primary input [i].
+    [guard] (default {!Guard.none}) adds a per-node deadline
+    cancellation point, so a build over a wide cone can be abandoned
+    mid-way (the partially filled array is garbage to the caller, who
+    must discard it on {!Guard.Blowup}). *)
+val of_net : ?guard:Guard.t -> Bdd.man -> Graph.t -> Bdd.t array
 
 (** [update man globals net ~dirty ~fanouts] is [of_net man net] given
     that [globals] was computed (in the same manager) on a network that
@@ -14,6 +18,7 @@ val of_net : Bdd.man -> Graph.t -> Bdd.t array
     is not mutated. Bit-identical to a from-scratch [of_net] (same
     hash-consed edges). *)
 val update :
+  ?guard:Guard.t ->
   Bdd.man ->
   Bdd.t array ->
   Graph.t ->

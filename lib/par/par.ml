@@ -5,27 +5,11 @@
    sequential loops) and the helping [await] (no blocking while work is
    queued, which makes nested submission deadlock-free). *)
 
-module Clock = struct
-  let now_ns () = Monotonic_clock.now ()
-  let now_s () = Int64.to_float (now_ns ()) *. 1e-9
-end
-
-module Deadline = struct
-  (* Absolute CLOCK_MONOTONIC instant in ns; [max_int] means never. *)
-  type t = int64
-
-  let never : t = Int64.max_int
-
-  let after s =
-    if s <= 0.0 || s >= Int64.to_float Int64.max_int *. 1e-9 then never
-    else Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9))
-
-  let expired t = (not (Int64.equal t never)) && Clock.now_ns () > t
-
-  let remaining_s t =
-    if Int64.equal t never then infinity
-    else Int64.to_float (Int64.sub t (Clock.now_ns ())) *. 1e-9
-end
+(* Clock and Deadline moved into [Guard] (PR 5) so the substrates below
+   the runtime (bdd, sat, timing) can share the deadline type without
+   depending on the pool; re-exported here to keep every call site. *)
+module Clock = Guard.Clock
+module Deadline = Guard.Deadline
 
 let env_jobs () =
   match Sys.getenv_opt "LOOKAHEAD_JOBS" with

@@ -23,27 +23,15 @@
     domains spawned and no cross-domain scheduling at all. *)
 
 (** Monotonic wall-clock (CLOCK_MONOTONIC), immune to system time
-    adjustments — the only clock the synthesis deadline logic uses. *)
-module Clock : sig
-  val now_ns : unit -> int64
-  val now_s : unit -> float
-end
+    adjustments — the only clock the synthesis deadline logic uses.
+    Re-export of {!Guard.Clock}. *)
+module Clock = Guard.Clock
 
 (** A single absolute deadline, shareable across every worker of a run
-    so a time budget means the same thing at [-j 1] and [-j 8]. *)
-module Deadline : sig
-  type t
-
-  (** [after s] expires [s] seconds from now; [s <= 0] or infinite
-      never expires. *)
-  val after : float -> t
-
-  val never : t
-  val expired : t -> bool
-
-  (** Seconds left; [infinity] for {!never}. *)
-  val remaining_s : t -> float
-end
+    so a time budget means the same thing at [-j 1] and [-j 8].
+    Re-export of {!Guard.Deadline}, where it now lives so the governed
+    substrates can share the type without depending on the pool. *)
+module Deadline = Guard.Deadline
 
 module Pool : sig
   type t

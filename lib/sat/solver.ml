@@ -475,8 +475,16 @@ let solve ?assumptions s =
   | Some r -> r
   | None -> assert false
 
-let solve_limited ?assumptions ~conflict_limit s =
-  solve_internal ?assumptions ~conflict_limit s
+(* The guard hook makes every bounded query governable: an injected
+   exhaustion returns [None] without touching the solver state (callers
+   already treat [None] as "no verdict", which is always sound), and the
+   budget's conflict ceiling caps the caller's own limit. *)
+let solve_limited ?(guard = Guard.none) ?assumptions ~conflict_limit s =
+  if Guard.tick_sat guard ~site:"sat.solve_limited" then None
+  else
+    solve_internal ?assumptions
+      ~conflict_limit:(Guard.sat_limit guard ~requested:conflict_limit)
+      s
 
 let value s v =
   assert (v > 0 && v <= s.nvars);

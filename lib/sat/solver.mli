@@ -31,9 +31,18 @@ val solve : ?assumptions:int list -> t -> result
 (** Like {!solve}, but gives up and returns [None] after [conflict_limit]
     conflicts (a non-positive limit means no limit). Used by SAT sweeping
     to bound the effort per candidate equivalence; the solver stays
-    usable either way. *)
+    usable either way.
+
+    [guard] (default {!Guard.none}) makes the query governable: the
+    budget's [sat_conflict_ceiling] caps [conflict_limit], and an armed
+    injection rule can force [None] without touching the solver —
+    callers must already treat [None] as "no verdict". *)
 val solve_limited :
-  ?assumptions:int list -> conflict_limit:int -> t -> result option
+  ?guard:Guard.t ->
+  ?assumptions:int list ->
+  conflict_limit:int ->
+  t ->
+  result option
 
 (** After [Sat]: model value of a variable. *)
 val value : t -> int -> bool

@@ -136,8 +136,8 @@ let late_nodes net ~levels ~out ~delta ~max_nodes =
   late_nodes_in net ~cone:(Network.cone net oid) ~fanouts:(Network.fanouts net)
     ~levels ~oid ~delta ~max_nodes
 
-let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) ?analysis ()
-    =
+let approx ?(guard = Guard.none) man net globals ~levels ~out ~delta
+    ?(max_nodes = 24) ?analysis () =
   let oid = out.Network.node in
   Obs.incr m_approx_calls;
   let cone, fanouts =
@@ -234,6 +234,9 @@ let approx man net globals ~levels ~out ~delta ?(max_nodes = 24) ?analysis ()
   in
   List.fold_left
     (fun acc id ->
+      (* Per-late-node cancellation point: each walk can be the most
+         expensive BDD work of a decompose step. *)
+      Guard.check_deadline guard ~site:"spcf.approx";
       let y0, y1 = walk id in
       Bdd.bor man acc (Bdd.bxor man y0 y1))
     (Bdd.bfalse man) late

@@ -43,8 +43,12 @@ val exact : Aig.t -> out:int -> delta:int -> Logic.Tt.t
     BDD — as a per-late-node union of {!boolean_difference}.
 
     [analysis] supplies cached cone/fanout queries; without it they are
-    recomputed from the network. *)
+    recomputed from the network. [guard] (default {!Guard.none}) adds a
+    per-late-node deadline cancellation point; on {!Guard.Blowup} the
+    partial union is lost and the caller falls back down the
+    degradation ladder. *)
 val approx :
+  ?guard:Guard.t ->
   Bdd.man ->
   Network.t ->
   Bdd.t array ->

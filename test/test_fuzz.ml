@@ -87,9 +87,66 @@ let prop_optimize_after_pipeline =
       let opt = Lookahead.optimize pre in
       Aig.Cec.equivalent g opt)
 
+(* Fault-randomizing mode: the same optimize-under-CEC property, but
+   with a seeded random injection rule set armed — random fault class,
+   site, trigger count and repetition. Whatever lands, the governed run
+   must complete and stay equivalent; the degradation ladder is the
+   only acceptable response to resource exhaustion. *)
+
+let optimize_under_faults ~inject_seed g =
+  Guard.Inject.arm (Guard.Inject.seeded ~seed:inject_seed);
+  let opt =
+    Fun.protect ~finally:Guard.Inject.disarm (fun () ->
+        let options =
+          {
+            Lookahead.Driver.default with
+            Lookahead.Driver.time_limit_s = infinity;
+          }
+        in
+        Lookahead.Driver.optimize ~options g)
+  in
+  (* The verdict check runs unguarded, immune to any armed rules. *)
+  Aig.Cec.equivalent g opt
+
+let gen_faulted =
+  QCheck.make
+    ~print:(fun (seed, inject_seed) ->
+      Printf.sprintf "seed=%d inject=%S" seed
+        (Guard.Inject.to_string (Guard.Inject.seeded ~seed:inject_seed)))
+    QCheck.Gen.(pair int (int_bound 100000))
+
+let prop_optimize_under_faults =
+  qtest ~count:25 "injected faults never break optimize" gen_faulted
+    (fun (seed, inject_seed) ->
+      optimize_under_faults ~inject_seed
+        (random_aig ~gates:30 (abs seed mod 100000)))
+
+(* Deterministic smoke subset for CI: a handful of pinned
+   circuit/injection seeds, plus one MFS run under a repeating BDD
+   fault (MFS degrades whole rather than rung by rung). *)
+let test_faulted_smoke () =
+  List.iter
+    (fun (seed, inject_seed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed=%d inject_seed=%d" seed inject_seed)
+        true
+        (optimize_under_faults ~inject_seed (random_aig ~gates:30 seed)))
+    [ (1, 11); (2, 23); (3, 37); (4, 59); (5, 73) ];
+  let g = random_aig ~gates:30 6 in
+  Guard.Inject.arm (Guard.Inject.seeded ~seed:97);
+  let o = Fun.protect ~finally:Guard.Inject.disarm (fun () -> Lookahead.Mfs.run g) in
+  Alcotest.(check bool) "mfs under faults stays equivalent" true
+    (Aig.Cec.equivalent g o)
+
 let () =
   Alcotest.run "fuzz"
     [
       ( "pipelines",
         [ prop_pipeline; prop_pipeline_then_map; prop_optimize_after_pipeline ] );
+      ( "faults",
+        [
+          prop_optimize_under_faults;
+          Alcotest.test_case "fixed-seed faulted smoke subset" `Quick
+            test_faulted_smoke;
+        ] );
     ]
