@@ -80,6 +80,19 @@ val exists : man -> int list -> t -> t
     recomputing the image of the same window at the same node is O(1). *)
 val apply_tt : man -> Logic.Tt.t -> t array -> t
 
+(** [transfer ~src ~dst f] rebuilds [f] (an edge of [src]) inside [dst]
+    and returns the resulting edge: the same function, re-hash-consed in
+    the destination. The rebuild is structure-preserving, so
+    [size dst (transfer ~src ~dst f) = size src f], complement edges are
+    preserved, and — [dst] being canonical — transferring equal
+    functions from any mix of source managers yields equal edges.
+    Memoized per (source manager, source node) in [dst] (dropped by
+    {!clear_caches}), so shared subgraphs of repeated transfers move
+    once. [transfer ~src ~dst:src f] is [f]. Only [dst] is mutated;
+    [src] is read-only. Allocation counts against [dst]'s guard ceiling,
+    and each call ticks [dst]'s guard at site ["bdd.transfer"]. *)
+val transfer : src:man -> dst:man -> t -> t
+
 (** [satcount m ~nvars f] is the number of satisfying minterms of [f] over
     a space of [nvars] variables, as a float (spaces can exceed 2^62).
     Per-node satisfying fractions are memoized in a manager scratch table
@@ -118,12 +131,18 @@ type stats = {
   compose_hits : int;
   compose_cache_growths : int;
   apply_memo_entries : int;
+  transfer_lookups : int;  (** nodes visited by {!transfer} *)
+  transfer_hits : int;  (** of which were already memoized *)
+  transfer_sources : int;  (** distinct source managers memoized *)
+  transfer_memo_entries : int;  (** memoized (source node -> edge) pairs *)
 }
 
 val stats : man -> stats
 
-(** Drop every op-cache entry and the [apply_tt] memo (the node store and
-    unique table are untouched, so existing edges stay valid). *)
+(** Drop every op-cache entry, the [apply_tt] memo, the {!transfer}
+    memo, and the per-node [satcount] scratch (the node store and
+    unique table are untouched, so existing edges stay valid). Frees
+    every per-job memo a long-lived manager accumulates. *)
 val clear_caches : man -> unit
 
 (** Whole-store canonical-form audit: no node with [lo = hi], no

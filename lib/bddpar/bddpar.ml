@@ -1,0 +1,145 @@
+(* Partitioned parallel BDD engine for globals + SPCF.
+
+   The whole-circuit analyses (global node functions, then one SPCF per
+   output) dominate wall-clock on the paper's large circuits, and both
+   funnel through a single BDD manager — the per-output job parallelism
+   of the driver cannot help a caller that wants one circuit analyzed.
+   This module splits the circuit's output cones into support-clustered
+   partitions (Network.Partition), builds each partition's globals and
+   SPCFs in a private manager on its own pool worker, and drains the
+   per-partition results into the caller's manager with Bdd.transfer in
+   fixed partition order.
+
+   Determinism. The partition depends only on wiring and cap (never on
+   -j); each partition manager's contents are a pure function of its
+   cluster; and the merge transfers results in cluster order on the
+   awaiting domain. Hence at any -j >= 2 the destination manager ends up
+   with bit-identical edges. The -j 1 path skips partitioning entirely
+   and builds into [dst] directly — the single-manager reference; its
+   edges are value-identical (same functions) to the partitioned runs',
+   which tests check by transferring both sides into one manager, where
+   canonicity makes function equality an integer compare.
+
+   Governance. The job guard's node ceiling is divided across the
+   partitions (summing to the job budget); a partition that blows its
+   share is retried sequentially at merge position with the undivided
+   job guard — the per-partition rung of the degradation ladder — and
+   only if that also blows does the failure propagate to the caller's
+   ladder. *)
+
+type result = { global : Bdd.t; spcf : Bdd.t }
+
+(* [Det]: partition structure, retry decisions and transfer volumes are
+   functions of (net, cap, budget) only; per-task counters are absorbed
+   in submission order by Par. *)
+let m_reference_runs = Obs.counter "bddpar.reference_runs"
+let m_partitioned_runs = Obs.counter "bddpar.partitioned_runs"
+let m_partition_retries = Obs.counter "bddpar.partition_retries"
+let m_transferred_nodes = Obs.counter "bddpar.transferred_nodes"
+let sp_analyze = Obs.span "bddpar.analyze"
+let sp_partition_build = Obs.span "bddpar.partition_build"
+let sp_merge = Obs.span "bddpar.merge"
+
+(* Globals + one SPCF per listed output, over [nodes] only, into [man].
+   Shared by the partition tasks, the sequential retry, and (with the
+   full output list and topo order) the -j 1 reference. *)
+let build_cluster ~guard man net ~analysis ~levels ~delta ~max_nodes ~nodes
+    ~outputs =
+  let globals = Network.Globals.of_cluster ~guard man net ~nodes in
+  List.map
+    (fun oi ->
+      let out = Network.output net oi in
+      let spcf =
+        if Network.is_input net out.Network.node then Bdd.bfalse man
+        else
+          Timing.Spcf.approx ~guard man net globals ~levels ~out
+            ~delta:(delta out) ~max_nodes ~analysis ()
+      in
+      (oi, globals.(out.Network.node), spcf))
+    outputs
+
+let analyze ?pool ?(guard = Guard.none) ?cap ?(max_nodes = 24) ?delta ~dst net
+    =
+  Obs.with_span sp_analyze @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Par.shared () in
+  let levels = Network.Levels.compute net in
+  let delta =
+    match delta with
+    | Some d -> d
+    | None -> fun (o : Network.output) -> levels.(o.Network.node)
+  in
+  let nouts = Network.num_outputs net in
+  let results =
+    Array.make nouts { global = Bdd.bfalse dst; spcf = Bdd.bfalse dst }
+  in
+  let all_outputs = List.init nouts Fun.id in
+  if Par.Pool.size pool <= 1 then begin
+    (* Single-manager reference: everything straight into [dst]. *)
+    Obs.incr m_reference_runs;
+    let analysis = Network.Analysis.create net in
+    List.iter
+      (fun (oi, g, s) -> results.(oi) <- { global = g; spcf = s })
+      (build_cluster ~guard dst net ~analysis ~levels ~delta ~max_nodes
+         ~nodes:(Network.topo_order net) ~outputs:all_outputs)
+  end
+  else begin
+    Obs.incr m_partitioned_runs;
+    let clusters = Array.to_list (Network.Partition.compute ?cap net) in
+    let guards = Array.of_list (Guard.divide guard (List.length clusters)) in
+    let jobs =
+      List.mapi (fun i (c : Network.Partition.cluster) -> (i, c)) clusters
+    in
+    let task (wnet, wanalysis) (i, (c : Network.Partition.cluster)) =
+      Obs.with_span sp_partition_build @@ fun () ->
+      let pguard = guards.(i) in
+      let man = Bdd.create ~guard:pguard () in
+      match
+        build_cluster ~guard:pguard man wnet ~analysis:wanalysis ~levels
+          ~delta ~max_nodes ~nodes:c.Network.Partition.nodes
+          ~outputs:c.Network.Partition.outputs
+      with
+      | built -> Ok (man, built)
+      | exception
+          Guard.Blowup
+            { resource = Guard.Bdd_nodes | Guard.Sat_conflicts; _ } ->
+        (* This partition blew its divided share; the merge step retries
+           it under the undivided job budget. Time blowups propagate —
+           retrying cannot buy time back. *)
+        Error ()
+    in
+    let drain src built =
+      let before = (Bdd.stats dst).Bdd.transfer_memo_entries in
+      List.iter
+        (fun (oi, g, s) ->
+          results.(oi) <-
+            {
+              global = Bdd.transfer ~src ~dst g;
+              spcf = Bdd.transfer ~src ~dst s;
+            })
+        built;
+      Obs.add m_transferred_nodes
+        ((Bdd.stats dst).Bdd.transfer_memo_entries - before)
+    in
+    let analysis = lazy (Network.Analysis.create net) in
+    Par.map_merge ~pool
+      ~init:(fun () ->
+        let w = Network.copy net in
+        (w, Network.Analysis.create w))
+      ~f:task
+      ~merge:(fun () (_, c) outcome ->
+        Obs.with_span sp_merge @@ fun () ->
+        match outcome with
+        | Ok (man, built) -> drain man built
+        | Error () ->
+          (* Per-partition degradation rung: sequential retry at merge
+             position with the whole job budget. Deterministic — merge
+             order is submission order. *)
+          Obs.incr m_partition_retries;
+          let man = Bdd.create ~guard () in
+          drain man
+            (build_cluster ~guard man net ~analysis:(Lazy.force analysis)
+               ~levels ~delta ~max_nodes ~nodes:c.Network.Partition.nodes
+               ~outputs:c.Network.Partition.outputs))
+      () jobs
+  end;
+  results

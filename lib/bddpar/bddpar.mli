@@ -1,0 +1,45 @@
+(** Partitioned parallel BDD engine for whole-circuit analyses.
+
+    Builds, for every output of a network, its global function and its
+    speed-path characteristic function (SPCF, {!Timing.Spcf.approx}),
+    in parallel across support-clustered partitions of the output cones
+    ({!Network.Partition}): each partition gets a private [Bdd.man]
+    owned by one pool worker, and the per-partition results are drained
+    into the caller's manager with {!Bdd.transfer} in fixed partition
+    order.
+
+    Determinism: the partition depends only on wiring and [cap]; merge
+    order is submission order; so every [-j >= 2] run leaves
+    bit-identical edges in [dst]. On a 1-job pool the engine skips
+    partitioning and builds directly into [dst] — the single-manager
+    reference, value-identical (same functions) to the partitioned
+    runs. *)
+
+(** Per-output result, as edges of the destination manager. *)
+type result = { global : Bdd.t; spcf : Bdd.t }
+
+(** [analyze ~dst net] returns per-output globals and SPCFs (indexed in
+    {!Network.outputs} order), built in parallel on [pool] (default
+    {!Par.shared}) and materialized in [dst].
+
+    [guard] is the job budget: its node ceiling is {!Guard.divide}d
+    across the partitions, a partition that blows its share is retried
+    sequentially under the undivided budget (counted by
+    [bddpar.partition_retries]), and only a second blowup — or a
+    [Time] blowup, which retrying cannot cure — propagates to the
+    caller. [dst] should be created with the same [guard] if the
+    caller wants the merge governed too.
+
+    [cap] is the partition size cap ({!Network.Partition.compute});
+    [max_nodes] bounds each SPCF's late-node union (default 24);
+    [delta] is the per-output SPCF threshold, defaulting to the
+    output's own level (its critical paths). *)
+val analyze :
+  ?pool:Par.Pool.t ->
+  ?guard:Guard.t ->
+  ?cap:int ->
+  ?max_nodes:int ->
+  ?delta:(Network.output -> int) ->
+  dst:Bdd.man ->
+  Network.t ->
+  result array

@@ -138,8 +138,8 @@ let spcf_of opts ~guard man net globals ~analysis ~levels ~out ~delta g
    the current residue network, then recurse into the secondary circuit.
    Returns the decomposition levels (outermost first) and the final
    residue. *)
-let decompose_output opts ~guard man g out_index (o : Network.output) net0
-    analysis0 globals0 ~aig_depth =
+let decompose_output opts ~guard ~member man g out_index (o : Network.output)
+    net0 analysis0 globals0 ~aig_depth =
   let oid = o.Network.node in
   let rec go net analysis globals depth_left ~stalls acc =
     (* Cancellation point at every decomposition level: a deadline that
@@ -231,7 +231,7 @@ let decompose_output opts ~guard man g out_index (o : Network.output) net0
                   (* Only the cones that contain an edit changed: reuse
                      every other output's global BDD verbatim. *)
                   let sec_globals =
-                    Network.Globals.update ~guard man globals secondary
+                    Network.Globals.update ~guard ~member man globals secondary
                       ~dirty:edited
                       ~fanouts:(Network.Analysis.fanouts sec_analysis)
                   in
@@ -338,6 +338,15 @@ let one_round opts ~deadline g =
            land identically at any -j — the tick sequence depends only
            on the job's input. *)
         let guard = Guard.create ~deadline opts.guard_budget in
+        (* The job only ever reads global functions of nodes inside the
+           output's cone (SPCF walks, window images, secondary
+           simplification and reconstruction are all cone-local), so it
+           builds exactly that cone instead of the whole network. The
+           cone is wiring-based and every copy shares the round's
+           wiring, so one mask serves every decomposition level. *)
+        let cone = Network.Analysis.cone wanalysis o.Network.node in
+        let member = Array.make (Network.num_nodes wnet) false in
+        List.iter (fun id -> member.(id) <- true) cone;
         let attempt rung =
           let opts_r =
             match rung with
@@ -356,10 +365,12 @@ let one_round opts ~deadline g =
              attempt leaves no state behind for the next rung. *)
           let man = Bdd.create ~guard () in
           match
-            let globals = Network.Globals.of_net ~guard man wnet in
+            let globals =
+              Network.Globals.of_cluster ~guard man wnet ~nodes:cone
+            in
             let decomp_levels, final_residue =
-              decompose_output opts_r ~guard man g out_index o wnet wanalysis
-                globals ~aig_depth
+              decompose_output opts_r ~guard ~member man g out_index o wnet
+                wanalysis globals ~aig_depth
             in
             (globals, decomp_levels, final_residue)
           with
@@ -473,31 +484,17 @@ let one_round opts ~deadline g =
           (out_index, o, old_levels.(Aig.node_of_lit old_lit)))
         outs
     in
-    let pool = Par.shared () in
-    let wave = max 1 (4 * Par.Pool.size pool) in
-    let rec waves = function
-      | [] -> ()
-      | jobs ->
-        let this, rest =
-          let rec split k = function
-            | x :: tl when k > 0 ->
-              let a, b = split (k - 1) tl in
-              (x :: a, b)
-            | tl -> ([], tl)
-          in
-          split wave jobs
-        in
-        let futs =
-          Par.fork ~pool
-            ~init:(fun () ->
-              let w = Network.copy net in
-              (w, Network.Analysis.create w))
-            ~f:decompose_job this
-        in
-        List.iter2 (fun fut job -> merge (Par.await fut) job) futs this;
-        waves rest
-    in
-    waves jobs;
+    (* Manager-affine fan-out: each job's fresh BDD manager is touched
+       by one worker until its future is merged on this domain, and the
+       wave bound caps completed-but-unmerged managers (Par.map_merge
+       generalizes the hand-rolled wave loop this replaced). *)
+    Par.map_merge ~pool:(Par.shared ())
+      ~init:(fun () ->
+        let w = Network.copy net in
+        (w, Network.Analysis.create w))
+      ~f:decompose_job
+      ~merge:(fun () job result -> merge result job)
+      () jobs;
     (Aig.cleanup dst, !decomposed)
   end
 

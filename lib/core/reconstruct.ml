@@ -51,9 +51,16 @@ let level_values man dst lev ~input_map ~oid l =
   in
   (* [primary] is [residue] with exactly the windowed nodes re-expressed
      (same wiring), so the residue's globals plus a dirty-region update
-     give the same hash-consed BDDs as a full rebuild. *)
+     give the same hash-consed BDDs as a full rebuild. The update is
+     restricted to the output's cone: the only entry read is [oid]'s,
+     and [residue_globals] may itself be cone-restricted (the windowed
+     nodes are in the cone, but their fanout can leave it). *)
+  let prim_member = Array.make (Network.num_nodes l.primary) false in
+  List.iter
+    (fun id -> prim_member.(id) <- true)
+    (Network.cone l.primary oid);
   let prim_globals =
-    Network.Globals.update man l.residue_globals l.primary
+    Network.Globals.update ~member:prim_member man l.residue_globals l.primary
       ~dirty:(List.map fst l.windows)
       ~fanouts:(Network.fanouts l.primary)
   in
@@ -122,7 +129,11 @@ let build man ~y_bdd dst lev ~input_map p =
   let values =
     List.map (level_values man dst lev ~input_map ~oid) p.levels
   in
-  let res_globals = Network.Globals.of_net man p.final_residue in
+  (* Only the output's entry is read, so build its cone, not the net. *)
+  let res_globals =
+    Network.Globals.of_cluster man p.final_residue
+      ~nodes:(Network.cone p.final_residue oid)
+  in
   let res_bdd = res_globals.(oid) in
   let cache_final = Hashtbl.create 64 in
   let res_lit =

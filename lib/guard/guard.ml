@@ -77,6 +77,31 @@ let create ?(deadline = Deadline.never) budget =
 let budget t = t.budget
 let deadline t = t.deadline
 
+(* Partition a context's node budget into [n] sub-contexts whose
+   ceilings sum to the whole (remainder spread over the first parts,
+   floor 1 so a tiny budget never turns into an unlimited 0). Each part
+   gets fresh hit counters: injection rules fire against per-partition
+   tick counts, which depend only on that partition's work — the same
+   determinism anchor as per-job contexts. The deadline is shared (time
+   is not divisible) and the SAT ceiling is replicated (partitioned
+   work is BDD-only; a partition never runs more SAT than the job). *)
+let divide t n =
+  if n <= 0 then invalid_arg "Guard.divide: n must be positive";
+  if not t.guarded then List.init n (fun _ -> none)
+  else
+    List.init n (fun i ->
+        let ceiling = t.budget.Budget.bdd_node_ceiling in
+        let part =
+          if ceiling <= 0 then ceiling (* unlimited stays unlimited *)
+          else max 1 ((ceiling / n) + if i < ceiling mod n then 1 else 0)
+        in
+        {
+          guarded = true;
+          budget = { t.budget with Budget.bdd_node_ceiling = part };
+          deadline = t.deadline;
+          hits = [||];
+        })
+
 module Inject = struct
   type fault = Bdd_blowup | Sat_exhaust | Deadline_expire
 

@@ -90,6 +90,17 @@ val create : ?deadline:Deadline.t -> Budget.t -> t
 val budget : t -> Budget.t
 val deadline : t -> Deadline.t
 
+(** [divide t n] splits [t] into [n] sub-contexts for partitioned work:
+    the BDD node ceilings of the parts sum to [t]'s (remainder on the
+    first parts; floor 1 per part, so for [n] greater than the ceiling
+    the sum exceeds it slightly rather than any part becoming
+    unlimited), an unlimited ceiling stays unlimited, the deadline is
+    shared, and the SAT ceiling is replicated. Each part has fresh
+    injection hit counters, so armed faults land per-partition — a
+    function of that partition's work only, never of scheduling.
+    [divide none n] is [n] copies of {!none}. *)
+val divide : t -> int -> t list
+
 (** Deterministic fault injection. Rules are global (armed once, before
     workers start) but fire against per-context tick counts, so where a
     fault lands is independent of scheduling. Disabled, the hooks cost

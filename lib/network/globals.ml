@@ -2,20 +2,22 @@
    job, and the affected set depends only on the edit, not on which
    worker runs it. *)
 let m_builds = Obs.counter "globals.builds"
+let m_cluster_builds = Obs.counter "globals.cluster_builds"
+let m_cluster_nodes = Obs.histogram "globals.cluster_build_nodes"
 let m_updates = Obs.counter "globals.updates"
 let m_recomputed = Obs.counter "globals.recomputed"
 let m_reused = Obs.counter "globals.reused"
 let m_dirty_region = Obs.histogram "globals.dirty_region"
+let m_scratch_fallbacks = Obs.counter "globals.scratch_fallbacks"
 
-let of_net ?(guard = Guard.none) man net =
-  Obs.incr m_builds;
-  let n = Graph.num_nodes net in
-  let globals = Array.make n (Bdd.bfalse man) in
+(* Fill [globals] along [order] (any fanin-closed topological node
+   sequence). The per-node deadline check is the cancellation point: a
+   build over a wide cone is the longest uninterruptible stretch of a
+   decompose job without it. *)
+let build_into ~guard ~site man net globals order =
   List.iter
     (fun id ->
-      (* Per-node cancellation point: a build over a wide cone is the
-         longest uninterruptible stretch of a decompose job without it. *)
-      Guard.check_deadline guard ~site:"globals.of_net";
+      Guard.check_deadline guard ~site;
       if Graph.is_input net id then
         globals.(id) <- Bdd.var man (Graph.input_index net id)
       else begin
@@ -23,7 +25,20 @@ let of_net ?(guard = Guard.none) man net =
         let args = Array.map (fun f -> globals.(f)) nd.Graph.fanins in
         globals.(id) <- Bdd.apply_tt man nd.Graph.func args
       end)
+    order
+
+let of_net ?(guard = Guard.none) man net =
+  Obs.incr m_builds;
+  let globals = Array.make (Graph.num_nodes net) (Bdd.bfalse man) in
+  build_into ~guard ~site:"globals.of_net" man net globals
     (Graph.topo_order net);
+  globals
+
+let of_cluster ?(guard = Guard.none) man net ~nodes =
+  Obs.incr m_cluster_builds;
+  Obs.observe m_cluster_nodes (List.length nodes);
+  let globals = Array.make (Graph.num_nodes net) (Bdd.bfalse man) in
+  build_into ~guard ~site:"globals.of_cluster" man net globals nodes;
   globals
 
 (* Incremental rebuild: only nodes whose cone contains an edit can have
@@ -31,10 +46,17 @@ let of_net ?(guard = Guard.none) man net =
    dirty set and reuse every other entry verbatim. Within one manager
    the result is bit-identical to [of_net] — BDDs are hash-consed, so
    an unchanged function is the same edge whether reused or rebuilt. *)
-let update ?(guard = Guard.none) man globals net ~dirty ~fanouts =
+let update ?(guard = Guard.none) ?member man globals net ~dirty ~fanouts =
   Obs.incr m_updates;
   let n = Graph.num_nodes net in
   assert (Array.length globals = n);
+  let in_scope =
+    match member with
+    | None -> fun _ -> true
+    | Some m ->
+      assert (Array.length m = n);
+      fun id -> m.(id)
+  in
   let affected = Array.make n false in
   let rec mark id =
     if not affected.(id) then begin
@@ -43,10 +65,29 @@ let update ?(guard = Guard.none) man globals net ~dirty ~fanouts =
     end
   in
   List.iter mark dirty;
+  (* Dirty-fraction heuristic: when the transitive fanout covers most
+     of the (in-scope) network, the per-node affected test buys nothing
+     over a straight from-scratch pass — the same hash-consed edges
+     come out either way, so only the bookkeeping differs. Rebuild
+     everything in scope instead (the regression this fixes: dalu's
+     near-global dirty regions made [update] slower than [of_net]). *)
+  let scope_internal = ref 0 and affected_internal = ref 0 in
+  for id = 0 to n - 1 do
+    if in_scope id && not (Graph.is_input net id) then begin
+      incr scope_internal;
+      if affected.(id) then incr affected_internal
+    end
+  done;
+  let rebuild_all = 2 * !affected_internal > !scope_internal in
+  if rebuild_all then Obs.incr m_scratch_fallbacks;
   let fresh = Array.copy globals in
   let recomputed = ref 0 in
   for id = 0 to n - 1 do
-    if affected.(id) && not (Graph.is_input net id) then begin
+    if
+      in_scope id
+      && (rebuild_all || affected.(id))
+      && not (Graph.is_input net id)
+    then begin
       Guard.check_deadline guard ~site:"globals.update";
       incr recomputed;
       let nd = Graph.node net id in

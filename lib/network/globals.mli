@@ -10,15 +10,40 @@
     must discard it on {!Guard.Blowup}). *)
 val of_net : ?guard:Guard.t -> Bdd.man -> Graph.t -> Bdd.t array
 
+(** [of_cluster man net ~nodes] builds the global functions of the
+    listed nodes only — [nodes] must be a fanin-closed subset in
+    topological order (a {!Graph.cone}, or a {!Partition.cluster}'s
+    node list). Entries outside [nodes] are unspecified and must not be
+    read. Within one manager, every built entry is the same hash-consed
+    edge {!of_net} would produce, at the cost of the cluster instead of
+    the whole network — the per-output decomposition jobs and the
+    partitioned parallel engine both build exactly the cones they
+    read. *)
+val of_cluster :
+  ?guard:Guard.t -> Bdd.man -> Graph.t -> nodes:int list -> Bdd.t array
+
 (** [update man globals net ~dirty ~fanouts] is [of_net man net] given
     that [globals] was computed (in the same manager) on a network that
     differed from [net] only in the functions of the [dirty] nodes:
     entries outside the transitive fanout of [dirty] are reused
     verbatim, the rest are recomputed. Returns a fresh array; [globals]
     is not mutated. Bit-identical to a from-scratch [of_net] (same
-    hash-consed edges). *)
+    hash-consed edges).
+
+    [member] restricts the update to a fanin-closed node subset (the
+    mask of the cone or cluster [globals] was built over, see
+    {!of_cluster}): affected nodes outside the mask are skipped and
+    their entries stay unspecified.
+
+    When the affected region covers more than half of the (in-scope)
+    internal nodes, the per-node affected test is dropped and every
+    in-scope internal node is recomputed from scratch — hash-consing
+    makes the result identical, and the straight pass is what
+    [BENCH_incr] showed to be faster on near-global dirty regions
+    (counted by the [Det] counter [globals.scratch_fallbacks]). *)
 val update :
   ?guard:Guard.t ->
+  ?member:bool array ->
   Bdd.man ->
   Bdd.t array ->
   Graph.t ->

@@ -2,3 +2,4 @@ include Graph
 module Levels = Levels
 module Globals = Globals
 module Analysis = Analysis
+module Partition = Partition

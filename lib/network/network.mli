@@ -13,3 +13,4 @@ end
 module Levels = Levels
 module Globals = Globals
 module Analysis = Analysis
+module Partition = Partition

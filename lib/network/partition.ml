@@ -1,0 +1,173 @@
+(* Output-cone clustering for the partitioned BDD engine.
+
+   Outputs whose cones share primary inputs want to share a BDD
+   manager (shared support means shared subfunctions); outputs with
+   disjoint support can be built in different managers with zero
+   duplicated work. So: union-find over output indices, merging the
+   outputs that share each primary input, subject to a cap on the
+   merged cone size — the cap is what keeps partitions balanced enough
+   to parallelize instead of collapsing into one giant cluster. Groups
+   the cap kept apart are then bin-packed (first-fit in first-output
+   order) into clusters, so many tiny independent cones still form a
+   few worker-sized units.
+
+   Everything here is a pure function of the network's wiring and the
+   cap — no randomness, no scheduling input — so the partition (and
+   with it the whole partitioned build) is deterministic at any -j.
+   The cap never depends on the worker count for the same reason. *)
+
+type cluster = { outputs : int list; nodes : int list }
+
+let m_partitions = Obs.counter "partition.clusters"
+let m_cluster_nodes = Obs.histogram "partition.cluster_nodes"
+let m_cluster_outputs = Obs.histogram "partition.cluster_outputs"
+
+let default_cap net =
+  (* Aim for ~8 worker-sized clusters of the total (with multiplicity)
+     cone work; the floor keeps toy circuits in one cluster. *)
+  let total =
+    List.fold_left
+      (fun acc (o : Graph.output) ->
+        acc + List.length (Graph.cone net o.Graph.node))
+      0 (Graph.outputs net)
+  in
+  max 64 ((total + 7) / 8)
+
+let compute ?cap net =
+  let outs = Array.of_list (Graph.outputs net) in
+  let m = Array.length outs in
+  let cap = match cap with Some c -> max 1 c | None -> default_cap net in
+  let cones =
+    Array.map (fun (o : Graph.output) -> Graph.cone net o.Graph.node) outs
+  in
+  (* Union-find over output indices; each root carries its group's node
+     set so the union size is exact, not an estimate. *)
+  let parent = Array.init m (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let sets =
+    Array.map
+      (fun c ->
+        let h = Hashtbl.create (2 * List.length c) in
+        List.iter (fun id -> Hashtbl.replace h id ()) c;
+        h)
+      cones
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then begin
+      let sa = sets.(ra) and sb = sets.(rb) in
+      let rs, rl =
+        if Hashtbl.length sa <= Hashtbl.length sb then (ra, rb) else (rb, ra)
+      in
+      let small = sets.(rs) and large = sets.(rl) in
+      let extra =
+        Hashtbl.fold
+          (fun id () acc -> if Hashtbl.mem large id then acc else acc + 1)
+          small 0
+      in
+      if Hashtbl.length large + extra <= cap then begin
+        Hashtbl.iter (fun id () -> Hashtbl.replace large id ()) small;
+        parent.(rs) <- rl
+      end
+    end
+  in
+  (* Outputs sharing a primary input are merge candidates; walking the
+     inputs in id order keeps the merge sequence deterministic. *)
+  let of_input = Hashtbl.create 64 in
+  Array.iteri
+    (fun i cone ->
+      List.iter
+        (fun id ->
+          if Graph.is_input net id then
+            Hashtbl.replace of_input id
+              (i
+              :: (match Hashtbl.find_opt of_input id with
+                 | Some l -> l
+                 | None -> [])))
+        cone)
+    cones;
+  List.iter
+    (fun iid ->
+      match Hashtbl.find_opt of_input iid with
+      | None | Some [] -> ()
+      | Some (first :: rest) ->
+        (* [of_input] lists are built in reverse output order; union is
+           symmetric in result, and the pairing order is a function of
+           the wiring only. *)
+        List.iter (fun o -> union first o) rest)
+    (Graph.inputs net);
+  (* Group outputs by root, groups ordered by first (lowest) member. *)
+  let group_of_root = Hashtbl.create 16 in
+  let groups = ref [] in
+  for i = m - 1 downto 0 do
+    let r = find i in
+    match Hashtbl.find_opt group_of_root r with
+    | Some cell -> cell := i :: !cell
+    | None ->
+      let cell = ref [ i ] in
+      Hashtbl.replace group_of_root r cell;
+      groups := (r, cell) :: !groups
+  done;
+  let groups =
+    List.sort
+      (fun (_, a) (_, b) -> compare (List.hd !a) (List.hd !b))
+      !groups
+  in
+  (* First-fit bin packing of the support-connected groups. Groups in
+     one bin are support-disjoint only if the cap, not disjointness,
+     kept them apart — summing their exact sizes over-approximates the
+     union, which errs toward smaller (never larger) clusters. *)
+  let bins = ref [] (* (size ref, member group roots ref), reversed *) in
+  List.iter
+    (fun (r, members) ->
+      let size = Hashtbl.length sets.(r) in
+      let rec place = function
+        | [] ->
+          bins := (ref size, ref [ (r, members) ]) :: !bins
+        | (bsize, bmembers) :: rest ->
+          if !bsize + size <= cap then begin
+            bsize := !bsize + size;
+            bmembers := (r, members) :: !bmembers
+          end
+          else place rest
+      in
+      place (List.rev !bins))
+    groups;
+  let n = Graph.num_nodes net in
+  let order = Graph.topo_order net in
+  let clusters =
+    List.rev_map
+      (fun (_, bmembers) ->
+        let mark = Array.make n false in
+        let outputs = ref [] in
+        List.iter
+          (fun (r, members) ->
+            Hashtbl.iter (fun id () -> mark.(id) <- true) sets.(r);
+            outputs := !members @ !outputs)
+          !bmembers;
+        {
+          outputs = List.sort_uniq compare !outputs;
+          nodes = List.filter (fun id -> mark.(id)) order;
+        })
+      !bins
+    |> Array.of_list
+  in
+  Obs.add m_partitions (Array.length clusters);
+  Array.iter
+    (fun c ->
+      Obs.observe m_cluster_nodes (List.length c.nodes);
+      Obs.observe m_cluster_outputs (List.length c.outputs))
+    clusters;
+  clusters
+
+let member net c =
+  let mark = Array.make (Graph.num_nodes net) false in
+  List.iter (fun id -> mark.(id) <- true) c.nodes;
+  mark

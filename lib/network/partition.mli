@@ -1,0 +1,36 @@
+(** Output-cone clustering for the partitioned parallel BDD engine.
+
+    Clusters the network's outputs into balanced partitions by
+    union-find over shared primary-input support, subject to a size cap
+    on the merged cone (in network nodes), then first-fit bin-packing
+    of the resulting groups so many small independent cones still form
+    a few worker-sized clusters. Outputs that share support land in one
+    cluster whenever the cap allows, so the per-cluster BDD managers
+    duplicate as little shared-subfunction work as possible.
+
+    The partition is a pure function of the network wiring and the cap
+    — never of the worker count or scheduling — which is what makes
+    the partitioned build's merge order, and hence its results,
+    identical at any [-j]. *)
+
+(** One partition: its output indices (ascending, into
+    {!Graph.outputs} order) and the fanin-closed union of their cones
+    in topological order. Every output index appears in exactly one
+    cluster. *)
+type cluster = { outputs : int list; nodes : int list }
+
+(** [compute ?cap net] clusters the outputs. [cap] bounds each
+    cluster's node-set size (a support-connected single-output cone
+    larger than [cap] still forms its own cluster); default
+    {!default_cap}. Deterministic for fixed wiring and cap. *)
+val compute : ?cap:int -> Graph.t -> cluster array
+
+(** The default size cap: about an eighth of the total per-output cone
+    work (with multiplicity), floored at 64 nodes, aiming for ~8
+    balanced clusters on the paper's circuits. Independent of the
+    worker count by design. *)
+val default_cap : Graph.t -> int
+
+(** Membership mask of a cluster's node set, indexed by node id —
+    the [member] argument of {!Globals.update}. *)
+val member : Graph.t -> cluster -> bool array

@@ -319,3 +319,46 @@ let map_list ?pool f xs = map ?pool ~init:(fun () -> ()) ~f:(fun () x -> f x) xs
 
 let map_reduce ?pool ~init ~f ~combine acc xs =
   List.fold_left combine acc (map ?pool ~init ~f xs)
+
+(* Bounded-wave fork + submission-order merge. The affinity contract
+   this encodes: any state a job builds privately (a per-job or
+   per-partition BDD manager, say) is touched by exactly one worker
+   domain until its future is awaited, after which the merge callback —
+   always on the calling domain, always in submission order — is the
+   only reader. The wave bound caps how many completed-but-unmerged
+   results are live at once. *)
+let map_merge ?pool ?wave ~init ~f ~merge acc xs =
+  let pool = resolve_pool pool in
+  if Pool.size pool <= 1 then begin
+    (* -j 1: bypass the pool entirely (like [map]); one [init] for the
+       whole call, jobs interleaved with merges in submission order. *)
+    match xs with
+    | [] -> acc
+    | xs ->
+      let ctx = init () in
+      List.fold_left (fun acc x -> merge acc x (f ctx x)) acc xs
+  end
+  else begin
+    let wave =
+      match wave with Some w -> max 1 w | None -> max 1 (4 * Pool.size pool)
+    in
+    let rec split k = function
+      | x :: tl when k > 0 ->
+        let a, b = split (k - 1) tl in
+        (x :: a, b)
+      | tl -> ([], tl)
+    in
+    let rec waves acc = function
+      | [] -> acc
+      | xs ->
+        let this, rest = split wave xs in
+        let futs = fork ~pool ~init ~f this in
+        let acc =
+          List.fold_left2
+            (fun acc x fut -> merge acc x (await fut))
+            acc this futs
+        in
+        waves acc rest
+    in
+    waves acc xs
+  end

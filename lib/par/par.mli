@@ -128,3 +128,25 @@ val map_reduce :
   'acc ->
   'a list ->
   'acc
+
+(** [map_merge ~init ~f ~merge acc xs] forks jobs in waves of [wave]
+    (default [4 * pool size]) and folds [merge acc x (f ctx x)] {e in
+    submission order} on the calling domain, so at most a wave of
+    completed-but-unmerged results is live at once. This is the
+    manager-affine submission primitive: state a job builds privately
+    (a per-partition BDD manager) is touched by exactly one worker
+    until its future is merged, and the merge — sequential, in
+    submission order — is the only other reader. On a 1-job pool the
+    whole call runs in the calling domain with a single [init], jobs
+    interleaved with merges. An exception from a job or from [merge]
+    propagates at its merge position; later jobs of the wave may still
+    run but their results are dropped. *)
+val map_merge :
+  ?pool:Pool.t ->
+  ?wave:int ->
+  init:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  merge:('acc -> 'a -> 'b -> 'acc) ->
+  'acc ->
+  'a list ->
+  'acc

@@ -1,0 +1,202 @@
+(* Tests for the partitioned parallel BDD engine: partition invariants
+   (exact output cover, fanin closure, -j independence) and the headline
+   contract — Bddpar.analyze produces the same functions at every pool
+   size, checked on C432 and a 16-bit ripple-carry adder by transferring
+   every run's results into one comparison manager. *)
+
+let with_pool jobs f =
+  let pool = Par.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
+
+let nets =
+  lazy
+    [
+      ("C432", Network.of_aig ~k:6 (Circuits.Suite.build "C432"));
+      ("adder16", Network.of_aig ~k:6 (Circuits.Adders.ripple_carry 16));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Partition invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_invariants () =
+  List.iter
+    (fun (name, net) ->
+      let parts = Network.Partition.compute net in
+      (* Every output appears in exactly one cluster. *)
+      let seen = Array.make (Network.num_outputs net) 0 in
+      Array.iter
+        (fun (c : Network.Partition.cluster) ->
+          List.iter (fun oi -> seen.(oi) <- seen.(oi) + 1) c.outputs)
+        parts;
+      Alcotest.(check bool)
+        (name ^ ": outputs covered exactly once")
+        true
+        (Array.for_all (fun n -> n = 1) seen);
+      Array.iter
+        (fun (c : Network.Partition.cluster) ->
+          let member = Network.Partition.member net c in
+          (* Fanin-closed: every fanin of a member is a member. *)
+          List.iter
+            (fun id ->
+              Array.iter
+                (fun fi ->
+                  Alcotest.(check bool)
+                    (name ^ ": fanin closed")
+                    true member.(fi))
+                (Network.node net id).Network.fanins)
+            c.nodes;
+          (* Each cluster covers its outputs' cones. *)
+          List.iter
+            (fun oi ->
+              Alcotest.(check bool)
+                (name ^ ": output node in cluster")
+                true
+                member.((Network.output net oi).Network.node))
+            c.outputs)
+        parts)
+    (Lazy.force nets)
+
+let test_partition_deterministic () =
+  List.iter
+    (fun (name, net) ->
+      let a = Network.Partition.compute net in
+      let b = Network.Partition.compute net in
+      Alcotest.(check bool)
+        (name ^ ": identical across calls")
+        true (a = b);
+      (* The cap, not the pool size, shapes the partition: a different
+         cap is allowed to differ, but the default is a pure function
+         of the wiring. *)
+      Alcotest.(check bool)
+        (name ^ ": default cap stable")
+        true
+        (Network.Partition.default_cap net = Network.Partition.default_cap net))
+    (Lazy.force nets)
+
+(* ------------------------------------------------------------------ *)
+(* Cross -j identity                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_j_identity () =
+  List.iter
+    (fun (name, net) ->
+      (* SPCF late-node cap kept small: the point is identity, not
+         approximation quality, and C432 SPCFs get expensive fast. *)
+      let max_nodes = 6 in
+      let cmp = Bdd.create () in
+      let run jobs =
+        with_pool jobs (fun pool ->
+            let dst = Bdd.create () in
+            let results = Bddpar.analyze ~pool ~max_nodes ~dst net in
+            Array.map
+              (fun (r : Bddpar.result) ->
+                ( Bdd.transfer ~src:dst ~dst:cmp r.Bddpar.global,
+                  Bdd.transfer ~src:dst ~dst:cmp r.Bddpar.spcf ))
+              results)
+      in
+      let reference = run 1 in
+      List.iter
+        (fun jobs ->
+          let got = run jobs in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: -j %d equals -j 1" name jobs)
+            true
+            (Array.for_all2
+               (fun (rg, rs) (g, s) -> Bdd.equal rg g && Bdd.equal rs s)
+               reference got))
+        [ 2; 4; 8 ];
+      Alcotest.(check bool)
+        (name ^ ": comparison manager canonical")
+        true (Bdd.check_canonical cmp))
+    (Lazy.force nets)
+
+let test_partitioned_counters () =
+  (* A >=2-job pool must actually take the partitioned path, and the
+     reference path must be taken at 1 job. *)
+  Obs.enable ();
+  let net = List.assoc "adder16" (Lazy.force nets) in
+  let value name = Obs.counter_value (Obs.snapshot ()) name in
+  let p0 = value "bddpar.partitioned_runs" in
+  let r0 = value "bddpar.reference_runs" in
+  with_pool 2 (fun pool ->
+      ignore (Bddpar.analyze ~pool ~max_nodes:4 ~dst:(Bdd.create ()) net));
+  Alcotest.(check bool)
+    "partitioned path taken" true
+    (value "bddpar.partitioned_runs" > p0);
+  with_pool 1 (fun pool ->
+      ignore (Bddpar.analyze ~pool ~max_nodes:4 ~dst:(Bdd.create ()) net));
+  Alcotest.(check bool)
+    "reference path taken" true
+    (value "bddpar.reference_runs" > r0)
+
+(* ------------------------------------------------------------------ *)
+(* Governance: divided budgets degrade per-partition, then recover      *)
+(* ------------------------------------------------------------------ *)
+
+let test_divided_budget_retry () =
+  (* A budget comfortable undivided but tight per-partition must take
+     the sequential-retry rung and still produce the same functions as
+     an ungoverned run. The window exists for any >= 2 partitions: with
+     ceiling C and max partition need M, the retry succeeds iff C >= M
+     while the divided share blows iff C/n < M, i.e. for all
+     C in [M, n*M). Doubling C from a failing start necessarily lands
+     the first completing run in that window: the preceding failure
+     means M > C/2, hence C < 2*M <= n*M. *)
+  let net = List.assoc "adder16" (Lazy.force nets) in
+  let cap = 24 in
+  Alcotest.(check bool)
+    "several partitions at this cap" true
+    (Array.length (Network.Partition.compute ~cap net) >= 2);
+  let cmp = Bdd.create () in
+  let run ?guard dst =
+    with_pool 2 (fun pool ->
+        Array.map
+          (fun (r : Bddpar.result) ->
+            Bdd.transfer ~src:dst ~dst:cmp r.Bddpar.global)
+          (Bddpar.analyze ~pool ?guard ~cap ~max_nodes:4 ~dst net))
+  in
+  let free = run (Bdd.create ()) in
+  Obs.enable ();
+  let retries () =
+    Obs.counter_value (Obs.snapshot ()) "bddpar.partition_retries"
+  in
+  let rec search c failed_before =
+    if c > 1 lsl 22 then Alcotest.fail "no completing ceiling found"
+    else
+      let guard =
+        Guard.create
+          { Guard.Budget.bdd_node_ceiling = c; sat_conflict_ceiling = 0 }
+      in
+      let before = retries () in
+      match run ~guard (Bdd.create ()) with
+      | governed -> (governed, failed_before, retries () - before)
+      | exception Guard.Blowup _ -> search (2 * c) true
+  in
+  let governed, failed_before, retries_in_final = search 8 false in
+  Alcotest.(check bool) "search started below the need" true failed_before;
+  Alcotest.(check bool)
+    "completing run used the retry rung" true (retries_in_final > 0);
+  Alcotest.(check bool)
+    "governed run equals free run" true
+    (Array.for_all2 Bdd.equal free governed)
+
+let () =
+  Alcotest.run "bddpar"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "cover + fanin closure" `Quick
+            test_partition_invariants;
+          Alcotest.test_case "deterministic" `Quick
+            test_partition_deterministic;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "identical at -j 1/2/4/8" `Slow
+            test_cross_j_identity;
+          Alcotest.test_case "path counters" `Quick test_partitioned_counters;
+          Alcotest.test_case "divided budget: retry rung" `Quick
+            test_divided_budget_retry;
+        ] );
+    ]

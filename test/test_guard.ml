@@ -94,6 +94,49 @@ let test_budget_limits () =
   Alcotest.(check int) "no cap, request stands" 4000
     (Guard.sat_limit Guard.none ~requested:4000)
 
+let test_divide () =
+  quiesce ();
+  let t =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 100; sat_conflict_ceiling = 5 }
+  in
+  let parts = Guard.divide t 3 in
+  Alcotest.(check int) "three parts" 3 (List.length parts);
+  Alcotest.(check int) "shares sum to the total" 100
+    (List.fold_left (fun acc p -> acc + Guard.bdd_ceiling p) 0 parts);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "sat ceiling replicated, not divided" 5
+        (Guard.sat_limit p ~requested:4000))
+    parts;
+  (* More parts than nodes: every share keeps the floor of 1, even
+     though that over-commits the total. *)
+  let tiny =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 2; sat_conflict_ceiling = 0 }
+  in
+  List.iter
+    (fun p -> Alcotest.(check int) "floor of one node" 1 (Guard.bdd_ceiling p))
+    (Guard.divide tiny 5);
+  (* Unlimited stays unlimited; [none] divides into inert guards. *)
+  let unl =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 0 }
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "unlimited share" max_int (Guard.bdd_ceiling p))
+    (Guard.divide unl 4);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "none share" max_int (Guard.bdd_ceiling p))
+    (Guard.divide Guard.none 4);
+  Alcotest.(check bool) "n = 0 rejected" true
+    (try
+       ignore (Guard.divide t 0);
+       false
+     with Invalid_argument _ -> true)
+
 let test_bdd_real_ceiling () =
   quiesce ();
   (* A genuinely exhausted node budget raises a non-injected Blowup
@@ -335,6 +378,7 @@ let () =
       ( "budget hooks",
         [
           Alcotest.test_case "ceilings and caps" `Quick test_budget_limits;
+          Alcotest.test_case "divide splits node budget" `Quick test_divide;
           Alcotest.test_case "real bdd ceiling blows up typed" `Quick
             test_bdd_real_ceiling;
           Alcotest.test_case "injected sat exhaustion" `Quick

@@ -213,6 +213,10 @@ let edit_session ~seed ~rounds net ~invalidate ~check =
          (Network.topo_order net))
   in
   let ok = ref true in
+  (* A degenerate draw (every output cone a bare input) has nothing to
+     edit; the property holds vacuously instead of crashing Random.int. *)
+  if Array.length internal = 0 then true
+  else begin
   for _ = 1 to rounds do
     let dirty = ref [] in
     for _ = 1 to 1 + Random.State.int st 3 do
@@ -230,6 +234,7 @@ let edit_session ~seed ~rounds net ~invalidate ~check =
     if not (check !dirty) then ok := false
   done;
   !ok
+  end
 
 let prop_inc_levels =
   qtest ~count:40 "incremental levels equal from-scratch under edits" gen_seed
@@ -258,6 +263,85 @@ let prop_inc_globals =
           let scratch = Network.Globals.of_net man net in
           (* Hash consing: equal functions are pointer-equal edges. *)
           Array.for_all2 Bdd.equal fresh scratch))
+
+let prop_inc_globals_member =
+  qtest ~count:25 "Globals.update ~member equals of_net inside the cone"
+    gen_seed (fun seed ->
+      let g = random_aig ~inputs:5 ~gates:30 seed in
+      let net = Network.of_aig ~k:4 g in
+      let man = Bdd.create () in
+      let fanouts = Network.fanouts net in
+      (* Work inside one output's fanin cone, the bddpar / driver
+         pattern: globals built with of_cluster, edits confined to the
+         cone, updates masked to it. Out-of-mask entries are
+         unspecified, so only in-cone entries are compared. *)
+      let o = Network.output net 0 in
+      let cone = Network.cone net o.Network.node in
+      let member = Array.make (Network.num_nodes net) false in
+      List.iter (fun id -> member.(id) <- true) cone;
+      let editable =
+        Array.of_list
+          (List.filter (fun id -> not (Network.is_input net id)) cone)
+      in
+      Array.length editable = 0
+      ||
+      let globals = ref (Network.Globals.of_cluster man net ~nodes:cone) in
+      let st = Random.State.make [| seed; 0x5c0e |] in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let dirty = ref [] in
+        for _ = 1 to 1 + Random.State.int st 3 do
+          let id = editable.(Random.State.int st (Array.length editable)) in
+          let k = Array.length (Network.node net id).Network.fanins in
+          Network.set_func net id (random_tt st k);
+          dirty := id :: !dirty
+        done;
+        globals :=
+          Network.Globals.update man !globals net ~member ~dirty:!dirty
+            ~fanouts;
+        let scratch = Network.Globals.of_cluster man net ~nodes:cone in
+        if
+          not
+            (List.for_all
+               (fun id -> Bdd.equal !globals.(id) scratch.(id))
+               cone)
+        then ok := false
+      done;
+      !ok)
+
+let test_globals_scratch_fallback () =
+  (* Dirtying more than half of a scope must take the rebuild-all path
+     (counted by globals.scratch_fallbacks) and still agree with a
+     from-scratch build. *)
+  let g = random_aig ~inputs:5 ~gates:30 7 in
+  let net = Network.of_aig ~k:4 g in
+  let man = Bdd.create () in
+  let fanouts = Network.fanouts net in
+  let internal =
+    List.filter (fun id -> not (Network.is_input net id))
+      (Network.topo_order net)
+  in
+  let globals = Network.Globals.of_net man net in
+  let st = Random.State.make [| 0xfa11 |] in
+  List.iter
+    (fun id ->
+      let k = Array.length (Network.node net id).Network.fanins in
+      Network.set_func net id (random_tt st k))
+    internal;
+  Obs.enable ();
+  let before =
+    Obs.counter_value (Obs.snapshot ()) "globals.scratch_fallbacks"
+  in
+  let fresh =
+    Network.Globals.update man globals net ~dirty:internal ~fanouts
+  in
+  let after =
+    Obs.counter_value (Obs.snapshot ()) "globals.scratch_fallbacks"
+  in
+  Alcotest.(check bool) "fallback fired" true (after > before);
+  Alcotest.(check bool)
+    "fallback result equals from-scratch" true
+    (Array.for_all2 Bdd.equal fresh (Network.Globals.of_net man net))
 
 let prop_analysis_cache =
   qtest ~count:25 "Analysis agrees with from-scratch under edits" gen_seed
@@ -333,6 +417,9 @@ let () =
         [
           prop_inc_levels;
           prop_inc_globals;
+          prop_inc_globals_member;
+          Alcotest.test_case "scratch fallback on majority-dirty scope"
+            `Quick test_globals_scratch_fallback;
           prop_analysis_cache;
           prop_analysis_for_copy;
         ] );

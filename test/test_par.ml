@@ -52,6 +52,36 @@ let test_map_reduce_order () =
       in
       Alcotest.(check (float 0.0)) "bit-equal float sum" seq par)
 
+let test_map_merge_order () =
+  (* merge must run on the calling domain in submission order; building
+     a list and a non-associative float sum detects any reordering. *)
+  let xs = List.init 300 Fun.id in
+  let seq =
+    List.fold_left
+      (fun (order, sum) x ->
+        (x :: order, sum +. (1.0 /. float_of_int (x + 1))))
+      ([], 0.0) xs
+  in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let par =
+            Par.map_merge ~pool
+              ~init:(fun () -> ())
+              ~f:(fun () x ->
+                ignore (spin x);
+                1.0 /. float_of_int (x + 1))
+              ~merge:(fun (order, sum) x y -> (x :: order, sum +. y))
+              ([], 0.0) xs
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "merge order at -j %d" jobs)
+            (fst seq) (fst par);
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "bit-equal merge sum at -j %d" jobs)
+            (snd seq) (snd par)))
+    [ 1; 2; 4 ]
+
 let prop_map_matches_sequential =
   qtest "Par.map = List.map (any pool size)"
     QCheck.(pair (int_range 1 6) (small_list small_int))
@@ -192,6 +222,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "map submission order" `Quick test_map_order;
+          Alcotest.test_case "map_merge merge order" `Quick
+            test_map_merge_order;
           Alcotest.test_case "map_reduce fold order" `Quick
             test_map_reduce_order;
           prop_map_matches_sequential;
