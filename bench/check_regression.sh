@@ -58,9 +58,27 @@
 # smaller hosts that clause is skipped (the within-run identity and
 # -j 1 checks remain meaningful anywhere).
 #
+# Gate 7 (serve): the job-server contract, in two halves. (a) Warm ≡
+# cold, end to end through the real binaries: at -j 1 and -j 4 it
+# starts `lookahead_serve run` on a scratch Unix socket, submits a
+# clean cla:16 job, a fault-injected one, and a clean one again (so a
+# leaked fault arming would show), and requires every warm BLIF to be
+# byte-identical (`cmp`) and every warm report's deterministic subtree
+# identical (`compare-reports`) to the one-shot `lookahead_opt opt`
+# run of the same spec. (b) Load/latency: runs the windowed load bench
+# (`bench/main.exe serve`, which itself fails unless all jobs complete
+# and its in-process warm-vs-cold identity samples agree) and compares
+# the fresh clean-job p95 latency against the checked-in BENCH_serve
+# baseline within SERVE_GATE_PCT (default 100 — latency under a full
+# admission window is queueing-dominated, so the headroom absorbs host
+# noise, not protocol regressions). The latency comparison is skipped
+# with a note when BENCH_SERVE_JOBS shrinks the run below the
+# baseline's job count, since the queue-wait profile then differs.
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
 # Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1
-# / SKIP_OBS_GATE=1 / SKIP_GUARD_GATE=1 / SKIP_BDDPAR_GATE=1.
+# / SKIP_OBS_GATE=1 / SKIP_GUARD_GATE=1 / SKIP_BDDPAR_GATE=1 /
+# SKIP_SERVE_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -82,8 +100,10 @@ obs_r4="${TMPDIR:-/tmp}/BENCH_obs.r4.$$.json"
 guard_r1="${TMPDIR:-/tmp}/BENCH_guard.r1.$$.json"
 guard_r4="${TMPDIR:-/tmp}/BENCH_guard.r4.$$.json"
 bddpar_fresh="${TMPDIR:-/tmp}/BENCH_bddpar.fresh.$$.json"
+serve_fresh="${TMPDIR:-/tmp}/BENCH_serve.fresh.$$.json"
+serve_dir="${TMPDIR:-/tmp}/serve_gate.$$"
 trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4" \
-  "$guard_r1" "$guard_r4" "$bddpar_fresh"' EXIT
+  "$guard_r1" "$guard_r4" "$bddpar_fresh" "$serve_fresh"; rm -rf "$serve_dir"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
   awk -v want="$2" '
@@ -327,6 +347,126 @@ else
       echo "check_regression: FAIL — could not parse $bddpar_fresh" >&2
       fail=1 ;;
   esac
+fi
+
+# ------------------------------------------------------------------
+# Gate 7: job server (warm ≡ cold end-to-end + load/latency)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_SERVE_GATE:-0}" = 1 ]; then
+  echo "check_regression: serve gate skipped (SKIP_SERVE_GATE=1)"
+else
+  serve_pct="${SERVE_GATE_PCT:-100}"
+  serve_inject="${SERVE_GATE_INJECT:-bdd@500:r}"
+  dune build bin/lookahead_opt.exe bin/lookahead_serve.exe
+  mkdir -p "$serve_dir"
+  serve_ok=1
+
+  # (a) Warm ≡ cold through the real binaries, clean and faulted, with
+  # a clean job after the faulted one so leaked fault arming would show.
+  for j in 1 4; do
+    sock="$serve_dir/gate.$j.sock"
+    dune exec bin/lookahead_serve.exe -- run -s "$sock" -j "$j" \
+      >/dev/null 2>&1 &
+    serve_pid=$!
+    i=0
+    while [ ! -S "$sock" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+    if [ ! -S "$sock" ]; then
+      echo "check_regression: FAIL — serve gate: server did not start (-j $j)" >&2
+      kill "$serve_pid" 2>/dev/null || true
+      serve_ok=0
+      continue
+    fi
+
+    dune exec bin/lookahead_opt.exe -- opt --adder cla:16 --time-limit 0 \
+      -j "$j" --report "$serve_dir/cold.json" -o "$serve_dir/cold.blif" \
+      >/dev/null
+    dune exec bin/lookahead_opt.exe -- opt --adder cla:16 --time-limit 0 \
+      -j "$j" --inject "$serve_inject" --report "$serve_dir/coldf.json" \
+      -o "$serve_dir/coldf.blif" >/dev/null 2>&1
+
+    dune exec bin/lookahead_serve.exe -- submit -s "$sock" --adder cla:16 \
+      --time-limit 0 --report "$serve_dir/w1.json" -o "$serve_dir/w1.blif" \
+      >/dev/null
+    dune exec bin/lookahead_serve.exe -- submit -s "$sock" --adder cla:16 \
+      --time-limit 0 --inject "$serve_inject" --report "$serve_dir/wf.json" \
+      -o "$serve_dir/wf.blif" >/dev/null 2>&1
+    dune exec bin/lookahead_serve.exe -- submit -s "$sock" --adder cla:16 \
+      --time-limit 0 --report "$serve_dir/w2.json" -o "$serve_dir/w2.blif" \
+      >/dev/null
+
+    dune exec bin/lookahead_serve.exe -- shutdown -s "$sock" >/dev/null 2>&1 \
+      || true
+    wait "$serve_pid" || true
+
+    for pair in "cold w1" "cold w2" "coldf wf"; do
+      c=${pair% *}; w=${pair#* }
+      if ! cmp -s "$serve_dir/$c.blif" "$serve_dir/$w.blif"; then
+        echo "check_regression: FAIL — serve gate: warm $w BLIF differs from cold $c (-j $j)" >&2
+        serve_ok=0
+      fi
+      if ! dune exec bench/main.exe -- compare-reports \
+             "$serve_dir/$c.json" "$serve_dir/$w.json" >/dev/null; then
+        echo "check_regression: FAIL — serve gate: warm $w report differs from cold $c (-j $j)" >&2
+        serve_ok=0
+      fi
+    done
+  done
+
+  # (b) Load bench: completion + in-process identity are asserted by the
+  # bench itself (non-zero exit); the latency gate compares clean p95
+  # against the checked-in baseline.
+  baseline=BENCH_serve.json
+  if [ ! -f "$baseline" ]; then
+    echo "check_regression: no baseline $baseline (run: dune exec bench/main.exe serve)" >&2
+    serve_ok=0
+  elif BENCH_SERVE_OUT="$serve_fresh" dune exec bench/main.exe -- serve -j 2
+  then
+    field() { # field <file> <key> -> value (first occurrence)
+      awk -v k="\"$2\":" '
+        index($0, k) {
+          v = substr($0, index($0, k) + length(k))
+          sub(/^[ ]*/, "", v); sub(/[,} ].*/, "", v)
+          print v; exit
+        }' "$1"
+    }
+    clean_p95() { # clean_p95 <file> -> p95_ms of the clean class
+      awk '/"clean":/ {
+        v = $0; sub(/.*"p95_ms": /, "", v); sub(/[,} ].*/, "", v)
+        print v; exit
+      }' "$1"
+    }
+    base_jobs=$(field "$baseline" jobs)
+    fresh_jobs=$(field "$serve_fresh" jobs)
+    base_p95=$(clean_p95 "$baseline")
+    fresh_p95=$(clean_p95 "$serve_fresh")
+    if [ "$(field "$serve_fresh" all_completed)" != true ] ||
+       [ "$(field "$serve_fresh" all_identical)" != true ]; then
+      echo "check_regression: FAIL — serve gate: load bench incomplete or nonidentical" >&2
+      serve_ok=0
+    elif [ "$fresh_jobs" != "$base_jobs" ]; then
+      echo "serve latency comparison skipped: fresh run has $fresh_jobs jobs, baseline $base_jobs"
+    elif [ -z "$base_p95" ] || [ -z "$fresh_p95" ]; then
+      echo "check_regression: FAIL — serve gate: could not extract p95 (base='$base_p95' fresh='$fresh_p95')" >&2
+      serve_ok=0
+    else
+      echo "serve clean p95: baseline ${base_p95}ms, fresh ${fresh_p95}ms (limit +${serve_pct}%)"
+      if ! awk -v o="$base_p95" -v n="$fresh_p95" -v p="$serve_pct" \
+           'BEGIN { exit !(n <= o * (1 + p / 100.0)) }'; then
+        echo "check_regression: FAIL — serve gate: clean p95 regressed more than ${serve_pct}% (${base_p95}ms -> ${fresh_p95}ms)" >&2
+        serve_ok=0
+      fi
+    fi
+  else
+    echo "check_regression: FAIL — serve gate: load bench failed" >&2
+    serve_ok=0
+  fi
+
+  if [ "$serve_ok" = 1 ]; then
+    echo "check_regression: serve gate OK"
+  else
+    fail=1
+  fi
 fi
 
 exit "$fail"

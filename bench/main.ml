@@ -24,6 +24,15 @@
                                                   $BENCH_BDDPAR_JOBS,
                                                   $BENCH_BDDPAR_CIRCUITS,
                                                   $BENCH_BDDPAR_MAX_NODES)
+     dune exec bench/main.exe serve           -- load-bench the job server:
+                                                 mixed clean/faulted jobs over
+                                                 one socket, p50/p95/p99 + a
+                                                 warm-vs-cold identity sample
+                                                 (BENCH_serve.json /
+                                                  $BENCH_SERVE_OUT; knobs:
+                                                  $BENCH_SERVE_JOBS,
+                                                  $BENCH_SERVE_WINDOW,
+                                                  $BENCH_SERVE_FAULT_EVERY)
      dune exec bench/main.exe all             -- everything (fast table2)
 
    Observation (lib/obs) plumbing:
@@ -1280,93 +1289,218 @@ let compare_reports a b =
       | Some p -> p
       | None -> "<structure>")
 
+(* ------------------------------------------------------------------- *)
+(* serve: load-bench the persistent job server (lib/serve). An          *)
+(* in-process server on a temp Unix socket receives a deterministic mix *)
+(* of jobs — every BENCH_SERVE_FAULT_EVERY-th one with a tiny node      *)
+(* budget and an armed injection, so degrading tenants share the queue  *)
+(* with healthy ones — submitted over one connection with a bounded     *)
+(* window of outstanding jobs. Per-job latency (submit sent → result    *)
+(* received) feeds p50/p95/p99 per class; afterwards a warm-vs-cold     *)
+(* identity sample reruns a few specs through Engine.run_cold and       *)
+(* requires byte-identical BLIF and deterministic report subtrees.      *)
+(* JSON to BENCH_serve.json (or $BENCH_SERVE_OUT); check_regression.sh  *)
+(* gate 7 requires completion, identity, and bounded clean p95.         *)
+(* ------------------------------------------------------------------- *)
+
+let serve_bench () =
+  let module Msg = Serve.Msg in
+  let env_int name default =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v > 0 -> v
+      | _ -> fail "bench serve: %s='%s' is not a positive int" name s)
+  in
+  let njobs = env_int "BENCH_SERVE_JOBS" 220 in
+  let window = env_int "BENCH_SERVE_WINDOW" 16 in
+  let fault_every = env_int "BENCH_SERVE_FAULT_EVERY" 10 in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lookahead_serve_bench_%d.sock" (Unix.getpid ()))
+  in
+  (* The job mix is a pure function of the index: seven size classes
+     cycling through the adder generators, with every fault_every-th job
+     running under a deliberately blown budget plus an armed injection. *)
+  let faulted i = i mod fault_every = fault_every - 1 in
+  let spec_of i =
+    let kind, bits =
+      match i mod 7 with
+      | 0 -> ("ripple", 8)
+      | 1 -> ("cla", 8)
+      | 2 -> ("cla", 12)
+      | 3 -> ("select", 8)
+      | 4 -> ("cla", 16)
+      | 5 -> ("select", 12)
+      | _ -> ("select", 16)
+    in
+    let base =
+      Msg.submit_defaults ~source:(Msg.Adder { kind; bits }) ~tool:"lookahead"
+    in
+    (* --time-limit 0: identity across runs must not depend on a
+       wall-clock deadline cut. *)
+    let base = { base with Msg.time_limit_s = Some 0.0 } in
+    if faulted i then
+      {
+        base with
+        Msg.inject = Some "bdd@200:r";
+        budget = { Msg.default_budget with Msg.bdd_node_ceiling = 30_000 };
+      }
+    else base
+  in
+  let now () = Guard.Clock.now_s () in
+  let listening = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~ready:(fun () -> Atomic.set listening true)
+          {
+            (Serve.Server.default_config (`Unix sock)) with
+            Serve.Server.queue_capacity = njobs + window;
+          })
+  in
+  while not (Atomic.get listening) do
+    Unix.sleepf 0.005
+  done;
+  let c = Serve.Client.connect (`Unix sock) in
+  (* Windowed submission: keep [window] jobs in flight, match Submitted
+     replies to sends in FIFO order (the server answers in order),
+     stamp each result against its submit time. *)
+  let lat_ms = Array.make njobs nan in
+  let completed = Array.make njobs false in
+  let pending : (int * float) Queue.t = Queue.create () in
+  let id2job = Hashtbl.create 64 in
+  let sent = ref 0 in
+  let finished = ref 0 in
+  let t0 = now () in
+  let send_one () =
+    Queue.add (!sent, now ()) pending;
+    Serve.Client.send c (Msg.Submit (spec_of !sent));
+    incr sent
+  in
+  while !finished < njobs do
+    while !sent < njobs && !sent - !finished < window do
+      send_one ()
+    done;
+    match Serve.Client.recv c with
+    | Msg.Submitted { id; _ } -> Hashtbl.replace id2job id (Queue.pop pending)
+    | Msg.Result r ->
+      let i, t_send = Hashtbl.find id2job r.Msg.id in
+      lat_ms.(i) <- (now () -. t_send) *. 1e3;
+      completed.(i) <- r.Msg.state = Msg.Done;
+      incr finished
+    | Msg.Error_reply { code; message } ->
+      fail "bench serve: server error (%s): %s" code message
+    | _ -> ()
+  done;
+  let wall_s = now () -. t0 in
+  let all_completed = Array.for_all Fun.id completed in
+  (* Warm-vs-cold identity: the server is idle now, so Engine.run_cold
+     (a fresh-build, fresh-manager, Obs.reset run — the library image of
+     one bin/lookahead_opt invocation) may share the process. Each
+     sample must match the warm server byte-for-byte: BLIF text, Table-2
+     metrics, and the deterministic report subtree. *)
+  let identity_samples = [ 0; 4; fault_every - 1 ] in
+  let identical =
+    List.for_all
+      (fun i ->
+        let spec =
+          { (spec_of i) with Msg.want_blif = true; want_report = true }
+        in
+        let _, warm = Serve.Client.submit_wait c spec in
+        let cold = Serve.Engine.run_cold spec in
+        let det r =
+          match r.Msg.report with
+          | Some j -> Obs.det_subtree j
+          | None -> Obs.Json.Null
+        in
+        let same =
+          warm.Msg.state = Msg.Done
+          && cold.Msg.state = Msg.Done
+          && warm.Msg.blif = cold.Msg.blif
+          && warm.Msg.metrics = cold.Msg.metrics
+          && warm.Msg.degraded = cold.Msg.degraded
+          && det warm <> Obs.Json.Null
+          && Obs.Json.equal (det warm) (det cold)
+        in
+        if not same then
+          Printf.eprintf
+            "bench serve: warm/cold mismatch on job class %d (%s)\n" i
+            (Msg.source_name (spec_of i).Msg.source);
+        same)
+      identity_samples
+  in
+  Serve.Client.shutdown c;
+  Serve.Client.close c;
+  Domain.join server;
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then nan else sorted.(min (n - 1) (p * n / 100))
+  in
+  let class_stats sel =
+    let xs =
+      Array.of_list
+        (List.filter_map
+           (fun i -> if sel i then Some lat_ms.(i) else None)
+           (List.init njobs Fun.id))
+    in
+    Array.sort compare xs;
+    Printf.sprintf
+      "{ \"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": \
+       %.3f, \"max_ms\": %.3f }"
+      (Array.length xs) (percentile xs 50) (percentile xs 95)
+      (percentile xs 99)
+      (if Array.length xs = 0 then nan else xs.(Array.length xs - 1))
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_SERVE_OUT" with
+    | Some p -> p
+    | None -> "BENCH_serve.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"lookahead-bench-serve/1\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"window\": %d,\n\
+    \  \"fault_every\": %d,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"throughput_jobs_per_s\": %.2f,\n\
+    \  \"all_completed\": %b,\n\
+    \  \"clean\": %s,\n\
+    \  \"faulted\": %s,\n\
+    \  \"identity\": { \"samples\": %d, \"all_identical\": %b }\n\
+     }\n"
+    njobs window fault_every wall_s
+    (float_of_int njobs /. wall_s)
+    all_completed
+    (class_stats (fun i -> not (faulted i)))
+    (class_stats faulted)
+    (List.length identity_samples)
+    identical;
+  close_out oc;
+  Printf.printf "serve: %d jobs in %.2fs (%.1f jobs/s), window %d -> %s\n%!"
+    njobs wall_s
+    (float_of_int njobs /. wall_s)
+    window out;
+  if not all_completed then fail "bench serve: not every job completed";
+  if not identical then
+    fail "bench serve: warm server diverged from cold runs"
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  (* -j N / --jobs N / -jN: domain-pool size for every target. *)
-  let rec strip_jobs = function
-    | ("-j" | "--jobs") :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some j ->
-        Par.set_default_jobs j;
-        strip_jobs rest
-      | None ->
-        Printf.eprintf "bench: -j: invalid value '%s', expected an integer\n"
-          n;
-        exit 2)
-    | [ ("-j" | "--jobs") ] ->
-      prerr_endline "bench: -j requires a value";
-      exit 2
-    | arg :: rest
-      when String.length arg > 2 && String.sub arg 0 2 = "-j"
-           && int_of_string_opt (String.sub arg 2 (String.length arg - 2))
-              <> None ->
-      Par.set_default_jobs
-        (int_of_string (String.sub arg 2 (String.length arg - 2)));
-      strip_jobs rest
-    | arg :: rest -> arg :: strip_jobs rest
-    | [] -> []
-  in
-  let args = strip_jobs args in
-  (* --stats / --report FILE / --trace FILE: record while the targets
-     run, export when they are done (same contract as bin/lookahead_opt). *)
-  let obs_stats = ref false in
-  let obs_report = ref None in
-  let obs_trace = ref None in
-  let rec strip_obs = function
-    | "--stats" :: rest ->
-      obs_stats := true;
-      strip_obs rest
-    | "--report" :: path :: rest ->
-      obs_report := Some path;
-      strip_obs rest
-    | "--trace" :: path :: rest ->
-      obs_trace := Some path;
-      strip_obs rest
-    | [ ("--report" | "--trace") ] ->
-      prerr_endline "bench: --report/--trace require a file argument";
-      exit 2
-    | arg :: rest -> arg :: strip_obs rest
-    | [] -> []
-  in
-  let args = strip_obs args in
-  (* --inject SPEC: arm deterministic fault injection (lib/guard) for
-     every target that follows — the guard-gate workloads use it to
-     force the degradation ladder mid-run. *)
-  let rec strip_inject = function
-    | "--inject" :: spec :: rest -> (
-      match Guard.Inject.of_string spec with
-      | Ok rules ->
-        Guard.Inject.arm rules;
-        strip_inject rest
-      | Error msg ->
-        Printf.eprintf "bench: --inject: %s\n" msg;
-        exit 2)
-    | [ "--inject" ] ->
-      prerr_endline "bench: --inject requires a spec argument";
-      exit 2
-    | arg :: rest -> arg :: strip_inject rest
-    | [] -> []
-  in
-  let args = strip_inject args in
-  if !obs_stats || !obs_report <> None || !obs_trace <> None then
-    Obs.enable ();
-  let finish_obs () =
-    if Obs.enabled () then begin
-      let snap = Obs.snapshot () in
-      let write path json =
-        let oc = open_out path in
-        output_string oc (Obs.Json.to_string json ^ "\n");
-        close_out oc
-      in
-      (match !obs_report with
-      | Some path -> write path (Obs.report_json snap)
-      | None -> ());
-      (match !obs_trace with
-      | Some path -> write path (Obs.trace_json snap)
-      | None -> ());
-      if !obs_stats then Obs.pp_summary Format.err_formatter snap
-    end
-  in
+  (* Shared CLI dialect (Serve.Cli): -j N / --jobs N / -jN, the
+     observation trio --stats / --report FILE / --trace FILE (same
+     contract as bin/lookahead_opt: record while the targets run,
+     export when they are done), and --inject SPEC for the guard-gate
+     workloads that force the degradation ladder mid-run. *)
+  let args = Serve.Cli.strip_jobs ~prog:"bench" args in
+  let args, obs_flags = Serve.Cli.strip_obs ~prog:"bench" args in
+  let args = Serve.Cli.strip_inject ~prog:"bench" args in
+  Serve.Cli.setup_obs obs_flags;
+  let finish_obs () = Serve.Cli.finish_obs obs_flags in
   match args with
   | [ "check-report"; path ] -> check_report path
   | [ "check-trace"; path ] -> check_trace path
@@ -1402,6 +1536,7 @@ let () =
       | "par" -> par_bench ()
       | "incr" -> incr_bench ()
       | "bddpar" -> bddpar_bench ()
+      | "serve" -> serve_bench ()
       | "profile" -> profile ()
       | "all" ->
         table1 ();

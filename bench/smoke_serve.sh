@@ -1,0 +1,85 @@
+#!/bin/sh
+# Job-server smoke test: start `lookahead_serve run` on a scratch Unix
+# socket, submit one small clean job and one fault-injected job, assert
+# a well-formed success and a well-formed degradation response, then
+# shut the server down and require it to exit cleanly.
+#
+# This is the cheap always-on CI check; the full warm-vs-cold identity
+# and latency gates live in check_regression.sh (gate 7).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sock="${TMPDIR:-/tmp}/serve_smoke.$$.sock"
+out="${TMPDIR:-/tmp}/serve_smoke.$$"
+mkdir -p "$out"
+trap 'rm -rf "$out"; rm -f "$sock"' EXIT
+
+dune build bin/lookahead_serve.exe
+
+dune exec bin/lookahead_serve.exe -- run -s "$sock" -j 2 >/dev/null 2>&1 &
+server_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+if [ ! -S "$sock" ]; then
+  echo "smoke_serve: FAIL — server did not start listening" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+
+fail=0
+
+# Clean job: must print the Table 2 metrics block and nothing on stderr
+# about degradation.
+if dune exec bin/lookahead_serve.exe -- submit -s "$sock" --adder cla:8 \
+     --time-limit 0 -o "$out/clean.blif" \
+     >"$out/clean.out" 2>"$out/clean.err"; then
+  grep -q "delay" "$out/clean.out" || {
+    echo "smoke_serve: FAIL — clean job printed no metrics" >&2; fail=1; }
+  [ -s "$out/clean.blif" ] || {
+    echo "smoke_serve: FAIL — clean job wrote no BLIF" >&2; fail=1; }
+  grep -q "^\.model" "$out/clean.blif" || {
+    echo "smoke_serve: FAIL — clean job BLIF is malformed" >&2; fail=1; }
+  if grep -q "degraded" "$out/clean.err"; then
+    echo "smoke_serve: FAIL — clean job reported degradation" >&2; fail=1
+  fi
+else
+  echo "smoke_serve: FAIL — clean job did not succeed" >&2; fail=1
+fi
+
+# Faulted job: the injected BDD blowup must degrade the job through the
+# guard ladder, yet the job still completes with metrics and a BLIF.
+if dune exec bin/lookahead_serve.exe -- submit -s "$sock" --adder cla:8 \
+     --time-limit 0 --inject 'bdd@500:r' --budget-nodes 30000 \
+     -o "$out/faulted.blif" \
+     >"$out/faulted.out" 2>"$out/faulted.err"; then
+  grep -q "delay" "$out/faulted.out" || {
+    echo "smoke_serve: FAIL — faulted job printed no metrics" >&2; fail=1; }
+  [ -s "$out/faulted.blif" ] || {
+    echo "smoke_serve: FAIL — faulted job wrote no BLIF" >&2; fail=1; }
+  grep -q "degraded: yes" "$out/faulted.err" || {
+    echo "smoke_serve: FAIL — faulted job did not report degradation" >&2
+    fail=1; }
+else
+  echo "smoke_serve: FAIL — faulted job did not complete" >&2; fail=1
+fi
+
+# Server stats must show exactly the two jobs, both completed.
+stats=$(dune exec bin/lookahead_serve.exe -- stats -s "$sock" 2>/dev/null)
+echo "$stats" | grep -q "submitted *: *2" || {
+  echo "smoke_serve: FAIL — stats do not show 2 submissions" >&2; fail=1; }
+echo "$stats" | grep -q "completed *: *2" || {
+  echo "smoke_serve: FAIL — stats do not show 2 completions" >&2; fail=1; }
+
+# Graceful shutdown: the request must be acknowledged and the server
+# process must exit on its own.
+dune exec bin/lookahead_serve.exe -- shutdown -s "$sock" >/dev/null || {
+  echo "smoke_serve: FAIL — shutdown request failed" >&2; fail=1; }
+if ! wait "$server_pid"; then
+  echo "smoke_serve: FAIL — server exited non-zero" >&2; fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+  echo "smoke_serve: OK"
+fi
+exit "$fail"

@@ -1,189 +1,14 @@
 (* Command-line driver: optimize a circuit with any of the four tools and
    report the Table 2 metrics (AIG gates, AIG levels, mapped delay, power
-   at 1 GHz). *)
+   at 1 GHz). The flag plumbing and the execution sequence live in
+   Serve.Cli / Serve.Run, shared with the job server and the bench
+   harness, so the one-shot CLI and the warm server cannot drift. *)
 
 open Cmdliner
-
-let setup_logs verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
-
-(* Shared -j/--jobs flag: size of the lib/par domain pool used by the
-   optimizer and the equivalence checker. 0 = automatic (LOOKAHEAD_JOBS
-   env, else Domain.recommended_domain_count); 1 bypasses the pool
-   entirely. Results are bit-identical at any value. *)
-let jobs_arg =
-  Cmdliner.Arg.(
-    value
-    & opt int 0
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for the parallel runtime (0 = automatic, from \
-           $(b,LOOKAHEAD_JOBS) or the recommended domain count; 1 bypasses \
-           the pool).")
-
-let setup_jobs jobs =
-  if jobs > 0 then Par.set_default_jobs jobs
-
-(* Shared observation flags (lib/obs): any of them switches recording
-   on; export happens once the work is done. *)
-let stats_arg =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:
-          "Print the observation summary (work counters, phase wall-clocks) \
-           to stderr.")
-
-let report_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "report" ] ~docv:"FILE"
-        ~doc:
-          "Write the observation report as JSON. Its $(b,deterministic) \
-           subtree is bit-identical at any $(b,-j) for deadline-free runs \
-           (see $(b,--time-limit)).")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Write a Chrome trace-event file (open in Perfetto or \
-           chrome://tracing).")
-
-let setup_obs stats report trace =
-  if stats || report <> None || trace <> None then Obs.enable ()
-
-(* Deterministic fault injection (lib/guard), for exercising the
-   degradation ladder from the command line and the regression gates. *)
-let inject_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "inject" ] ~docv:"SPEC"
-        ~doc:
-          "Arm deterministic fault injection: comma-separated rules \
-           $(i,fault)@$(i,N)[:r][:$(i,site)] with $(i,fault) one of \
-           $(b,bdd), $(b,sat) or $(b,deadline) — fire at the N-th guarded \
-           call of that class per governed unit ($(b,:r) repeats at every \
-           multiple). The run completes, degraded: each fired fault walks \
-           the degradation ladder and is recorded under the \
-           $(b,guard.injected.*) / $(b,guard.rung.*) report counters.")
-
-let setup_inject = function
-  | None -> ()
-  | Some spec -> (
-    match Guard.Inject.of_string spec with
-    | Ok rules -> Guard.Inject.arm rules
-    | Error msg ->
-      Printf.eprintf "lookahead_opt: --inject: %s\n%!" msg;
-      exit 2)
-
-let write_file path text =
-  let oc = open_out path in
-  output_string oc text;
-  close_out oc
-
-let finish_obs stats report trace =
-  if Obs.enabled () then begin
-    let snap = Obs.snapshot () in
-    (match report with
-    | Some path ->
-      write_file path (Obs.Json.to_string (Obs.report_json snap) ^ "\n")
-    | None -> ());
-    (match trace with
-    | Some path ->
-      write_file path (Obs.Json.to_string (Obs.trace_json snap) ^ "\n")
-    | None -> ());
-    if stats then Obs.pp_summary Format.err_formatter snap
-  end
-
-type source =
-  | Named of string
-  | Blif of string
-  | Bench_file of string
-  | Adder of string * int
-
-let load = function
-  | Named name -> Circuits.Suite.build name
-  | Blif path ->
-    let ic = open_in path in
-    let len = in_channel_length ic in
-    let text = really_input_string ic len in
-    close_in ic;
-    Aig.Io.read_blif text
-  | Bench_file path ->
-    let ic = open_in path in
-    let len = in_channel_length ic in
-    let text = really_input_string ic len in
-    close_in ic;
-    Aig.Io.read_bench text
-  | Adder (kind, n) -> (
-    match kind with
-    | "ripple" -> Circuits.Adders.ripple_carry n
-    | "cla" -> Circuits.Adders.carry_lookahead n
-    | "select" -> Circuits.Adders.carry_select n
-    | "skip" -> Circuits.Adders.carry_skip n
-    | k -> invalid_arg (Printf.sprintf "unknown adder kind %s" k))
-
-let tool_of_name ?time_limit = function
-  | "lookahead" ->
-    let options =
-      match time_limit with
-      | None -> Lookahead.Driver.default
-      | Some s ->
-        {
-          Lookahead.Driver.default with
-          time_limit_s = (if s <= 0.0 then infinity else s);
-        }
-    in
-    fun g -> Lookahead.optimize ~options g
-  | "resub" -> fun g -> Aig.Resub.run (Aig.Balance.run g)
-  | "mfs" -> fun g -> Lookahead.Mfs.run g
-  | "none" -> Fun.id
-  | name -> (
-    match Baselines.by_name name with
-    | Some f -> f
-    | None -> invalid_arg (Printf.sprintf "unknown tool %s" name))
-
-let report circuit_name tool_name g optimized =
-  let netlist = Techmap.Mapper.map optimized in
-  Fmt.pr "circuit   : %s@." circuit_name;
-  Fmt.pr "tool      : %s@." tool_name;
-  Fmt.pr "pi/po     : %d/%d@."
-    (Aig.num_inputs optimized)
-    (List.length (Aig.outputs optimized));
-  Fmt.pr "aig gates : %d (was %d)@."
-    (Aig.num_reachable_ands optimized)
-    (Aig.num_reachable_ands g);
-  Fmt.pr "aig levels: %d (was %d)@." (Aig.depth optimized) (Aig.depth g);
-  Fmt.pr "mapped    : %d cells, area %.1f@."
-    (Techmap.Mapper.num_gates netlist)
-    (Techmap.Mapper.area netlist);
-  Fmt.pr "delay     : %.1f ps@." (Techmap.Mapper.delay netlist);
-  Fmt.pr "power     : %.3f mW @@ 1GHz@." (Techmap.Power.dynamic_mw netlist)
+module Cli = Serve.Cli
+module Run = Serve.Run
 
 let opt_cmd =
-  let circuit =
-    Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME"
-           ~doc:"Benchmark stand-in from the Table 2 suite.")
-  in
-  let blif =
-    Arg.(value & opt (some file) None & info [ "blif" ] ~docv:"FILE"
-           ~doc:"Read the circuit from a BLIF file.")
-  in
-  let bench =
-    Arg.(value & opt (some file) None & info [ "bench" ] ~docv:"FILE"
-           ~doc:"Read the circuit from an ISCAS BENCH file.")
-  in
-  let adder =
-    Arg.(value & opt (some (pair ~sep:':' string int)) None
-         & info [ "adder" ] ~docv:"KIND:N"
-             ~doc:"Generate an adder (ripple|cla|select|skip), e.g. ripple:16.")
-  in
   let tool =
     Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
            ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, or none.")
@@ -197,38 +22,25 @@ let opt_cmd =
            ~doc:"Write the optimized circuit as BLIF.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
-  let time_limit =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "time-limit" ] ~docv:"SECONDS"
-          ~doc:
-            "Wall-clock budget for the lookahead optimizer; 0 disables the \
-             anytime deadline entirely. Default: the driver's built-in \
-             budget. Identity-checked runs (comparing $(b,--report) output \
-             across $(b,-j)) should pass 0 — a deadline cut depends on \
-             scheduling.")
-  in
   let run circuit blif bench adder tool check out_blif verbose jobs time_limit
       stats report_file trace inject =
-    setup_logs verbose;
-    setup_jobs jobs;
-    setup_obs stats report_file trace;
-    setup_inject inject;
-    let source, name =
-      match (circuit, blif, bench, adder) with
-      | Some n, None, None, None -> (Named n, n)
-      | None, Some f, None, None -> (Blif f, Filename.basename f)
-      | None, None, Some f, None -> (Bench_file f, Filename.basename f)
-      | None, None, None, Some (k, n) ->
-        (Adder (k, n), Printf.sprintf "%s-adder-%d" k n)
-      | None, None, None, None -> (Adder ("ripple", 8), "ripple-adder-8")
-      | _ -> invalid_arg "choose exactly one circuit source"
+    Cli.setup_logs verbose;
+    Cli.setup_jobs jobs;
+    let obs = { Cli.stats; report = report_file; trace } in
+    Cli.setup_obs obs;
+    Cli.setup_inject ~prog:"lookahead_opt" inject;
+    let source =
+      Cli.resolve_source
+        ~default:(Cli.Adder ("ripple", 8))
+        circuit blif bench adder
     in
-    let g = load source in
-    let optimized = tool_of_name ?time_limit tool g in
-    report name tool g optimized;
-    finish_obs stats report_file trace;
+    let name = Cli.source_cli_name source in
+    let g = Cli.load_source_cli source in
+    let options = Cli.driver_options ?time_limit () in
+    let optimized = Run.tool ~options tool g in
+    let metrics = Run.metrics ~original:g optimized in
+    Fmt.pr "%a" (Run.pp_metrics ~circuit:name ~tool) metrics;
+    Cli.finish_obs obs;
     if check then begin
       match Aig.Cec.check g optimized with
       | Aig.Cec.Equivalent -> Fmt.pr "equivalence: PASS@."
@@ -238,17 +50,15 @@ let opt_cmd =
     end;
     match out_blif with
     | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Aig.Io.blif_to_string ~model:name optimized);
-      close_out oc
+    | Some path -> Cli.write_file path (Run.blif_of ~name optimized)
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize a circuit and report Table 2 metrics.")
     Term.(
-      const run $ circuit $ blif $ bench $ adder $ tool $ check $ out_blif
-      $ verbose $ jobs_arg $ time_limit $ stats_arg $ report_arg $ trace_arg
-      $ inject_arg)
+      const run $ Cli.circuit_term $ Cli.blif_term $ Cli.bench_term
+      $ Cli.adder_term $ tool $ check $ out_blif $ verbose $ Cli.jobs_term
+      $ Cli.time_limit_term $ Cli.stats_term $ Cli.report_term $ Cli.trace_term
+      $ Cli.inject_term)
 
 let timing_cmd =
   let circuit =
@@ -260,22 +70,23 @@ let timing_cmd =
            ~doc:"Optimizer applied before timing analysis.")
   in
   let run circuit tool jobs stats report_file trace =
-    setup_logs false;
-    setup_jobs jobs;
-    setup_obs stats report_file trace;
+    Cli.setup_logs false;
+    Cli.setup_jobs jobs;
+    let obs = { Cli.stats; report = report_file; trace } in
+    Cli.setup_obs obs;
     let g = Circuits.Suite.build circuit in
-    let optimized = tool_of_name tool g in
+    let optimized = Run.tool ~options:(Cli.driver_options ()) tool g in
     let netlist = Techmap.Mapper.map optimized in
     let report = Techmap.Sta.analyze netlist in
     Fmt.pr "circuit: %s, tool: %s@." circuit tool;
     Techmap.Sta.pp_report Format.std_formatter (netlist, report);
-    finish_obs stats report_file trace
+    Cli.finish_obs obs
   in
   Cmd.v
     (Cmd.info "timing" ~doc:"Map a circuit and print the STA report.")
     Term.(
-      const run $ circuit $ tool $ jobs_arg $ stats_arg $ report_arg
-      $ trace_arg)
+      const run $ circuit $ tool $ Cli.jobs_term $ Cli.stats_term
+      $ Cli.report_term $ Cli.trace_term)
 
 let export_cmd =
   let circuit =
@@ -287,7 +98,7 @@ let export_cmd =
            ~doc:"Output format: blif, bench, aag, verilog, mapped-verilog.")
   in
   let run circuit fmt =
-    setup_logs false;
+    Cli.setup_logs false;
     let g = Circuits.Suite.build circuit in
     match fmt with
     | "blif" -> print_string (Aig.Io.blif_to_string ~model:circuit g)

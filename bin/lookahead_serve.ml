@@ -1,0 +1,247 @@
+(* Synthesis-as-a-service front end: [run] starts the persistent job
+   server, the remaining subcommands are a thin client over the framed
+   JSON protocol (lib/serve). A [submit] with [--report]/[-o] writes
+   files byte-identical to a cold [lookahead_opt opt] run of the same
+   job — that identity is enforced by bench/check_regression.sh. *)
+
+open Cmdliner
+module Cli = Serve.Cli
+module Run = Serve.Run
+module Msg = Serve.Msg
+module Client = Serve.Client
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/lookahead_serve.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (ignored when $(b,--tcp) is given).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:':' string int)) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen/connect over TCP instead.")
+
+let listen_of socket tcp : Serve.Server.listen =
+  match tcp with Some (h, p) -> `Tcp (h, p) | None -> `Unix socket
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.")
+
+let run_cmd =
+  let queue =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N" ~doc:"Bound on queued (not running) jobs.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Serve.Frame.max_frame_default
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame.")
+  in
+  let no_reuse =
+    Arg.(
+      value & flag
+      & info [ "no-reuse" ]
+          ~doc:
+            "Disable warm state (BDD manager recycling and circuit \
+             interning); every job then runs as cold as the one-shot CLI.")
+  in
+  let run socket tcp queue max_frame no_reuse jobs verbose =
+    Cli.setup_logs verbose;
+    Cli.setup_jobs jobs;
+    let listen = listen_of socket tcp in
+    (match listen with
+    | `Unix path -> Logs.app (fun m -> m "listening on unix:%s" path)
+    | `Tcp (h, p) -> Logs.app (fun m -> m "listening on tcp:%s:%d" h p));
+    Serve.Server.run
+      {
+        Serve.Server.listen;
+        queue_capacity = queue;
+        max_frame;
+        reuse_managers = not no_reuse;
+      }
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the persistent synthesis job server.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ queue $ max_frame $ no_reuse
+      $ Cli.jobs_term $ verbose_arg)
+
+let submit_cmd =
+  let tool =
+    Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
+           ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, or none.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-nodes" ] ~docv:"N"
+          ~doc:"Tenant BDD node ceiling (0 = library default).")
+  in
+  let sat =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-sat" ] ~docv:"N"
+          ~doc:"Tenant SAT conflict ceiling (0 = unlimited).")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Tenant wall-clock budget for the job (0 = unbounded).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ] ~doc:"Stream phase-completion events to stderr.")
+  in
+  let out_blif =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the optimized circuit as BLIF.")
+  in
+  let run socket tcp circuit blif bench adder tool nodes sat deadline inject
+      time_limit progress out_blif report_file verbose =
+    Cli.setup_logs verbose;
+    let source =
+      Cli.resolve_source
+        ~default:(Cli.Adder ("ripple", 8))
+        circuit blif bench adder
+    in
+    let spec =
+      {
+        (Msg.submit_defaults ~source:(Cli.msg_source_of_cli source) ~tool) with
+        Msg.budget =
+          {
+            Msg.bdd_node_ceiling = nodes;
+            sat_conflict_ceiling = sat;
+            deadline_s = deadline;
+          };
+        inject;
+        time_limit_s = time_limit;
+        progress;
+        want_blif = out_blif <> None;
+        want_report = report_file <> None;
+      }
+    in
+    let c = Client.connect (listen_of socket tcp) in
+    let on_progress ~phase ~seq =
+      if progress then Fmt.epr "progress[%d]: %s@." seq phase
+    in
+    let _id, r = Client.submit_wait ~on_progress c spec in
+    Client.close c;
+    match r.Msg.state with
+    | Msg.Done ->
+      (match r.Msg.metrics with
+      | Some m ->
+        Fmt.pr "%a" (Run.pp_metrics ~circuit:r.Msg.circuit ~tool:r.Msg.tool) m
+      | None -> ());
+      if r.Msg.degraded then Fmt.epr "degraded: yes@.";
+      (match (report_file, r.Msg.report) with
+      | Some path, Some j -> Cli.write_file path (Obs.Json.to_string j ^ "\n")
+      | _ -> ());
+      (match (out_blif, r.Msg.blif) with
+      | Some path, Some b -> Cli.write_file path b
+      | _ -> ())
+    | Msg.Failed ->
+      Fmt.epr "job failed: %s@."
+        (Option.value r.Msg.error ~default:"(no message)");
+      exit 1
+    | Msg.Cancelled ->
+      Fmt.epr "job cancelled@.";
+      exit 3
+    | Msg.Queued | Msg.Running -> assert false
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one job, wait for the result, print Table 2 metrics — the \
+          served image of $(b,lookahead_opt opt).")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ Cli.circuit_term $ Cli.blif_term
+      $ Cli.bench_term $ Cli.adder_term $ tool $ nodes $ sat $ deadline
+      $ Cli.inject_term $ Cli.time_limit_term $ progress $ out_blif
+      $ Cli.report_term $ verbose_arg)
+
+let id_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Job id.")
+
+let print_status id state position =
+  match position with
+  | Some p -> Fmt.pr "job %d: %s (position %d)@." id (Msg.state_name state) p
+  | None -> Fmt.pr "job %d: %s@." id (Msg.state_name state)
+
+let simple_rpc socket tcp req handle =
+  let c = Client.connect (listen_of socket tcp) in
+  Client.send c req;
+  let resp = Client.recv c in
+  Client.close c;
+  match resp with
+  | Msg.Error_reply { code; message } ->
+    Fmt.epr "error (%s): %s@." code message;
+    exit 1
+  | resp -> handle resp
+
+let status_cmd =
+  let run socket tcp id =
+    simple_rpc socket tcp (Msg.Status id) (function
+      | Msg.Job_status { id; state; position } -> print_status id state position
+      | _ -> failwith "unexpected response")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query one job's state.")
+    Term.(const run $ socket_arg $ tcp_arg $ id_arg)
+
+let cancel_cmd =
+  let run socket tcp id =
+    simple_rpc socket tcp (Msg.Cancel id) (function
+      | Msg.Job_status { id; state; position } -> print_status id state position
+      | _ -> failwith "unexpected response")
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel one of this connection's jobs.")
+    Term.(const run $ socket_arg $ tcp_arg $ id_arg)
+
+let stats_cmd =
+  let run socket tcp =
+    let c = Client.connect (listen_of socket tcp) in
+    let s = Client.stats c in
+    Client.close c;
+    Fmt.pr "submitted : %d@." s.Msg.submitted;
+    Fmt.pr "completed : %d@." s.Msg.completed;
+    Fmt.pr "failed    : %d@." s.Msg.failed;
+    Fmt.pr "cancelled : %d@." s.Msg.cancelled;
+    Fmt.pr "queued    : %d / %d@." s.Msg.queued s.Msg.queue_capacity;
+    Fmt.pr "running   : %b@." s.Msg.running;
+    Fmt.pr "uptime    : %.1f s@." s.Msg.uptime_s;
+    Fmt.pr "warm      : %d circuits, %d managers@." s.Msg.interned_circuits
+      s.Msg.pooled_managers
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print server statistics.")
+    Term.(const run $ socket_arg $ tcp_arg)
+
+let shutdown_cmd =
+  let run socket tcp =
+    let c = Client.connect (listen_of socket tcp) in
+    Client.shutdown c;
+    Client.close c
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Drain queued jobs and stop the server.")
+    Term.(const run $ socket_arg $ tcp_arg)
+
+let () =
+  let info =
+    Cmd.info "lookahead_serve" ~version:"1.0.0"
+      ~doc:
+        "Persistent multi-tenant synthesis job server (and its client) for \
+         the DAC'09 lookahead reproduction."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; submit_cmd; status_cmd; cancel_cmd; stats_cmd;
+            shutdown_cmd ]))

@@ -145,6 +145,32 @@ val stats : man -> stats
     every per-job memo a long-lived manager accumulates. *)
 val clear_caches : man -> unit
 
+(** [reset man] returns [man] to the observable state of a fresh
+    {!create} — empty store, creation-capacity unique table and op
+    caches, all counters zero, a {e fresh} [uid] (so stale {!transfer}
+    memos held by other managers can never alias the new node space),
+    and the given guard — while retaining the grown node-store arrays
+    and hashtable buckets, whose capacity is not observable. Guarantee:
+    every subsequent operation sequence yields bit-identical results
+    {e and} bit-identical {!stats} to the same sequence on a fresh
+    manager. All previously returned [t] values are invalidated. *)
+val reset : ?cache_size:int -> ?guard:Guard.t -> man -> unit
+
+(** A process-wide pool of recycled managers for warm servers: acquire
+    instead of {!create}, release instead of dropping to the GC. An
+    acquired manager is {!reset}, hence observationally fresh. Bounded
+    (manager count and retained store size), thread-safe. Never release
+    a manager that any live [t] still references. *)
+module Pool : sig
+  val acquire : ?cache_size:int -> ?guard:Guard.t -> unit -> man
+  val release : man -> unit
+
+  (** Number of managers currently pooled. *)
+  val size : unit -> int
+
+  val clear : unit -> unit
+end
+
 (** Whole-store canonical-form audit: no node with [lo = hi], no
     complement bit on a [hi] edge, variables strictly increasing along
     every edge. Intended for tests. *)

@@ -9,6 +9,8 @@ type options = {
   use_exact_spcf : bool;
   balance_first : bool;
   guard_budget : Guard.Budget.t;
+  deadline : Guard.Deadline.t option;
+  reuse_managers : bool;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     use_exact_spcf = false;
     balance_first = true;
     guard_budget = Guard.Budget.default;
+    deadline = None;
+    reuse_managers = false;
   }
 
 type stats = {
@@ -360,10 +364,19 @@ let one_round opts ~deadline g =
                 max_decomp_levels = max 1 (opts.max_decomp_levels / 2);
               }
           in
-          (* A fresh BDD manager per attempt keeps memory bounded: all
-             BDDs of one attempt die with its manager, and a blown-up
-             attempt leaves no state behind for the next rung. *)
-          let man = Bdd.create ~guard () in
+          (* A fresh (or reset-recycled) BDD manager per attempt keeps
+             memory bounded: all BDDs of one attempt die with its
+             manager, and a blown-up attempt leaves no state behind for
+             the next rung. [reuse_managers] swaps create/drop for the
+             process-wide pool — Bdd.reset guarantees a recycled
+             manager is observationally fresh, so results and stats are
+             unchanged; a warm server sets it to skip the large array
+             allocations on every job. *)
+          let man =
+            if opts.reuse_managers then Bdd.Pool.acquire ~guard ()
+            else Bdd.create ~guard ()
+          in
+          let release () = if opts.reuse_managers then Bdd.Pool.release man in
           match
             let globals =
               Network.Globals.of_cluster ~guard man wnet ~nodes:cone
@@ -380,6 +393,7 @@ let one_round opts ~deadline g =
               (* Managers that never reach [merge] are still accounted
                  for. *)
               record_bdd_stats man;
+              release ();
               Ok None
             end
             else
@@ -397,6 +411,7 @@ let one_round opts ~deadline g =
                    })
           | exception Guard.Blowup { resource; injected; site = _ } ->
             record_bdd_stats man;
+            release ();
             Error (resource, injected)
         in
         (* The deterministic degradation ladder: exact SPCF → approximate
@@ -473,7 +488,9 @@ let one_round opts ~deadline g =
          [merge] runs sequentially in submission order, so the sums
          stay deterministic. *)
       (match result with
-      | Some { man; _ } -> record_bdd_stats man
+      | Some { man; _ } ->
+        record_bdd_stats man;
+        if opts.reuse_managers then Bdd.Pool.release man
       | None -> ());
       Aig.add_output dst o.Network.name lit
     in
@@ -531,7 +548,11 @@ let optimize_with_stats ?(options = default) g0 =
      every round checks the same absolute instant, so the time budget
      means the same thing at -j 1 and -j 8 and is immune to wall-clock
      adjustments. *)
-  let deadline = Par.Deadline.after options.time_limit_s in
+  let deadline =
+    match options.deadline with
+    | Some d -> d
+    | None -> Par.Deadline.after options.time_limit_s
+  in
   (* Run-level guard context for the sequential finishing passes (SAT
      sweep, final CEC); per-output decomposition jobs get their own.
      Deliberately deadline-free — the finishing passes always run to

@@ -36,6 +36,19 @@ type options = {
           counter, so degraded runs stay bit-identical at any [-j].
           The default ceilings sit far above the paper's workloads, so
           unfaulted default runs match the ungoverned flow exactly. *)
+  deadline : Guard.Deadline.t option;
+      (** run under this externally owned deadline instead of deriving
+          one from [time_limit_s] — a server passes a
+          {!Guard.Deadline.cancellable} value here so a client
+          disconnect can expire the job; [None] (the default)
+          preserves the one-shot behaviour. *)
+  reuse_managers : bool;
+      (** acquire per-attempt BDD managers from {!Bdd.Pool} instead of
+          creating and dropping them. [Bdd.reset] guarantees recycled
+          managers are observationally fresh, so results and [Det]
+          stats are bit-identical either way; a warm server enables
+          this to amortize the large array allocations across jobs.
+          Default [false]. *)
 }
 
 val default : options

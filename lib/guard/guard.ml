@@ -9,20 +9,50 @@ module Clock = struct
 end
 
 module Deadline = struct
-  (* Absolute CLOCK_MONOTONIC instant in ns; [max_int] means never. *)
-  type t = int64
+  (* [at] is an absolute CLOCK_MONOTONIC instant in ns ([max_int] means
+     no time bound); [cancelled] lets an external agent (a server whose
+     client hung up) expire the deadline early. Cancellation shares the
+     Blowup[Time] path, so every existing cancellation point in the
+     stack doubles as a cancel point for free. *)
+  type t = { at : int64; cancelled : bool Atomic.t }
 
-  let never : t = Int64.max_int
+  let never : t = { at = Int64.max_int; cancelled = Atomic.make false }
+  let cancellable () = { at = Int64.max_int; cancelled = Atomic.make false }
 
   let after s =
     if s <= 0.0 || s >= Int64.to_float Int64.max_int *. 1e-9 then never
-    else Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9))
+    else
+      {
+        at = Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9));
+        cancelled = Atomic.make false;
+      }
 
-  let expired t = (not (Int64.equal t never)) && Clock.now_ns () > t
+  (* A time-bounded view sharing [t]'s cancellation flag, so a handle
+     created when a job is admitted keeps working after the runner
+     tightens it to the job's wall budget at start. *)
+  let bound t s =
+    if s <= 0.0 || s >= Int64.to_float Int64.max_int *. 1e-9 then t
+    else
+      {
+        at =
+          Int64.min t.at
+            (Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9)));
+        cancelled = t.cancelled;
+      }
+
+  (* The shared [never] must stay immune: cancelling it would expire
+     every context built without an explicit deadline, process-wide. *)
+  let cancel t = if t != never then Atomic.set t.cancelled true
+  let cancelled t = Atomic.get t.cancelled
+
+  let expired t =
+    Atomic.get t.cancelled
+    || ((not (Int64.equal t.at Int64.max_int)) && Clock.now_ns () > t.at)
 
   let remaining_s t =
-    if Int64.equal t never then infinity
-    else Int64.to_float (Int64.sub t (Clock.now_ns ())) *. 1e-9
+    if Atomic.get t.cancelled then 0.0
+    else if Int64.equal t.at Int64.max_int then infinity
+    else Int64.to_float (Int64.sub t.at (Clock.now_ns ())) *. 1e-9
 end
 
 type resource = Bdd_nodes | Sat_conflicts | Time

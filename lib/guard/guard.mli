@@ -41,9 +41,27 @@ module Deadline : sig
   val after : float -> t
 
   val never : t
+
+  (** A deadline with no time bound that can still be {!cancel}led —
+      what a server attaches to a job so a client disconnect can expire
+      it. Each call returns a fresh, independently cancellable value. *)
+  val cancellable : unit -> t
+
+  (** [bound t s] expires in [s] seconds (or at [t]'s own instant,
+      whichever is sooner) and shares [t]'s cancellation flag:
+      cancelling either expires both. [s <= 0] or infinite returns [t]
+      unchanged. *)
+  val bound : t -> float -> t
+
+  (** Expire [t] now, from any domain. Every {!expired} poll — i.e.
+      every [Guard.check_deadline] cancellation point in the stack —
+      observes it and raises {!Blowup}[ Time]. No-op on {!never}. *)
+  val cancel : t -> unit
+
+  val cancelled : t -> bool
   val expired : t -> bool
 
-  (** Seconds left; [infinity] for {!never}. *)
+  (** Seconds left; [infinity] for {!never}, [0.] once cancelled. *)
   val remaining_s : t -> float
 end
 

@@ -172,6 +172,15 @@ let observe h v =
     sl.(h.m_base + hist_buckets + 1) <- sl.(h.m_base + hist_buckets + 1) + v
   end
 
+(* Optional span listener: a server streams phase progress to clients
+   by observing span completions as they happen. Advisory and Sched by
+   nature (which domain completes which span, and when, depends on
+   scheduling) — never part of the deterministic report. One atomic
+   load when unset; the callback may run on any recording domain and
+   must be thread-safe. *)
+let span_listener : (string -> int -> unit) option Atomic.t = Atomic.make None
+let set_span_listener f = Atomic.set span_listener f
+
 let span_begin _s =
   if Atomic.get on then Int64.to_int (Clock.now_ns ()) else -1
 
@@ -188,7 +197,10 @@ let span_end sp token =
         e_tid = (Domain.self () :> int);
         e_ts = token;
         e_dur = dur }
-      :: s.events
+      :: s.events;
+    match Atomic.get span_listener with
+    | None -> ()
+    | Some f -> f sp.s_name dur
   end
 
 let with_span sp f =

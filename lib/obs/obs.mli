@@ -105,6 +105,15 @@ val span_begin : span -> int
 
 val span_end : span -> int -> unit
 
+(** [set_span_listener (Some f)] invokes [f name duration_ns] on every
+    completed span, on the recording domain, after the span lands in
+    the domain's sink. For live progress streaming (a server forwarding
+    phase completions to a client); advisory and scheduling-dependent —
+    never part of the deterministic report, so arming or disarming it
+    cannot change a [Det] subtree. [f] must be thread-safe. Costs one
+    atomic load per span when unset. *)
+val set_span_listener : (string -> int -> unit) option -> unit
+
 (** {1 Sinks}
 
     One sink per domain is maintained automatically (domain-local, so

@@ -1,0 +1,279 @@
+(* Shared CLI plumbing. See cli.mli. The terms are verbatim what
+   bin/lookahead_opt.ml grew organically; the strippers are what
+   bench/main.ml grew; both now live here so the server binary gets
+   them for free and the three front ends cannot drift. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* --- worker domains ------------------------------------------------- *)
+
+let jobs_term =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime (0 = automatic, from \
+           $(b,LOOKAHEAD_JOBS) or the recommended domain count; 1 bypasses \
+           the pool).")
+
+let setup_jobs jobs = if jobs > 0 then Par.set_default_jobs jobs
+
+(* --- observation ----------------------------------------------------- *)
+
+type obs_flags = {
+  stats : bool;
+  report : string option;
+  trace : string option;
+}
+
+let stats_term =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observation summary (work counters, phase wall-clocks) \
+           to stderr.")
+
+let report_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the observation report as JSON. Its $(b,deterministic) \
+           subtree is bit-identical at any $(b,-j) for deadline-free runs \
+           (see $(b,--time-limit)).")
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file (open in Perfetto or \
+           chrome://tracing).")
+
+let setup_obs { stats; report; trace } =
+  if stats || report <> None || trace <> None then Obs.enable ()
+
+let finish_obs { stats; report; trace } =
+  if Obs.enabled () then begin
+    let snap = Obs.snapshot () in
+    (match report with
+    | Some path ->
+      write_file path (Obs.Json.to_string (Obs.report_json snap) ^ "\n")
+    | None -> ());
+    (match trace with
+    | Some path ->
+      write_file path (Obs.Json.to_string (Obs.trace_json snap) ^ "\n")
+    | None -> ());
+    if stats then Obs.pp_summary Format.err_formatter snap
+  end
+
+(* --- fault injection -------------------------------------------------- *)
+
+let inject_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection: comma-separated rules \
+           $(i,fault)@$(i,N)[:r][:$(i,site)] with $(i,fault) one of \
+           $(b,bdd), $(b,sat) or $(b,deadline) — fire at the N-th guarded \
+           call of that class per governed unit ($(b,:r) repeats at every \
+           multiple). The run completes, degraded: each fired fault walks \
+           the degradation ladder and is recorded under the \
+           $(b,guard.injected.*) / $(b,guard.rung.*) report counters.")
+
+let setup_inject ~prog = function
+  | None -> ()
+  | Some spec -> (
+    match Guard.Inject.of_string spec with
+    | Ok rules -> Guard.Inject.arm rules
+    | Error msg ->
+      Printf.eprintf "%s: --inject: %s\n%!" prog msg;
+      exit 2)
+
+(* --- lookahead time limit --------------------------------------------- *)
+
+let time_limit_term =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-limit" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the lookahead optimizer; 0 disables the \
+           anytime deadline entirely. Default: the driver's built-in \
+           budget. Identity-checked runs (comparing $(b,--report) output \
+           across $(b,-j)) should pass 0 — a deadline cut depends on \
+           scheduling.")
+
+let driver_options ?time_limit () =
+  match time_limit with
+  | None -> Lookahead.Driver.default
+  | Some s ->
+    {
+      Lookahead.Driver.default with
+      time_limit_s = (if s <= 0.0 then infinity else s);
+    }
+
+(* --- circuit sources --------------------------------------------------- *)
+
+type source_cli =
+  | Named of string
+  | Blif_file of string
+  | Bench_file of string
+  | Adder of string * int
+
+let circuit_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "circuit" ] ~docv:"NAME"
+        ~doc:"Benchmark stand-in from the Table 2 suite.")
+
+let blif_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "blif" ] ~docv:"FILE" ~doc:"Read the circuit from a BLIF file.")
+
+let bench_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "bench" ] ~docv:"FILE"
+        ~doc:"Read the circuit from an ISCAS BENCH file.")
+
+let adder_term =
+  Arg.(
+    value
+    & opt (some (pair ~sep:':' string int)) None
+    & info [ "adder" ] ~docv:"KIND:N"
+        ~doc:"Generate an adder (ripple|cla|select|skip), e.g. ripple:16.")
+
+let resolve_source ?default circuit blif bench adder =
+  match (circuit, blif, bench, adder, default) with
+  | Some n, None, None, None, _ -> Named n
+  | None, Some f, None, None, _ -> Blif_file f
+  | None, None, Some f, None, _ -> Bench_file f
+  | None, None, None, Some (k, n), _ -> Adder (k, n)
+  | None, None, None, None, Some d -> d
+  | None, None, None, None, None ->
+    invalid_arg "a circuit source is required"
+  | _ -> invalid_arg "choose exactly one circuit source"
+
+let source_cli_name = function
+  | Named n -> n
+  | Blif_file f | Bench_file f -> Filename.basename f
+  | Adder (k, n) -> Printf.sprintf "%s-adder-%d" k n
+
+let build_adder kind n =
+  match kind with
+  | "ripple" -> Circuits.Adders.ripple_carry n
+  | "cla" -> Circuits.Adders.carry_lookahead n
+  | "select" -> Circuits.Adders.carry_select n
+  | "skip" -> Circuits.Adders.carry_skip n
+  | k -> invalid_arg (Printf.sprintf "unknown adder kind %s" k)
+
+let load_source_cli = function
+  | Named name -> Circuits.Suite.build name
+  | Blif_file path -> Aig.Io.read_blif (read_file path)
+  | Bench_file path -> Aig.Io.read_bench (read_file path)
+  | Adder (kind, n) -> build_adder kind n
+
+let msg_source_of_cli = function
+  | Named n -> Msg.Named n
+  | Blif_file path ->
+    Msg.Blif { name = Filename.basename path; text = read_file path }
+  | Bench_file path ->
+    Msg.Bench { name = Filename.basename path; text = read_file path }
+  | Adder (kind, n) -> Msg.Adder { kind; bits = n }
+
+(* --- argv strippers (bench harness) ------------------------------------ *)
+
+let strip_jobs ~prog args =
+  let rec go = function
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j ->
+        Par.set_default_jobs j;
+        go rest
+      | None ->
+        Printf.eprintf "%s: -j: invalid value '%s', expected an integer\n"
+          prog n;
+        exit 2)
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "%s: -j requires a value\n" prog;
+      exit 2
+    | arg :: rest
+      when String.length arg > 2
+           && String.sub arg 0 2 = "-j"
+           && int_of_string_opt (String.sub arg 2 (String.length arg - 2))
+              <> None ->
+      Par.set_default_jobs
+        (int_of_string (String.sub arg 2 (String.length arg - 2)));
+      go rest
+    | arg :: rest -> arg :: go rest
+    | [] -> []
+  in
+  go args
+
+let strip_obs ~prog args =
+  let stats = ref false in
+  let report = ref None in
+  let trace = ref None in
+  let rec go = function
+    | "--stats" :: rest ->
+      stats := true;
+      go rest
+    | "--report" :: path :: rest ->
+      report := Some path;
+      go rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      go rest
+    | [ ("--report" | "--trace") ] ->
+      Printf.eprintf "%s: --report/--trace require a file argument\n" prog;
+      exit 2
+    | arg :: rest -> arg :: go rest
+    | [] -> []
+  in
+  let rest = go args in
+  (rest, { stats = !stats; report = !report; trace = !trace })
+
+let strip_inject ~prog args =
+  let rec go = function
+    | "--inject" :: spec :: rest -> (
+      match Guard.Inject.of_string spec with
+      | Ok rules ->
+        Guard.Inject.arm rules;
+        go rest
+      | Error msg ->
+        Printf.eprintf "%s: --inject: %s\n" prog msg;
+        exit 2)
+    | [ "--inject" ] ->
+      Printf.eprintf "%s: --inject requires a spec argument\n" prog;
+      exit 2
+    | arg :: rest -> arg :: go rest
+    | [] -> []
+  in
+  go args

@@ -1,0 +1,32 @@
+(** Blocking client for the {!Server} protocol: one connection, one
+    tenant. Used by [lookahead_serve submit/...], the load bench and
+    the tests; not thread-safe — one domain per client. *)
+
+type t
+
+val connect : Server.listen -> t
+val close : t -> unit
+
+(** Send one request frame. *)
+val send : t -> Msg.request -> unit
+
+(** Block until the next well-formed response arrives. Raises
+    [Failure] on EOF, a corrupt frame, or an undecodable response. *)
+val recv : t -> Msg.response
+
+(** [submit_wait t spec] sends [spec] and blocks until that job's
+    {!Msg.Result} arrives, feeding any of its progress events to
+    [on_progress] and stashing interleaved responses for other jobs
+    (they are delivered by later [recv]/[submit_wait] calls on this
+    client). Returns the job id and the result. Raises [Failure] if
+    the server answers the submission with an error. *)
+val submit_wait :
+  ?on_progress:(phase:string -> seq:int -> unit) ->
+  t ->
+  Msg.submit ->
+  int * Msg.result
+
+(** Convenience wrappers; each raises [Failure] on an error reply. *)
+val stats : t -> Msg.server_stats
+
+val shutdown : t -> unit

@@ -1,0 +1,505 @@
+(* Job engine. See engine.mli for the model; the short version: one
+   executor domain drains a bounded FIFO under a mutex, every job runs
+   the exact cold-CLI operation sequence between an Obs.reset and a
+   snapshot, and all warm state (interned circuits, pooled BDD
+   managers, the enabled Obs runtime) is invisible in results by
+   construction. *)
+
+type config = {
+  queue_capacity : int;
+  reuse_managers : bool;
+}
+
+let default_config = { queue_capacity = 256; reuse_managers = true }
+
+type event =
+  | Job_done of { tenant : int; result : Msg.result }
+  | Job_progress of { tenant : int; id : int; phase : string; seq : int }
+
+type job = {
+  id : int;
+  tenant : int;
+  spec : Msg.submit;
+  rules : Guard.Inject.rule list; (* [] = no injection *)
+  (* Cancellation handle, live from admission. The runner tightens it
+     to the job's wall budget via Deadline.bound (same flag), so a
+     cancel during the queue wait and a cancel mid-run land the same
+     way. *)
+  cancel_handle : Guard.Deadline.t;
+  enq_ns : int64;
+  mutable state : Msg.job_state;
+  mutable started_ns : int64;
+}
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  jobs : (int, job) Hashtbl.t; (* under [lock] *)
+  mutable next_id : int;
+  mutable accepting : bool;
+  mutable stopping : bool;
+  mutable running : job option;
+  mutable n_submitted : int;
+  mutable n_completed : int;
+  mutable n_failed : int;
+  mutable n_cancelled : int;
+  mutable executor : unit Domain.t option;
+  on_event : event -> unit;
+  (* Interned generated circuits, executor-domain only. Safe to share
+     with pool workers: generation is deterministic and no optimizer
+     read path mutates or memoizes inside an Aig.t. *)
+  intern : (string, Aig.t) Hashtbl.t;
+  (* (id, tenant) of the running progress-streaming job, read by the
+     span listener on any recording domain. *)
+  current : (int * int) option Atomic.t;
+  pseq : int Atomic.t;
+  born_s : float;
+}
+
+let create ?(on_event = fun _ -> ()) config =
+  {
+    config;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    queue = Queue.create ();
+    jobs = Hashtbl.create 64;
+    next_id = 1;
+    accepting = true;
+    stopping = false;
+    running = None;
+    n_submitted = 0;
+    n_completed = 0;
+    n_failed = 0;
+    n_cancelled = 0;
+    executor = None;
+    on_event = (fun e -> on_event e);
+    intern = Hashtbl.create 16;
+    current = Atomic.make None;
+    pseq = Atomic.make 0;
+    born_s = Guard.Clock.now_s ();
+  }
+
+(* --- validation (synchronous, at admission) -------------------------- *)
+
+let known_circuit name =
+  List.exists
+    (fun (i : Circuits.Suite.info) -> String.equal i.Circuits.Suite.name name)
+    Circuits.Suite.all
+
+let validate (spec : Msg.submit) =
+  let ( let* ) = Result.bind in
+  let* () =
+    if List.mem spec.tool Run.known_tools then Ok ()
+    else Error ("bad_request", Printf.sprintf "unknown tool %S" spec.tool)
+  in
+  let* () =
+    match spec.source with
+    | Msg.Named n ->
+      if known_circuit n then Ok ()
+      else Error ("bad_request", Printf.sprintf "unknown circuit %S" n)
+    | Msg.Adder { kind; bits } ->
+      if not (List.mem kind [ "ripple"; "cla"; "select"; "skip" ]) then
+        Error ("bad_request", Printf.sprintf "unknown adder kind %S" kind)
+      else if bits <= 0 || bits > 4096 then
+        Error ("bad_request", "adder bits out of range")
+      else Ok ()
+    | Msg.Blif _ | Msg.Bench _ -> Ok ()
+  in
+  match spec.inject with
+  | None -> Ok []
+  | Some s -> (
+    match Guard.Inject.of_string s with
+    | Ok rules -> Ok rules
+    | Error msg -> Error ("bad_request", "inject: " ^ msg))
+
+(* --- execution -------------------------------------------------------- *)
+
+let guard_budget_of (b : Msg.budget) =
+  {
+    Guard.Budget.bdd_node_ceiling =
+      (if b.bdd_node_ceiling > 0 then b.bdd_node_ceiling
+       else Guard.Budget.default.Guard.Budget.bdd_node_ceiling);
+    sat_conflict_ceiling =
+      (if b.sat_conflict_ceiling > 0 then b.sat_conflict_ceiling
+       else Guard.Budget.default.Guard.Budget.sat_conflict_ceiling);
+  }
+
+(* The job's wall bound: the smaller of the driver's anytime budget
+   (--time-limit convention: None = driver default, 0 = unbounded) and
+   the tenant's deadline allowance. [infinity] = unbounded. *)
+let wall_bound (spec : Msg.submit) =
+  let tl =
+    match spec.time_limit_s with
+    | None -> Lookahead.Driver.default.Lookahead.Driver.time_limit_s
+    | Some s when s <= 0.0 -> infinity
+    | Some s -> s
+  in
+  let tenant =
+    if spec.budget.Msg.deadline_s > 0.0 then spec.budget.Msg.deadline_s
+    else infinity
+  in
+  Float.min tl tenant
+
+let ms_of_ns ns = Int64.to_float ns *. 1e-6
+
+(* The cold-CLI operation sequence, verbatim: arm injection, reset
+   observation, load, optimize, measure, snapshot, serialize. Returns a
+   finished result (state Done/Failed/Cancelled). *)
+let execute ~intern ~reuse ~id (spec : Msg.submit) ~rules ~cancel_handle
+    ~wait_ns =
+  let t0 = Guard.Clock.now_ns () in
+  (match rules with
+  | [] -> Guard.Inject.disarm ()
+  | rs -> Guard.Inject.arm rs);
+  Obs.reset ();
+  let name = Msg.source_name spec.source in
+  let finish state ~metrics ~degraded ~error ~blif ~report =
+    Guard.Inject.disarm ();
+    {
+      Msg.id;
+      circuit = name;
+      tool = spec.tool;
+      state;
+      metrics;
+      degraded;
+      error;
+      blif;
+      report;
+      wait_ms = ms_of_ns wait_ns;
+      run_ms = ms_of_ns (Int64.sub (Guard.Clock.now_ns ()) t0);
+    }
+  in
+  match
+    let g =
+      match (intern, spec.source) with
+      | Some tbl, (Msg.Named _ | Msg.Adder _) -> (
+        let key = Msg.source_name spec.source in
+        match Hashtbl.find_opt tbl key with
+        | Some g -> g
+        | None ->
+          let g = Run.build_source spec.source in
+          Hashtbl.add tbl key g;
+          g)
+      | _ -> Run.build_source spec.source
+    in
+    let bound = wall_bound spec in
+    let deadline = Guard.Deadline.bound cancel_handle bound in
+    let options =
+      {
+        Lookahead.Driver.default with
+        time_limit_s = bound;
+        guard_budget = guard_budget_of spec.budget;
+        deadline = Some deadline;
+        reuse_managers = reuse;
+      }
+    in
+    let optimized = Run.tool ~options spec.tool g in
+    let metrics = Run.metrics ~original:g optimized in
+    let snap = Obs.snapshot () in
+    (g, optimized, metrics, snap)
+  with
+  | _, optimized, metrics, snap ->
+    if Guard.Deadline.cancelled cancel_handle then
+      finish Msg.Cancelled ~metrics:None ~degraded:(Run.degraded snap)
+        ~error:None ~blif:None ~report:None
+    else
+      finish Msg.Done ~metrics:(Some metrics) ~degraded:(Run.degraded snap)
+        ~error:None
+        ~blif:
+          (if spec.want_blif then Some (Run.blif_of ~name optimized)
+           else None)
+        ~report:
+          (if spec.want_report then Some (Obs.report_json snap) else None)
+  | exception e ->
+    let cancelled = Guard.Deadline.cancelled cancel_handle in
+    let state = if cancelled then Msg.Cancelled else Msg.Failed in
+    let error = if cancelled then None else Some (Printexc.to_string e) in
+    finish state ~metrics:None ~degraded:false ~error ~blif:None ~report:None
+
+let run_cold spec =
+  if spec.Msg.want_report then Obs.enable ();
+  match validate spec with
+  | Error (code, msg) ->
+    {
+      Msg.id = 0;
+      circuit = Msg.source_name spec.Msg.source;
+      tool = spec.Msg.tool;
+      state = Msg.Failed;
+      metrics = None;
+      degraded = false;
+      error = Some (code ^ ": " ^ msg);
+      blif = None;
+      report = None;
+      wait_ms = 0.0;
+      run_ms = 0.0;
+    }
+  | Ok rules ->
+    execute ~intern:None ~reuse:false ~id:0 spec ~rules
+      ~cancel_handle:(Guard.Deadline.cancellable ()) ~wait_ns:0L
+
+(* --- the executor domain ---------------------------------------------- *)
+
+let cancelled_result (job : job) ~wait_ns =
+  {
+    Msg.id = job.id;
+    circuit = Msg.source_name job.spec.Msg.source;
+    tool = job.spec.Msg.tool;
+    state = Msg.Cancelled;
+    metrics = None;
+    degraded = false;
+    error = None;
+    blif = None;
+    report = None;
+    wait_ms = ms_of_ns wait_ns;
+    run_ms = 0.0;
+  }
+
+let rec executor_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.cond t.lock
+  done;
+  if Queue.is_empty t.queue then begin
+    (* stopping && empty: drain complete *)
+    Mutex.unlock t.lock;
+    ()
+  end
+  else begin
+    let job = Queue.pop t.queue in
+    if job.state <> Msg.Queued then begin
+      (* cancelled while queued; its result was emitted at cancel time *)
+      Mutex.unlock t.lock;
+      executor_loop t
+    end
+    else begin
+      job.state <- Msg.Running;
+      job.started_ns <- Guard.Clock.now_ns ();
+      t.running <- Some job;
+      Mutex.unlock t.lock;
+      let wait_ns = Int64.sub job.started_ns job.enq_ns in
+      if job.spec.Msg.progress then begin
+        Atomic.set t.pseq 0;
+        Atomic.set t.current (Some (job.id, job.tenant))
+      end;
+      let result =
+        execute
+          ~intern:(Some t.intern)
+          ~reuse:t.config.reuse_managers ~id:job.id job.spec ~rules:job.rules
+          ~cancel_handle:job.cancel_handle ~wait_ns
+      in
+      Atomic.set t.current None;
+      Mutex.lock t.lock;
+      job.state <- result.Msg.state;
+      t.running <- None;
+      (match result.Msg.state with
+      | Msg.Done -> t.n_completed <- t.n_completed + 1
+      | Msg.Failed -> t.n_failed <- t.n_failed + 1
+      | _ -> t.n_cancelled <- t.n_cancelled + 1);
+      Mutex.unlock t.lock;
+      t.on_event (Job_done { tenant = job.tenant; result });
+      executor_loop t
+    end
+  end
+
+(* Coarse phases worth streaming; forwarding every span would flood the
+   connection with per-output decompose events. *)
+let progress_phases =
+  [ "opt.round"; "opt.balance"; "opt.polish"; "opt.sat_sweep";
+    "opt.final_cec" ]
+
+let start t =
+  Obs.enable ();
+  Obs.set_span_listener
+    (Some
+       (fun phase _dur ->
+         if List.mem phase progress_phases then
+           match Atomic.get t.current with
+           | Some (id, tenant) ->
+             t.on_event
+               (Job_progress
+                  {
+                    tenant;
+                    id;
+                    phase;
+                    seq = Atomic.fetch_and_add t.pseq 1;
+                  })
+           | None -> ()));
+  Mutex.lock t.lock;
+  if t.executor = None then
+    t.executor <- Some (Domain.spawn (fun () -> executor_loop t));
+  Mutex.unlock t.lock
+
+let begin_shutdown t =
+  Mutex.lock t.lock;
+  t.accepting <- false;
+  Mutex.unlock t.lock
+
+let idle t =
+  Mutex.lock t.lock;
+  let no_queued =
+    Queue.fold (fun acc j -> acc && j.state <> Msg.Queued) true t.queue
+  in
+  let r = no_queued && t.running = None in
+  Mutex.unlock t.lock;
+  r
+
+(* --- client-facing operations ----------------------------------------- *)
+
+let queued_position t id =
+  (* under [lock] *)
+  let pos = ref 0 and found = ref None in
+  Queue.iter
+    (fun j ->
+      if j.state = Msg.Queued then begin
+        if j.id = id then found := Some !pos;
+        incr pos
+      end)
+    t.queue;
+  !found
+
+let count_queued t =
+  Queue.fold (fun acc j -> acc + if j.state = Msg.Queued then 1 else 0) 0
+    t.queue
+
+let submit t ~tenant spec =
+  match validate spec with
+  | Error e -> Error e
+  | Ok rules ->
+    Mutex.lock t.lock;
+    let r =
+      if not t.accepting then Error ("shutting_down", "server is draining")
+      else if count_queued t >= t.config.queue_capacity then
+        Error
+          ( "queue_full",
+            Printf.sprintf "queue is at capacity (%d)"
+              t.config.queue_capacity )
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let job =
+          {
+            id;
+            tenant;
+            spec;
+            rules;
+            cancel_handle = Guard.Deadline.cancellable ();
+            enq_ns = Guard.Clock.now_ns ();
+            state = Msg.Queued;
+            started_ns = 0L;
+          }
+        in
+        Queue.push job t.queue;
+        Hashtbl.replace t.jobs id job;
+        t.n_submitted <- t.n_submitted + 1;
+        let position = count_queued t - 1 in
+        Condition.signal t.cond;
+        Ok (id, position)
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+
+let status t id =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.jobs id with
+    | None -> None
+    | Some job ->
+      let pos =
+        if job.state = Msg.Queued then queued_position t id else None
+      in
+      Some (job.state, pos)
+  in
+  Mutex.unlock t.lock;
+  r
+
+(* Cancel one job; under [lock]. Emits the cancelled result for queued
+   jobs (there will be no executor pass to do it); a running job winds
+   down through its deadline and reports from the executor. *)
+let cancel_job t (job : job) =
+  match job.state with
+  | Msg.Queued ->
+    job.state <- Msg.Cancelled;
+    t.n_cancelled <- t.n_cancelled + 1;
+    Guard.Deadline.cancel job.cancel_handle;
+    let wait_ns = Int64.sub (Guard.Clock.now_ns ()) job.enq_ns in
+    Some (Job_done { tenant = job.tenant; result = cancelled_result job ~wait_ns })
+  | Msg.Running ->
+    Guard.Deadline.cancel job.cancel_handle;
+    None
+  | _ -> None
+
+let cancel t ~tenant id =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Error ("unknown_job", Printf.sprintf "no job %d" id)
+    | Some job when job.tenant <> tenant ->
+      Error ("not_owner", "jobs may only be cancelled by their submitter")
+    | Some job ->
+      let ev = cancel_job t job in
+      Ok (job.state, ev)
+  in
+  Mutex.unlock t.lock;
+  match r with
+  | Error e -> Error e
+  | Ok (state, ev) ->
+    Option.iter t.on_event ev;
+    Ok state
+
+let drop_tenant t tenant =
+  Mutex.lock t.lock;
+  let evs = ref [] in
+  Hashtbl.iter
+    (fun _ job ->
+      if job.tenant = tenant then
+        match cancel_job t job with
+        | Some e -> evs := e :: !evs
+        | None -> ())
+    t.jobs;
+  Mutex.unlock t.lock;
+  List.iter t.on_event !evs
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      Msg.submitted = t.n_submitted;
+      completed = t.n_completed;
+      failed = t.n_failed;
+      cancelled = t.n_cancelled;
+      queued = count_queued t;
+      running = t.running <> None;
+      queue_capacity = t.config.queue_capacity;
+      uptime_s = Guard.Clock.now_s () -. t.born_s;
+      interned_circuits = Hashtbl.length t.intern;
+      pooled_managers = Bdd.Pool.size ();
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let stop t =
+  Mutex.lock t.lock;
+  t.accepting <- false;
+  t.stopping <- true;
+  let evs = ref [] in
+  Queue.iter
+    (fun job ->
+      if job.state = Msg.Queued then
+        match cancel_job t job with
+        | Some e -> evs := e :: !evs
+        | None -> ())
+    t.queue;
+  (match t.running with
+  | Some job -> Guard.Deadline.cancel job.cancel_handle
+  | None -> ());
+  Condition.broadcast t.cond;
+  let ex = t.executor in
+  t.executor <- None;
+  Mutex.unlock t.lock;
+  List.iter t.on_event !evs;
+  Option.iter Domain.join ex;
+  Obs.set_span_listener None

@@ -1,0 +1,87 @@
+(** The job engine: a bounded FIFO queue drained by one executor
+    domain, with process-level warm state shared across jobs.
+
+    {b Execution model.} Jobs run strictly one at a time, in admission
+    order, on the executor domain; intra-job parallelism comes from the
+    shared [Par] pool exactly as in the one-shot CLI. Sequential
+    execution is what makes warm-server results byte-identical to cold
+    runs: each job gets [Obs.reset] → run → snapshot with nothing else
+    recording, and fault-injection arming is per-job global state that
+    must not interleave.
+
+    {b Warm state.} Generated circuits ([Named]/[Adder] sources) are
+    interned in a process-level table (generation is deterministic and
+    the optimizer never mutates its input, so sharing is
+    identity-safe); BDD managers recycle through {!Bdd.Pool} when
+    [reuse_managers] is set; [Obs] stays enabled across jobs with
+    per-job [reset].
+
+    {b Tenancy.} Every job belongs to a tenant (the server uses the
+    connection id). Budgets and deadlines are per-job {!Guard}
+    contexts, so one tenant's blowup degrades that tenant's job through
+    the PR-5 ladder and cannot corrupt — only delay by queueing — any
+    other job; {!drop_tenant} cancels everything a vanished tenant
+    still owns, running job included, via {!Guard.Deadline.cancel}. *)
+
+type config = {
+  queue_capacity : int;  (** queued (not yet running) job bound *)
+  reuse_managers : bool;  (** recycle BDD managers through {!Bdd.Pool} *)
+}
+
+val default_config : config
+
+(** Engine → server notifications. [Job_done] fires on the executor
+    domain; [Job_progress] fires on whichever domain completed the
+    phase span. Callbacks must be thread-safe and quick. *)
+type event =
+  | Job_done of { tenant : int; result : Msg.result }
+  | Job_progress of { tenant : int; id : int; phase : string; seq : int }
+
+type t
+
+val create : ?on_event:(event -> unit) -> config -> t
+
+(** Spawn the executor domain. Enables [Obs] recording (reports are
+    part of the protocol) and installs the progress span listener. *)
+val start : t -> unit
+
+(** Stop accepting ({!submit} answers [shutting_down]), cancel every
+    queued job, cancel the running job via its deadline, and join the
+    executor. Idempotent. *)
+val stop : t -> unit
+
+(** Reject new submissions but let queued and running jobs finish —
+    the graceful half of shutdown. *)
+val begin_shutdown : t -> unit
+
+(** [true] once the queue is empty and no job is running. *)
+val idle : t -> bool
+
+(** Admit a job. [Error (code, message)] when the queue is full, the
+    engine is shutting down, or the spec is invalid (bad tool, bad
+    inject spec, bad adder kind — checked at admission so the error is
+    synchronous). On success, returns the job id and its 0-based queue
+    position. *)
+val submit :
+  t -> tenant:int -> Msg.submit -> (int * int, string * string) result
+
+val status : t -> int -> (Msg.job_state * int option) option
+
+(** Cancel a job owned by [tenant] (the requesting connection may only
+    cancel its own jobs). Queued jobs are marked cancelled and skipped;
+    the running job has its deadline cancelled and winds down at the
+    next guard cancellation point. Returns the state after the call. *)
+val cancel :
+  t -> tenant:int -> int -> (Msg.job_state, string * string) result
+
+(** Cancel every live job of a tenant (client disconnect). *)
+val drop_tenant : t -> int -> unit
+
+val stats : t -> Msg.server_stats
+
+(** Run a job cold on the calling domain: fresh circuit build (no
+    intern), no manager reuse, per-run [Obs.reset] — the library-call
+    image of one [bin/lookahead_opt] invocation. Used by the bench to
+    prove warm ≡ cold in-process. Must not run concurrently with a
+    started engine's jobs. *)
+val run_cold : Msg.submit -> Msg.result

@@ -1,0 +1,107 @@
+(* See frame.mli. The decoder is a three-state machine — reading a
+   header, reading a body, discarding an oversized body — advanced
+   byte-range by byte-range so no input chunking can confuse it. *)
+
+let max_frame_default = 16 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let write buf payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int n);
+  Buffer.add_bytes buf hdr;
+  Buffer.add_string buf payload
+
+module Decoder = struct
+  type event = Frame of string | Oversized of int | Corrupt of string
+
+  type t = {
+    max_frame : int;
+    hdr : Bytes.t; (* 4-byte header accumulator *)
+    mutable hdr_got : int;
+    mutable body : Bytes.t; (* body accumulator, exact frame size *)
+    mutable body_got : int;
+    mutable body_len : int; (* -1 while reading a header *)
+    mutable discard_left : int; (* > 0 while skipping an oversized body *)
+    mutable poisoned : bool;
+  }
+
+  let create ?(max_frame = max_frame_default) () =
+    {
+      max_frame;
+      hdr = Bytes.create 4;
+      hdr_got = 0;
+      body = Bytes.empty;
+      body_got = 0;
+      body_len = -1;
+      discard_left = 0;
+      poisoned = false;
+    }
+
+  let pending t =
+    if t.body_len >= 0 then t.body_got else t.hdr_got
+
+  let feed t src off len =
+    if off < 0 || len < 0 || off + len > Bytes.length src then
+      invalid_arg "Frame.Decoder.feed";
+    let events = ref [] in
+    let emit e = events := e :: !events in
+    let pos = ref off in
+    let stop = off + len in
+    while !pos < stop && not t.poisoned do
+      if t.discard_left > 0 then begin
+        let n = min t.discard_left (stop - !pos) in
+        t.discard_left <- t.discard_left - n;
+        pos := !pos + n
+      end
+      else if t.body_len < 0 then begin
+        let n = min (4 - t.hdr_got) (stop - !pos) in
+        Bytes.blit src !pos t.hdr t.hdr_got n;
+        t.hdr_got <- t.hdr_got + n;
+        pos := !pos + n;
+        if t.hdr_got = 4 then begin
+          t.hdr_got <- 0;
+          let l = Int32.to_int (Bytes.get_int32_be t.hdr 0) in
+          if l < 0 then begin
+            t.poisoned <- true;
+            emit (Corrupt (Printf.sprintf "negative frame length %d" l))
+          end
+          else if l > t.max_frame then begin
+            t.discard_left <- l;
+            emit (Oversized l)
+          end
+          else if l = 0 then
+            (* Complete already — emitting here, not on the next feed,
+               keeps an empty frame at a chunk boundary from stalling. *)
+            emit (Frame "")
+          else begin
+            t.body_len <- l;
+            t.body_got <- 0;
+            if Bytes.length t.body < l then t.body <- Bytes.create l
+          end
+        end
+      end
+      else begin
+        let n = min (t.body_len - t.body_got) (stop - !pos) in
+        Bytes.blit src !pos t.body t.body_got n;
+        t.body_got <- t.body_got + n;
+        pos := !pos + n;
+        if t.body_got = t.body_len then begin
+          emit (Frame (Bytes.sub_string t.body 0 t.body_len));
+          t.body_len <- -1;
+          t.body_got <- 0
+        end
+      end
+    done;
+    List.rev !events
+
+  let feed_string t s =
+    let b = Bytes.unsafe_of_string s in
+    feed t b 0 (Bytes.length b)
+end

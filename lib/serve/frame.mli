@@ -1,0 +1,52 @@
+(** Length-prefixed framing for the job-server wire protocol.
+
+    A frame is a 4-byte big-endian unsigned payload length followed by
+    that many payload bytes (one UTF-8 JSON document per frame — the
+    "JSON lines" of the protocol, with an explicit length instead of a
+    newline so payloads may contain anything). The decoder is fully
+    incremental: feed it whatever chunks the socket yields and it emits
+    complete frames in order, surviving partial headers, partial
+    bodies, and many frames per chunk.
+
+    Oversized frames are a flow-control error, not a framing error: the
+    advertised length is still trusted, the body is consumed and
+    discarded without buffering, and decoding resumes at the next
+    frame, so a server can answer with a typed error instead of
+    dropping the connection. A negative length is corruption — there is
+    no way to resynchronize — and poisons the decoder. *)
+
+(** Default maximum accepted payload size (16 MiB — comfortably above
+    any BLIF in the suite). *)
+val max_frame_default : int
+
+(** [encode payload] is the framed wire image ([4 + length] bytes). *)
+val encode : string -> string
+
+(** Append [encode payload] to a buffer without the intermediate
+    string. *)
+val write : Buffer.t -> string -> unit
+
+module Decoder : sig
+  type t
+
+  type event =
+    | Frame of string  (** one complete payload *)
+    | Oversized of int
+        (** a frame advertised this many bytes (> max); its body is
+            being discarded and decoding will resume after it *)
+    | Corrupt of string
+        (** unrecoverable stream corruption; the decoder rejects all
+            further input *)
+
+  val create : ?max_frame:int -> unit -> t
+
+  (** [feed t buf off len] consumes [len] bytes and returns the events
+      they complete, oldest first. *)
+  val feed : t -> bytes -> int -> int -> event list
+
+  (** [feed_string t s] is [feed] over all of [s]. *)
+  val feed_string : t -> string -> event list
+
+  (** Bytes currently buffered waiting for a complete frame. *)
+  val pending : t -> int
+end

@@ -1,0 +1,66 @@
+(* See run.mli. *)
+
+let build_adder kind n =
+  match kind with
+  | "ripple" -> Circuits.Adders.ripple_carry n
+  | "cla" -> Circuits.Adders.carry_lookahead n
+  | "select" -> Circuits.Adders.carry_select n
+  | "skip" -> Circuits.Adders.carry_skip n
+  | k -> invalid_arg (Printf.sprintf "unknown adder kind %s" k)
+
+let build_source = function
+  | Msg.Named name -> Circuits.Suite.build name
+  | Msg.Blif { text; _ } -> Aig.Io.read_blif text
+  | Msg.Bench { text; _ } -> Aig.Io.read_bench text
+  | Msg.Adder { kind; bits } -> build_adder kind bits
+
+let known_tools =
+  [ "lookahead"; "resub"; "mfs"; "none"; "sis"; "abc"; "dc" ]
+
+let tool ~options = function
+  | "lookahead" -> fun g -> Lookahead.optimize ~options g
+  | "resub" -> fun g -> Aig.Resub.run (Aig.Balance.run g)
+  | "mfs" -> fun g -> Lookahead.Mfs.run g
+  | "none" -> Fun.id
+  | name -> (
+    match Baselines.by_name name with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "unknown tool %s" name))
+
+let metrics ~original optimized =
+  let netlist = Techmap.Mapper.map optimized in
+  {
+    Msg.pi = Aig.num_inputs optimized;
+    po = List.length (Aig.outputs optimized);
+    gates_before = Aig.num_reachable_ands original;
+    gates = Aig.num_reachable_ands optimized;
+    levels_before = Aig.depth original;
+    levels = Aig.depth optimized;
+    cells = Techmap.Mapper.num_gates netlist;
+    area = Techmap.Mapper.area netlist;
+    delay_ps = Techmap.Mapper.delay netlist;
+    power_mw = Techmap.Power.dynamic_mw netlist;
+  }
+
+let pp_metrics ~circuit ~tool ppf (m : Msg.metrics) =
+  Fmt.pf ppf "circuit   : %s@." circuit;
+  Fmt.pf ppf "tool      : %s@." tool;
+  Fmt.pf ppf "pi/po     : %d/%d@." m.pi m.po;
+  Fmt.pf ppf "aig gates : %d (was %d)@." m.gates m.gates_before;
+  Fmt.pf ppf "aig levels: %d (was %d)@." m.levels m.levels_before;
+  Fmt.pf ppf "mapped    : %d cells, area %.1f@." m.cells m.area;
+  Fmt.pf ppf "delay     : %.1f ps@." m.delay_ps;
+  Fmt.pf ppf "power     : %.3f mW @@ 1GHz@." m.power_mw
+
+(* A job "degraded" when any ladder rung was taken or any fault was
+   injected — the same counters gate 5 watches. *)
+let degraded snap =
+  Obs.counter_value snap "guard.rung.approx_spcf"
+  + Obs.counter_value snap "guard.rung.shrink_window"
+  + Obs.counter_value snap "guard.rung.skip_output"
+  + Obs.counter_value snap "guard.injected.bdd_blowup"
+  + Obs.counter_value snap "guard.injected.sat_exhaust"
+  + Obs.counter_value snap "guard.injected.deadline"
+  > 0
+
+let blif_of ~name g = Aig.Io.blif_to_string ~model:name g

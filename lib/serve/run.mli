@@ -1,0 +1,30 @@
+(** Shared job-execution helpers: the exact operation sequence of a
+    one-shot [bin/lookahead_opt] run, as library calls, so the warm
+    server and the cold CLI cannot drift apart. Byte-identity between
+    the two rests on both sides calling these. *)
+
+(** Build the circuit of a wire source. Raises on unknown names, bad
+    adder kinds, or unparsable BLIF/BENCH text. *)
+val build_source : Msg.source -> Aig.t
+
+(** The optimizer dispatch of the CLI's [-t] flag. [options] is used by
+    the lookahead tool only (the baselines take no knobs). Raises
+    [Invalid_argument] on an unknown tool name. *)
+val tool : options:Lookahead.Driver.options -> string -> Aig.t -> Aig.t
+
+val known_tools : string list
+
+(** Measure the Table-2 metric set — same calls, same order, as the
+    CLI's report printer. *)
+val metrics : original:Aig.t -> Aig.t -> Msg.metrics
+
+(** Pretty-print in the CLI's report format. *)
+val pp_metrics :
+  circuit:string -> tool:string -> Format.formatter -> Msg.metrics -> unit
+
+(** Whether the snapshot records any degradation-ladder rung or
+    injected fault — the "this job degraded" bit of a result. *)
+val degraded : Obs.snapshot -> bool
+
+(** Serialize as the CLI's [-o] flag would ([model] = circuit name). *)
+val blif_of : name:string -> Aig.t -> string

@@ -1,0 +1,817 @@
+(* Tests for lib/serve: protocol framing (partial reads, oversized and
+   corrupt frames), codec totality, cancellable deadlines, BDD manager
+   recycling (Bdd.reset / Bdd.Pool), per-job Obs.reset identity, the
+   job engine end to end, and the socket server including
+   disconnect-mid-job cancellation.
+
+   Every optimization runs deadline-free (time_limit_s = Some 0.) so
+   results cannot depend on wall-clock scheduling — the same convention
+   as the identity gates. *)
+
+module Frame = Serve.Frame
+module Msg = Serve.Msg
+module Engine = Serve.Engine
+
+(* Every test leaves observation off, the sinks empty, injection
+   disarmed and the manager pool drained, so tests are
+   order-independent. *)
+let quiesce () =
+  Guard.Inject.disarm ();
+  Obs.set_span_listener None;
+  Obs.disable ();
+  Obs.reset ();
+  Bdd.Pool.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let frame_payload = function
+  | Frame.Decoder.Frame p -> p
+  | _ -> Alcotest.fail "expected a complete frame"
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun p ->
+      let d = Frame.Decoder.create () in
+      match Frame.Decoder.feed_string d (Frame.encode p) with
+      | [ Frame.Decoder.Frame got ] ->
+        Alcotest.(check string) "payload survives framing" p got
+      | evs ->
+        Alcotest.failf "expected exactly one frame, got %d events"
+          (List.length evs))
+    [ ""; "x"; "{\"type\":\"stats\"}"; String.make 100_000 'z';
+      "newlines\nand\x00nulls" ]
+
+let test_frame_roundtrip_qcheck =
+  QCheck.Test.make ~count:200 ~name:"framing round-trips any payload"
+    QCheck.(small_list string)
+    (fun payloads ->
+      let d = Frame.Decoder.create () in
+      let wire = String.concat "" (List.map Frame.encode payloads) in
+      let got = List.map frame_payload (Frame.Decoder.feed_string d wire) in
+      got = payloads)
+
+let test_frame_byte_at_a_time () =
+  let payloads = [ "alpha"; ""; "gamma-gamma" ] in
+  let wire = String.concat "" (List.map Frame.encode payloads) in
+  let d = Frame.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      let b = Bytes.make 1 c in
+      List.iter
+        (fun e -> got := frame_payload e :: !got)
+        (Frame.Decoder.feed d b 0 1))
+    wire;
+  Alcotest.(check (list string))
+    "1-byte feeds reassemble every frame" payloads (List.rev !got)
+
+let test_frame_split_header () =
+  let wire = Frame.encode "hello" in
+  let d = Frame.Decoder.create () in
+  let part n m = Bytes.of_string (String.sub wire n m) in
+  Alcotest.(check int)
+    "no event on a partial header" 0
+    (List.length (Frame.Decoder.feed d (part 0 2) 0 2));
+  Alcotest.(check int) "two header bytes pending" 2 (Frame.Decoder.pending d);
+  let rest = String.length wire - 2 in
+  match Frame.Decoder.feed d (part 2 rest) 0 rest with
+  | [ Frame.Decoder.Frame "hello" ] -> ()
+  | _ -> Alcotest.fail "frame did not complete after the header arrived"
+
+let test_frame_oversized_resumes () =
+  let d = Frame.Decoder.create ~max_frame:8 () in
+  let wire = Frame.encode (String.make 20 'a') ^ Frame.encode "ok" in
+  (match Frame.Decoder.feed_string d wire with
+  | [ Frame.Decoder.Oversized 20; Frame.Decoder.Frame "ok" ] -> ()
+  | _ -> Alcotest.fail "oversized frame must be skipped, then resume");
+  (* and the discard state must survive chunking too *)
+  let d = Frame.Decoder.create ~max_frame:8 () in
+  let evs = ref [] in
+  String.iter
+    (fun c ->
+      let b = Bytes.make 1 c in
+      evs := !evs @ Frame.Decoder.feed d b 0 1)
+    wire;
+  match !evs with
+  | [ Frame.Decoder.Oversized 20; Frame.Decoder.Frame "ok" ] -> ()
+  | _ -> Alcotest.fail "oversized skip must survive 1-byte chunking"
+
+let test_frame_corrupt_poisons () =
+  let d = Frame.Decoder.create () in
+  let bad = Bytes.make 4 '\xff' in
+  (match Frame.Decoder.feed d bad 0 4 with
+  | [ Frame.Decoder.Corrupt _ ] -> ()
+  | _ -> Alcotest.fail "negative length must be Corrupt");
+  Alcotest.(check int)
+    "poisoned decoder rejects further input" 0
+    (List.length (Frame.Decoder.feed_string d (Frame.encode "x")))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let submit_spec =
+  {
+    (Msg.submit_defaults
+       ~source:(Msg.Adder { kind = "cla"; bits = 8 })
+       ~tool:"lookahead")
+    with
+    Msg.budget =
+      {
+        Msg.bdd_node_ceiling = 1000;
+        sat_conflict_ceiling = 7;
+        deadline_s = 2.5;
+      };
+    inject = Some "bdd@500:r";
+    time_limit_s = Some 0.0;
+    progress = true;
+    want_blif = true;
+    want_report = true;
+  }
+
+let requests =
+  [
+    Msg.Submit submit_spec;
+    Msg.Submit
+      (Msg.submit_defaults
+         ~source:(Msg.Blif { name = "c17.blif"; text = ".model c17\n.end\n" })
+         ~tool:"none");
+    Msg.Submit
+      (Msg.submit_defaults
+         ~source:(Msg.Bench { name = "c17.bench"; text = "INPUT(a)\n" })
+         ~tool:"resub");
+    Msg.Submit (Msg.submit_defaults ~source:(Msg.Named "C432") ~tool:"mfs");
+    Msg.Status 42;
+    Msg.Cancel 7;
+    Msg.Stats;
+    Msg.Shutdown;
+  ]
+
+let responses =
+  [
+    Msg.Submitted { id = 3; position = 1 };
+    Msg.Job_status { id = 3; state = Msg.Queued; position = Some 0 };
+    Msg.Job_status { id = 3; state = Msg.Running; position = None };
+    Msg.Progress { id = 3; phase = "opt.round"; seq = 2 };
+    Msg.Result
+      {
+        Msg.id = 3;
+        circuit = "cla-adder-8";
+        tool = "lookahead";
+        state = Msg.Done;
+        metrics =
+          Some
+            {
+              Msg.pi = 17;
+              po = 9;
+              gates_before = 100;
+              gates = 90;
+              levels_before = 12;
+              levels = 9;
+              cells = 110;
+              area = 123.5;
+              delay_ps = 456.25;
+              power_mw = 0.125;
+            };
+        degraded = true;
+        error = None;
+        blif = Some ".model x\n.end\n";
+        report = Some (Obs.Json.Obj [ ("schema", Obs.Json.String "s") ]);
+        wait_ms = 1.5;
+        run_ms = 250.0;
+      };
+    Msg.Result
+      {
+        Msg.id = 4;
+        circuit = "C432";
+        tool = "sis";
+        state = Msg.Failed;
+        metrics = None;
+        degraded = false;
+        error = Some "boom";
+        blif = None;
+        report = None;
+        wait_ms = 0.0;
+        run_ms = 1.0;
+      };
+    Msg.Stats_reply
+      {
+        Msg.submitted = 10;
+        completed = 7;
+        failed = 1;
+        cancelled = 2;
+        queued = 0;
+        running = false;
+        queue_capacity = 256;
+        uptime_s = 12.25;
+        interned_circuits = 3;
+        pooled_managers = 2;
+      };
+    Msg.Error_reply { code = "queue_full"; message = "full" };
+    Msg.Shutdown_ack;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Msg.request_of_string (Msg.encode_request r) with
+      | Ok r' ->
+        Alcotest.(check bool) "request survives the wire" true (r = r')
+      | Error (c, m) -> Alcotest.failf "decode failed: %s: %s" c m)
+    requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match Msg.response_of_string (Msg.encode_response r) with
+      | Ok r' ->
+        Alcotest.(check bool) "response survives the wire" true (r = r')
+      | Error (c, m) -> Alcotest.failf "decode failed: %s: %s" c m)
+    responses
+
+let test_malformed_payloads () =
+  let check_err what input =
+    match Msg.request_of_string input with
+    | Ok _ -> Alcotest.failf "%s must not decode" what
+    | Error (code, _) ->
+      Alcotest.(check bool)
+        (what ^ " yields a typed error code")
+        true
+        (String.length code > 0)
+  in
+  check_err "non-JSON" "{not json at all";
+  check_err "JSON non-object" "[1,2,3]";
+  check_err "missing type" "{\"id\": 3}";
+  check_err "unknown type" "{\"type\": \"frobnicate\"}";
+  check_err "bad field type" "{\"type\": \"status\", \"id\": \"three\"}";
+  match Msg.request_of_string "{not json" with
+  | Error ("parse", _) -> ()
+  | _ -> Alcotest.fail "unparsable payloads must use the parse code"
+
+(* ------------------------------------------------------------------ *)
+(* Cancellable deadlines                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_cancel () =
+  let d = Guard.Deadline.cancellable () in
+  Alcotest.(check bool) "fresh handle alive" false (Guard.Deadline.expired d);
+  Alcotest.(check bool)
+    "fresh handle unbounded" true
+    (Guard.Deadline.remaining_s d = infinity);
+  Guard.Deadline.cancel d;
+  Alcotest.(check bool) "cancel expires" true (Guard.Deadline.expired d);
+  Alcotest.(check bool) "cancelled flag set" true (Guard.Deadline.cancelled d);
+  Alcotest.(check (float 0.0))
+    "no time remains" 0.0
+    (Guard.Deadline.remaining_s d)
+
+let test_deadline_bound_shares_cancel () =
+  let d = Guard.Deadline.cancellable () in
+  let b = Guard.Deadline.bound d 3600.0 in
+  Alcotest.(check bool)
+    "bound view has a finite allowance" true
+    (Guard.Deadline.remaining_s b < infinity);
+  Guard.Deadline.cancel d;
+  Alcotest.(check bool)
+    "cancelling the handle expires the bound view" true
+    (Guard.Deadline.expired b);
+  let d2 = Guard.Deadline.cancellable () in
+  Alcotest.(check bool)
+    "bound with no allowance is the handle itself" true
+    (Guard.Deadline.bound d2 0.0 == d2)
+
+let test_deadline_never_immune () =
+  Guard.Deadline.cancel Guard.Deadline.never;
+  Alcotest.(check bool)
+    "the shared never deadline cannot be cancelled" false
+    (Guard.Deadline.expired Guard.Deadline.never)
+
+(* ------------------------------------------------------------------ *)
+(* Manager recycling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic workload whose results and Det-relevant counters can
+   be compared between a fresh and a recycled manager. *)
+let bdd_workload m =
+  let v i = Bdd.var m i in
+  let x =
+    List.fold_left (Bdd.band m) (Bdd.btrue m)
+      (List.init 8 (fun i -> Bdd.bor m (v i) (v ((i + 3) mod 11))))
+  in
+  let y = Bdd.bxor m x (Bdd.ite m (v 9) x (v 10)) in
+  let s = Bdd.stats m in
+  ( Bdd.satcount m ~nvars:11 y,
+    Bdd.size m y,
+    s.Bdd.live_nodes,
+    s.Bdd.ite_lookups,
+    s.Bdd.ite_hits,
+    s.Bdd.unique_growths )
+
+let test_reset_restores_baseline () =
+  let m = Bdd.create () in
+  let _ = bdd_workload m in
+  Bdd.reset m;
+  let s = Bdd.stats m in
+  Alcotest.(check int) "live nodes back to zero" 0 s.Bdd.live_nodes;
+  Alcotest.(check int) "ite lookups zeroed" 0 s.Bdd.ite_lookups;
+  Alcotest.(check int) "unique growths zeroed" 0 s.Bdd.unique_growths;
+  Alcotest.(check int)
+    "unique capacity back to creation size" (1 lsl 12) s.Bdd.unique_capacity;
+  Alcotest.(check int) "transfer memo drained" 0 s.Bdd.transfer_memo_entries
+
+let test_recycled_equals_fresh () =
+  let fresh = bdd_workload (Bdd.create ()) in
+  let m = Bdd.create () in
+  (* Grow the manager with unrelated work, including enough conjuncts
+     to force unique-table growth, then recycle. *)
+  let junk =
+    List.fold_left (Bdd.band m) (Bdd.btrue m)
+      (List.init 40 (fun i ->
+           Bdd.bxor m (Bdd.var m i) (Bdd.var m ((i * 7) mod 41))))
+  in
+  ignore (Bdd.size m junk);
+  Bdd.reset m;
+  let recycled = bdd_workload m in
+  Alcotest.(check bool)
+    "recycled manager reproduces the fresh run exactly (values and \
+     Det counters)"
+    true (fresh = recycled)
+
+let test_pool_recycles () =
+  Bdd.Pool.clear ();
+  let m = Bdd.Pool.acquire () in
+  let _ = bdd_workload m in
+  Alcotest.(check int) "pool empty while in use" 0 (Bdd.Pool.size ());
+  Bdd.Pool.release m;
+  Alcotest.(check int) "released manager pooled" 1 (Bdd.Pool.size ());
+  let m2 = Bdd.Pool.acquire () in
+  Alcotest.(check bool) "acquire returns the pooled manager" true (m == m2);
+  let s = Bdd.stats m2 in
+  Alcotest.(check int) "recycled manager starts clean" 0 s.Bdd.live_nodes;
+  Bdd.Pool.release m2;
+  Bdd.Pool.clear ();
+  Alcotest.(check int) "clear drains the pool" 0 (Bdd.Pool.size ())
+
+let test_reset_invalidates_transfer_memo () =
+  let a = Bdd.create () in
+  let b = Bdd.create () in
+  let x = Bdd.band a (Bdd.var a 0) (Bdd.var a 1) in
+  let _ = Bdd.transfer ~src:a ~dst:b x in
+  Bdd.reset a;
+  (* After the reset [a] has a fresh uid, so [b]'s memo of the old
+     incarnation cannot alias the new nodes. *)
+  let y = Bdd.bor a (Bdd.var a 0) (Bdd.var a 2) in
+  let y' = Bdd.transfer ~src:a ~dst:b y in
+  Alcotest.(check (list int))
+    "post-reset transfer is semantically correct" [ 0; 2 ]
+    (Bdd.support b y');
+  Alcotest.(check (float 0.0))
+    "satcount agrees across the transfer" (Bdd.satcount a ~nvars:3 y)
+    (Bdd.satcount b ~nvars:3 y')
+
+(* ------------------------------------------------------------------ *)
+(* Per-job observation reset                                          *)
+(* ------------------------------------------------------------------ *)
+
+let det_of_small_run () =
+  Obs.reset ();
+  Obs.enable ();
+  let g = Circuits.Adders.carry_lookahead 8 in
+  let options =
+    { Lookahead.Driver.default with Lookahead.Driver.time_limit_s = infinity }
+  in
+  let o = Lookahead.optimize ~options g in
+  let d = Obs.det_subtree (Obs.report_json (Obs.snapshot ())) in
+  (o, d)
+
+let test_obs_reset_back_to_back () =
+  quiesce ();
+  let o1, d1 = det_of_small_run () in
+  let o2, d2 = det_of_small_run () in
+  quiesce ();
+  Alcotest.(check bool)
+    "back-to-back runs yield identical circuits" true
+    (Aig.Io.blif_to_string ~model:"m" o1 = Aig.Io.blif_to_string ~model:"m" o2);
+  Alcotest.(check bool) "det subtree is non-trivial" true (d1 <> Obs.Json.Null);
+  Alcotest.(check bool)
+    "Obs.reset restores a fresh-process Det subtree" true
+    (Obs.Json.equal d1 d2)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type sink = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable events : Engine.event list; (* oldest first *)
+}
+
+let sink () = { m = Mutex.create (); c = Condition.create (); events = [] }
+
+let sink_push s e =
+  Mutex.lock s.m;
+  s.events <- s.events @ [ e ];
+  Condition.signal s.c;
+  Mutex.unlock s.m
+
+let wait_result s id =
+  Mutex.lock s.m;
+  let find () =
+    List.find_map
+      (function
+        | Engine.Job_done { result; _ } when result.Msg.id = id -> Some result
+        | _ -> None)
+      s.events
+  in
+  let rec go () =
+    match find () with
+    | Some r -> r
+    | None ->
+      Condition.wait s.c s.m;
+      go ()
+  in
+  let r = go () in
+  Mutex.unlock s.m;
+  r
+
+let progress_count s id =
+  Mutex.lock s.m;
+  let n =
+    List.length
+      (List.filter
+         (function
+           | Engine.Job_progress { id = pid; _ } -> pid = id
+           | _ -> false)
+         s.events)
+  in
+  Mutex.unlock s.m;
+  n
+
+let small_job =
+  {
+    (Msg.submit_defaults
+       ~source:(Msg.Adder { kind = "cla"; bits = 8 })
+       ~tool:"lookahead")
+    with
+    Msg.time_limit_s = Some 0.0;
+    want_blif = true;
+    want_report = true;
+  }
+
+let test_engine_validation () =
+  quiesce ();
+  let e = Engine.create Engine.default_config in
+  let bad spec what code =
+    match Engine.submit e ~tenant:1 spec with
+    | Error (c, _) -> Alcotest.(check string) what code c
+    | Ok _ -> Alcotest.failf "%s must be rejected" what
+  in
+  bad { small_job with Msg.tool = "zap" } "unknown tool" "bad_request";
+  bad
+    { small_job with Msg.source = Msg.Named "nonesuch" }
+    "unknown circuit" "bad_request";
+  bad
+    { small_job with Msg.source = Msg.Adder { kind = "weird"; bits = 8 } }
+    "unknown adder kind" "bad_request";
+  bad
+    { small_job with Msg.inject = Some "gremlin@3" }
+    "bad inject spec" "bad_request"
+
+let test_engine_queue_full () =
+  quiesce ();
+  let e =
+    Engine.create { Engine.queue_capacity = 1; reuse_managers = false }
+  in
+  (match Engine.submit e ~tenant:1 small_job with
+  | Ok (id, 0) -> Alcotest.(check int) "first id" 1 id
+  | _ -> Alcotest.fail "first submission must be admitted at position 0");
+  match Engine.submit e ~tenant:1 small_job with
+  | Error ("queue_full", _) -> ()
+  | _ -> Alcotest.fail "second submission must hit queue_full"
+
+let test_engine_queued_cancel () =
+  quiesce ();
+  let s = sink () in
+  (* never started: the job stays queued, so cancel takes the
+     queued-job path deterministically *)
+  let e =
+    Engine.create ~on_event:(sink_push s)
+      { Engine.queue_capacity = 4; reuse_managers = false }
+  in
+  let id =
+    match Engine.submit e ~tenant:7 small_job with
+    | Ok (id, _) -> id
+    | Error (c, m) -> Alcotest.failf "submit failed: %s: %s" c m
+  in
+  (match Engine.cancel e ~tenant:8 id with
+  | Error ("not_owner", _) -> ()
+  | _ -> Alcotest.fail "foreign tenants must not cancel the job");
+  (match Engine.cancel e ~tenant:7 id with
+  | Ok Msg.Cancelled -> ()
+  | _ -> Alcotest.fail "owner cancel of a queued job must report Cancelled");
+  (match Engine.status e id with
+  | Some (Msg.Cancelled, None) -> ()
+  | _ -> Alcotest.fail "status must show Cancelled");
+  let r = wait_result s id in
+  Alcotest.(check bool)
+    "cancelled result delivered" true
+    (r.Msg.state = Msg.Cancelled)
+
+let test_engine_warm_identity () =
+  quiesce ();
+  let s = sink () in
+  let e =
+    Engine.create ~on_event:(sink_push s)
+      { Engine.queue_capacity = 16; reuse_managers = true }
+  in
+  Engine.start e;
+  let submit spec =
+    match Engine.submit e ~tenant:1 spec with
+    | Ok (id, _) -> id
+    | Error (c, m) -> Alcotest.failf "submit failed: %s: %s" c m
+  in
+  let id1 = submit { small_job with Msg.progress = true } in
+  let id2 = submit small_job in
+  let r1 = wait_result s id1 in
+  let r2 = wait_result s id2 in
+  let st = Engine.stats e in
+  Engine.stop e;
+  (* cold after stop: nothing else records between reset and snapshot *)
+  let cold = Engine.run_cold small_job in
+  quiesce ();
+  Alcotest.(check bool) "job 1 done" true (r1.Msg.state = Msg.Done);
+  Alcotest.(check bool) "job 2 done" true (r2.Msg.state = Msg.Done);
+  Alcotest.(check bool) "cold run done" true (cold.Msg.state = Msg.Done);
+  Alcotest.(check bool)
+    "progress events streamed for job 1" true
+    (progress_count s id1 > 0);
+  Alcotest.(check bool)
+    "no progress events for job 2" true
+    (progress_count s id2 = 0);
+  Alcotest.(check bool)
+    "warm jobs agree on the BLIF" true
+    (r1.Msg.blif = r2.Msg.blif);
+  Alcotest.(check bool)
+    "warm BLIF identical to cold" true
+    (r2.Msg.blif = cold.Msg.blif && r2.Msg.blif <> None);
+  Alcotest.(check bool)
+    "warm metrics identical to cold" true
+    (r2.Msg.metrics = cold.Msg.metrics && r2.Msg.metrics <> None);
+  let det r =
+    match r.Msg.report with
+    | Some j -> Obs.det_subtree j
+    | None -> Obs.Json.Null
+  in
+  Alcotest.(check bool) "reports present" true (det r2 <> Obs.Json.Null);
+  Alcotest.(check bool)
+    "warm Det subtrees identical across back-to-back jobs" true
+    (Obs.Json.equal (det r1) (det r2));
+  Alcotest.(check bool)
+    "warm Det subtree identical to cold" true
+    (Obs.Json.equal (det r2) (det cold));
+  Alcotest.(check bool)
+    "completed stat counts both jobs" true (st.Msg.completed = 2);
+  Alcotest.(check bool)
+    "a manager was pooled" true
+    (st.Msg.pooled_managers > 0);
+  Alcotest.(check bool)
+    "the generated circuit was interned" true
+    (st.Msg.interned_circuits = 1)
+
+let test_engine_faulted_warm_identity () =
+  quiesce ();
+  let faulted =
+    {
+      small_job with
+      Msg.inject = Some "bdd@500:r";
+      budget = { Msg.default_budget with Msg.bdd_node_ceiling = 30_000 };
+    }
+  in
+  let s = sink () in
+  let e =
+    Engine.create ~on_event:(sink_push s)
+      { Engine.queue_capacity = 16; reuse_managers = true }
+  in
+  Engine.start e;
+  let id1 =
+    match Engine.submit e ~tenant:1 faulted with
+    | Ok (id, _) -> id
+    | Error (c, m) -> Alcotest.failf "submit failed: %s: %s" c m
+  in
+  let id2 =
+    match Engine.submit e ~tenant:1 small_job with
+    | Ok (id, _) -> id
+    | Error (c, m) -> Alcotest.failf "submit failed: %s: %s" c m
+  in
+  let r1 = wait_result s id1 in
+  let r2 = wait_result s id2 in
+  Engine.stop e;
+  let cold_f = Engine.run_cold faulted in
+  let cold_c = Engine.run_cold small_job in
+  quiesce ();
+  Alcotest.(check bool) "faulted job completes" true (r1.Msg.state = Msg.Done);
+  Alcotest.(check bool) "faulted job degraded" true r1.Msg.degraded;
+  Alcotest.(check bool)
+    "faulted warm BLIF identical to faulted cold" true
+    (r1.Msg.blif = cold_f.Msg.blif && r1.Msg.blif <> None);
+  Alcotest.(check bool)
+    "clean job after a faulted one is unpolluted" true
+    (r2.Msg.blif = cold_c.Msg.blif && not r2.Msg.degraded);
+  let det r =
+    match r.Msg.report with
+    | Some j -> Obs.det_subtree j
+    | None -> Obs.Json.Null
+  in
+  Alcotest.(check bool)
+    "faulted Det subtree identical warm vs cold" true
+    (Obs.Json.equal (det r1) (det cold_f))
+
+(* ------------------------------------------------------------------ *)
+(* Socket server                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_server f =
+  quiesce ();
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve_test_%d_%d.sock" (Unix.getpid ()) (Random.int 100000))
+  in
+  let listening = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~ready:(fun () -> Atomic.set listening true)
+          (Serve.Server.default_config (`Unix sock)))
+  in
+  while not (Atomic.get listening) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (* shut the server down if the test did not *)
+      (try
+         let c = Serve.Client.connect (`Unix sock) in
+         Serve.Client.shutdown c;
+         Serve.Client.close c
+       with _ -> ());
+      Domain.join server;
+      quiesce ())
+    (fun () -> f sock)
+
+let test_server_end_to_end () =
+  with_server (fun sock ->
+      let c = Serve.Client.connect (`Unix sock) in
+      let spec =
+        {
+          (Msg.submit_defaults
+             ~source:(Msg.Adder { kind = "ripple"; bits = 8 })
+             ~tool:"none")
+          with
+          Msg.time_limit_s = Some 0.0;
+          want_blif = true;
+        }
+      in
+      let _, r = Serve.Client.submit_wait c spec in
+      Alcotest.(check bool) "job done over the socket" true
+        (r.Msg.state = Msg.Done);
+      Alcotest.(check bool) "metrics delivered" true (r.Msg.metrics <> None);
+      Alcotest.(check bool) "blif delivered" true (r.Msg.blif <> None);
+      let st = Serve.Client.stats c in
+      Alcotest.(check int) "one job submitted" 1 st.Msg.submitted;
+      Alcotest.(check int) "one job completed" 1 st.Msg.completed;
+      (* protocol-level error: unknown tool *)
+      Serve.Client.send c
+        (Msg.Submit { spec with Msg.tool = "zap" });
+      (match Serve.Client.recv c with
+      | Msg.Error_reply { code = "bad_request"; _ } -> ()
+      | _ -> Alcotest.fail "bad tool must answer bad_request");
+      (* malformed JSON in a well-formed frame: typed parse error *)
+      Serve.Client.send c Msg.Stats;
+      ignore (Serve.Client.recv c);
+      Serve.Client.close c)
+
+let test_server_disconnect_cancels () =
+  with_server (fun sock ->
+      let a = Serve.Client.connect (`Unix sock) in
+      let slow =
+        {
+          (Msg.submit_defaults
+             ~source:(Msg.Adder { kind = "cla"; bits = 16 })
+             ~tool:"lookahead")
+          with
+          Msg.time_limit_s = Some 0.0;
+        }
+      in
+      Serve.Client.send a (Msg.Submit slow);
+      Serve.Client.send a (Msg.Submit slow);
+      let id_of () =
+        match Serve.Client.recv a with
+        | Msg.Submitted { id; _ } -> id
+        | _ -> Alcotest.fail "expected Submitted"
+      in
+      let id1 = id_of () in
+      let id2 = id_of () in
+      (* vanish with one job running and one queued *)
+      Serve.Client.close a;
+      let b = Serve.Client.connect (`Unix sock) in
+      let state_of id =
+        Serve.Client.send b (Msg.Status id);
+        match Serve.Client.recv b with
+        | Msg.Job_status { state; _ } -> state
+        | r ->
+          Alcotest.failf "expected status, got %s"
+            (Obs.Json.to_string (Msg.response_to_json r))
+      in
+      (* the queued job must be cancelled promptly *)
+      let rec await_queued_cancel tries =
+        match state_of id2 with
+        | Msg.Cancelled -> ()
+        | Msg.Queued when tries > 0 ->
+          Unix.sleepf 0.01;
+          await_queued_cancel (tries - 1)
+        | st ->
+          Alcotest.failf "queued job of a vanished tenant is %s"
+            (Msg.state_name st)
+      in
+      await_queued_cancel 100;
+      (* the running job winds down at its next cancellation point
+         (or may already have finished — both are acceptable ends) *)
+      let rec await_settled tries =
+        match state_of id1 with
+        | Msg.Cancelled | Msg.Done -> ()
+        | (Msg.Running | Msg.Queued) when tries > 0 ->
+          Unix.sleepf 0.05;
+          await_settled (tries - 1)
+        | st -> Alcotest.failf "running job stuck in %s" (Msg.state_name st)
+      in
+      await_settled 600;
+      Serve.Client.close b)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "serve"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          QCheck_alcotest.to_alcotest test_frame_roundtrip_qcheck;
+          Alcotest.test_case "byte-at-a-time" `Quick test_frame_byte_at_a_time;
+          Alcotest.test_case "split header" `Quick test_frame_split_header;
+          Alcotest.test_case "oversized resumes" `Quick
+            test_frame_oversized_resumes;
+          Alcotest.test_case "corrupt poisons" `Quick
+            test_frame_corrupt_poisons;
+        ] );
+      ( "msg",
+        [
+          Alcotest.test_case "request round-trip" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "malformed payloads" `Quick
+            test_malformed_payloads;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "cancel" `Quick test_deadline_cancel;
+          Alcotest.test_case "bound shares cancellation" `Quick
+            test_deadline_bound_shares_cancel;
+          Alcotest.test_case "never immune" `Quick test_deadline_never_immune;
+        ] );
+      ( "bdd-recycling",
+        [
+          Alcotest.test_case "reset restores baseline" `Quick
+            test_reset_restores_baseline;
+          Alcotest.test_case "recycled equals fresh" `Quick
+            test_recycled_equals_fresh;
+          Alcotest.test_case "pool recycles" `Quick test_pool_recycles;
+          Alcotest.test_case "reset invalidates transfer memo" `Quick
+            test_reset_invalidates_transfer_memo;
+        ] );
+      ( "obs-reset",
+        [
+          Alcotest.test_case "back-to-back identical" `Slow
+            test_obs_reset_back_to_back;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+          Alcotest.test_case "queue full" `Quick test_engine_queue_full;
+          Alcotest.test_case "queued cancel" `Quick test_engine_queued_cancel;
+          Alcotest.test_case "warm identity" `Slow test_engine_warm_identity;
+          Alcotest.test_case "faulted warm identity" `Slow
+            test_engine_faulted_warm_identity;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end" `Slow test_server_end_to_end;
+          Alcotest.test_case "disconnect cancels" `Slow
+            test_server_disconnect_cancels;
+        ] );
+    ]
