@@ -75,10 +75,26 @@
 # with a note when BENCH_SERVE_JOBS shrinks the run below the
 # baseline's job count, since the queue-wait profile then differs.
 #
+# Gate 8 (sat): the incremental CDCL core. Runs `bench/main.exe sat`
+# (the sweep kernel on the Table 2 fast subset plus SAT-bound
+# cross-architecture miters) at -j 1 and -j 4. The bench itself exits
+# non-zero when a sweep loses equivalence or a swept BLIF's md5 differs
+# from the seed solver's (the md5s are machine-independent, so this is
+# the bit-identical-BLIF check against the pre-arena core). On top the
+# gate requires (a) the "det" solver-stat objects of the two runs to be
+# byte-identical — conflict counts, reductions, deletions and arena
+# peaks are Det-class and must not depend on the pool size; (b) the
+# fresh miter total to beat the recorded seed total within SAT_GATE_PCT
+# (default 0 — the rewrite is ~5x faster, so even 0% slack leaves a
+# several-fold margin for slow hosts); and (c) the database-reduction
+# machinery to demonstrably fire: nonzero reduction totals in the bench
+# and nonzero sat.reductions / sat.learnts_deleted in a full driver
+# report on a Table 2 circuit (dalu).
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
 # Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1
 # / SKIP_OBS_GATE=1 / SKIP_GUARD_GATE=1 / SKIP_BDDPAR_GATE=1 /
-# SKIP_SERVE_GATE=1.
+# SKIP_SERVE_GATE=1 / SKIP_SAT_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -102,8 +118,13 @@ guard_r4="${TMPDIR:-/tmp}/BENCH_guard.r4.$$.json"
 bddpar_fresh="${TMPDIR:-/tmp}/BENCH_bddpar.fresh.$$.json"
 serve_fresh="${TMPDIR:-/tmp}/BENCH_serve.fresh.$$.json"
 serve_dir="${TMPDIR:-/tmp}/serve_gate.$$"
+sat_r1="${TMPDIR:-/tmp}/BENCH_sat.r1.$$.json"
+sat_r4="${TMPDIR:-/tmp}/BENCH_sat.r4.$$.json"
+sat_report="${TMPDIR:-/tmp}/BENCH_sat.report.$$.json"
 trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4" \
-  "$guard_r1" "$guard_r4" "$bddpar_fresh" "$serve_fresh"; rm -rf "$serve_dir"' EXIT
+  "$guard_r1" "$guard_r4" "$bddpar_fresh" "$serve_fresh" \
+  "$sat_r1" "$sat_r4" "$sat_report" "$sat_r1.det" "$sat_r4.det"; \
+  rm -rf "$serve_dir"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
   awk -v want="$2" '
@@ -464,6 +485,84 @@ else
 
   if [ "$serve_ok" = 1 ]; then
     echo "check_regression: serve gate OK"
+  else
+    fail=1
+  fi
+fi
+
+# ------------------------------------------------------------------
+# Gate 8: incremental SAT core (identity, -j det stats, speed, reduction)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_SAT_GATE:-0}" = 1 ]; then
+  echo "check_regression: sat gate skipped (SKIP_SAT_GATE=1)"
+else
+  sat_pct="${SAT_GATE_PCT:-0}"
+  sat_ok=1
+
+  # (a) The bench asserts sweep equivalence and seed-BLIF md5 identity
+  # itself (non-zero exit on violation), at both pool sizes.
+  if ! BENCH_SAT_OUT="$sat_r1" dune exec bench/main.exe -- sat -j 1; then
+    echo "check_regression: FAIL — sat gate: bench failed at -j 1" >&2
+    sat_ok=0
+  fi
+  if ! BENCH_SAT_OUT="$sat_r4" dune exec bench/main.exe -- sat -j 4 \
+       >/dev/null; then
+    echo "check_regression: FAIL — sat gate: bench failed at -j 4" >&2
+    sat_ok=0
+  fi
+
+  if [ "$sat_ok" = 1 ]; then
+    # (b) Det-class solver stats must be byte-identical across -j.
+    grep -o '"det": {[^}]*}' "$sat_r1" > "$sat_r1.det"
+    grep -o '"det": {[^}]*}' "$sat_r4" > "$sat_r4.det"
+    if ! cmp -s "$sat_r1.det" "$sat_r4.det"; then
+      echo "check_regression: FAIL — sat gate: det solver stats differ between -j 1 and -j 4" >&2
+      sat_ok=0
+    fi
+
+    sat_field() { # sat_field <file> <key> -> value from the totals line
+      awk -v k="\"$2\":" '
+        /"totals":/ && index($0, k) {
+          v = substr($0, index($0, k) + length(k))
+          sub(/^[ ]*/, "", v); sub(/[,} ].*/, "", v)
+          print v; exit
+        }' "$1"
+    }
+
+    # (c) Miter total within bound of the recorded seed total.
+    fresh_s=$(sat_field "$sat_r1" miter_s)
+    seed_s=$(sat_field "$sat_r1" baseline_miter_s)
+    if [ -z "$fresh_s" ] || [ -z "$seed_s" ]; then
+      echo "check_regression: FAIL — sat gate: could not extract miter totals" >&2
+      sat_ok=0
+    else
+      echo "sat miters: seed ${seed_s}s, fresh ${fresh_s}s (limit +${sat_pct}%)"
+      if ! awk -v o="$seed_s" -v n="$fresh_s" -v p="$sat_pct" \
+           'BEGIN { exit !(n <= o * (1 + p / 100.0)) }'; then
+        echo "check_regression: FAIL — sat gate: miter total ${fresh_s}s exceeds seed ${seed_s}s (+${sat_pct}%)" >&2
+        sat_ok=0
+      fi
+    fi
+
+    # (d) Database reduction must actually fire — in the bench...
+    if [ "$(sat_field "$sat_r1" reductions)" = 0 ]; then
+      echo "check_regression: FAIL — sat gate: no clause-database reductions in the bench run" >&2
+      sat_ok=0
+    fi
+    # ...and in a full driver flow on a Table 2 circuit.
+    dune exec bin/lookahead_opt.exe -- opt -c dalu --time-limit 0 -j 1 \
+      --report "$sat_report" >/dev/null
+    red=$(grep -o '"sat.reductions":[0-9]*' "$sat_report" | head -1 | cut -d: -f2)
+    del=$(grep -o '"sat.learnts_deleted":[0-9]*' "$sat_report" | head -1 | cut -d: -f2)
+    if [ "${red:-0}" = 0 ] || [ "${del:-0}" = 0 ]; then
+      echo "check_regression: FAIL — sat gate: dalu driver report shows reductions=${red:-?} deleted=${del:-?}" >&2
+      sat_ok=0
+    fi
+  fi
+
+  if [ "$sat_ok" = 1 ]; then
+    echo "check_regression: sat gate OK"
   else
     fail=1
   fi

@@ -85,7 +85,15 @@ let submit_cmd =
     Arg.(
       value & opt int 0
       & info [ "budget-sat" ] ~docv:"N"
-          ~doc:"Tenant SAT conflict ceiling (0 = unlimited).")
+          ~doc:"Tenant SAT conflict ceiling per query (0 = unlimited).")
+  in
+  let sat_total =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-sat-total" ] ~docv:"N"
+          ~doc:
+            "Tenant cumulative SAT conflict budget across all of the job's \
+             queries (0 = unlimited).")
   in
   let deadline =
     Arg.(
@@ -102,8 +110,8 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the optimized circuit as BLIF.")
   in
-  let run socket tcp circuit blif bench adder tool nodes sat deadline inject
-      time_limit progress out_blif report_file verbose =
+  let run socket tcp circuit blif bench adder tool nodes sat sat_total deadline
+      inject time_limit progress out_blif report_file verbose =
     Cli.setup_logs verbose;
     let source =
       Cli.resolve_source
@@ -117,6 +125,7 @@ let submit_cmd =
           {
             Msg.bdd_node_ceiling = nodes;
             sat_conflict_ceiling = sat;
+            sat_conflict_budget = sat_total;
             deadline_s = deadline;
           };
         inject;
@@ -161,7 +170,8 @@ let submit_cmd =
           served image of $(b,lookahead_opt opt).")
     Term.(
       const run $ socket_arg $ tcp_arg $ Cli.circuit_term $ Cli.blif_term
-      $ Cli.bench_term $ Cli.adder_term $ tool $ nodes $ sat $ deadline
+      $ Cli.bench_term $ Cli.adder_term $ tool $ nodes $ sat $ sat_total
+      $ deadline
       $ Cli.inject_term $ Cli.time_limit_term $ progress $ out_blif
       $ Cli.report_term $ verbose_arg)
 

@@ -25,14 +25,30 @@ let m_sat_conflicts = Obs.counter "sat.conflicts"
 let m_sat_decisions = Obs.counter "sat.decisions"
 let m_sat_propagations = Obs.counter "sat.propagations"
 let m_sat_restarts = Obs.counter "sat.restarts"
+let m_sat_reductions = Obs.counter "sat.reductions"
+let m_sat_learnts_deleted = Obs.counter "sat.learnts_deleted"
+let m_sat_minimized = Obs.counter "sat.minimized_lits"
+let m_sat_vivified = Obs.counter "sat.vivified_lits"
+let g_sat_learnts_live = Obs.gauge "sat.learnts_live"
+let g_sat_arena_peak = Obs.gauge "sat.arena_peak_words"
 let sp_check = Obs.span "cec.check"
 
+(* Each [check]/sweep uses a fresh solver, so its cumulative stats are
+   this unit's deltas; counters add across units, gauges keep the
+   per-run peak. All Det-classified: the solver is single-threaded and
+   free of randomness, so these are identical at any [-j]. *)
 let record_solver_stats solver =
   let s = Sat.Solver.stats solver in
   Obs.add m_sat_conflicts s.Sat.Solver.conflicts;
   Obs.add m_sat_decisions s.Sat.Solver.decisions;
   Obs.add m_sat_propagations s.Sat.Solver.propagations;
-  Obs.add m_sat_restarts s.Sat.Solver.restarts
+  Obs.add m_sat_restarts s.Sat.Solver.restarts;
+  Obs.add m_sat_reductions s.Sat.Solver.reductions;
+  Obs.add m_sat_learnts_deleted s.Sat.Solver.learnts_deleted;
+  Obs.add m_sat_minimized s.Sat.Solver.minimized_lits;
+  Obs.add m_sat_vivified s.Sat.Solver.vivified_lits;
+  Obs.gauge_max g_sat_learnts_live s.Sat.Solver.learnts_live;
+  Obs.gauge_max g_sat_arena_peak s.Sat.Solver.arena_peak_words
 
 (* Build a miter graph: shared inputs, one XOR literal per output pair.
    Strashing makes structurally identical cones collapse, so many pairs
@@ -233,16 +249,22 @@ let sweep_check ~guard acc g live =
       None
     | r -> r
   in
+  (* One batched miter query per candidate pair: a fresh selector [t]
+     implies the disequality ([t -> x <> y], two clauses), and the query
+     assumes [t]. Unsat under [t] proves [x == y]; Sat hands back a
+     refuting model. Compared to the two directional queries
+     ([x && not y], then [not x && y]) this derives the shared
+     propagations once, and a retired selector is free: unasserted, its
+     clauses are satisfied by the saved-phase default [t = false]. *)
   let prove_equal x y =
     let lx = sat_lit x and ly = sat_lit y in
-    match solve_bounded [ lx; -ly ] with
+    let t = Sat.Solver.new_var solver in
+    Sat.Solver.add_clause solver [ -t; lx; ly ];
+    Sat.Solver.add_clause solver [ -t; -lx; -ly ];
+    match solve_bounded [ t ] with
     | Some Sat.Solver.Sat -> `Refuted (cex_pattern ())
     | None -> `Unknown
-    | Some Sat.Solver.Unsat -> (
-      match solve_bounded [ -lx; ly ] with
-      | Some Sat.Solver.Sat -> `Refuted (cex_pattern ())
-      | None -> `Unknown
-      | Some Sat.Solver.Unsat -> `Proved)
+    | Some Sat.Solver.Unsat -> `Proved
   in
   let try_merge id =
     let members = List.rev !(bucket_of id) in

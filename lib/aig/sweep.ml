@@ -9,6 +9,12 @@ let m_sat_conflicts = Obs.counter "sat.conflicts"
 let m_sat_decisions = Obs.counter "sat.decisions"
 let m_sat_propagations = Obs.counter "sat.propagations"
 let m_sat_restarts = Obs.counter "sat.restarts"
+let m_sat_reductions = Obs.counter "sat.reductions"
+let m_sat_learnts_deleted = Obs.counter "sat.learnts_deleted"
+let m_sat_minimized = Obs.counter "sat.minimized_lits"
+let m_sat_vivified = Obs.counter "sat.vivified_lits"
+let g_sat_learnts_live = Obs.gauge "sat.learnts_live"
+let g_sat_arena_peak = Obs.gauge "sat.arena_peak_words"
 
 let sat_sweep ?(guard = Guard.none) ?(rounds = 8) ?(max_pairs = 2000) g =
   let nn = Graph.num_nodes g in
@@ -93,23 +99,23 @@ let sat_sweep ?(guard = Guard.none) ?(rounds = 8) ?(max_pairs = 2000) g =
             if Graph.node_of_lit rep_lit <> id then begin
               let a = sat_lit (Graph.lit_of_node id false) in
               let b = sat_lit (if flipped then Graph.bnot rep_lit else rep_lit) in
-              Obs.add m_sat_calls 2;
-              (* Guarded with limit 0 (= unlimited unless the budget
-                 caps it): [None] simply skips the merge, which is
-                 always sound. Both queries run unconditionally so the
-                 solver-work counters stay identical to the unguarded
-                 code path. *)
-              let ne1 =
-                Sat.Solver.solve_limited ~guard ~assumptions:[ a; -b ]
+              Obs.incr m_sat_calls;
+              (* One batched miter query per pair: a fresh selector [t]
+                 implies the disequality ([t -> a <> b]), assumed for
+                 this query only. Unsat proves [a == b] in one solve
+                 instead of the two directional queries. Guarded with
+                 limit 0 (= unlimited unless the budget caps it):
+                 [None] simply skips the merge, which is always sound.
+                 A retired selector costs nothing — unasserted, its
+                 clauses are satisfied by the default phase [t = false]. *)
+              let t = Sat.Solver.new_var solver in
+              Sat.Solver.add_clause solver [ -t; a; b ];
+              Sat.Solver.add_clause solver [ -t; -a; -b ];
+              let ne =
+                Sat.Solver.solve_limited ~guard ~assumptions:[ t ]
                   ~conflict_limit:0 solver
               in
-              let ne2 =
-                Sat.Solver.solve_limited ~guard ~assumptions:[ -a; b ]
-                  ~conflict_limit:0 solver
-              in
-              if
-                ne1 = Some Sat.Solver.Unsat && ne2 = Some Sat.Solver.Unsat
-              then begin
+              if ne = Some Sat.Solver.Unsat then begin
                 Obs.incr m_merges;
                 Hashtbl.replace subst id
                   (if flipped then Graph.bnot rep_lit else rep_lit)
@@ -121,7 +127,13 @@ let sat_sweep ?(guard = Guard.none) ?(rounds = 8) ?(max_pairs = 2000) g =
        Obs.add m_sat_conflicts s.Sat.Solver.conflicts;
        Obs.add m_sat_decisions s.Sat.Solver.decisions;
        Obs.add m_sat_propagations s.Sat.Solver.propagations;
-       Obs.add m_sat_restarts s.Sat.Solver.restarts);
+       Obs.add m_sat_restarts s.Sat.Solver.restarts;
+       Obs.add m_sat_reductions s.Sat.Solver.reductions;
+       Obs.add m_sat_learnts_deleted s.Sat.Solver.learnts_deleted;
+       Obs.add m_sat_minimized s.Sat.Solver.minimized_lits;
+       Obs.add m_sat_vivified s.Sat.Solver.vivified_lits;
+       Obs.gauge_max g_sat_learnts_live s.Sat.Solver.learnts_live;
+       Obs.gauge_max g_sat_arena_peak s.Sat.Solver.arena_peak_words);
       if Hashtbl.length subst = 0 then Graph.cleanup g
       else begin
         (* Rebuild with substitutions applied. *)

@@ -74,10 +74,21 @@ let () =
     | _ -> None)
 
 module Budget = struct
-  type t = { bdd_node_ceiling : int; sat_conflict_ceiling : int }
+  type t = {
+    bdd_node_ceiling : int;
+    sat_conflict_ceiling : int;
+    sat_conflict_budget : int;
+  }
 
-  let default = { bdd_node_ceiling = 48_000_000; sat_conflict_ceiling = 0 }
-  let unlimited = { bdd_node_ceiling = 0; sat_conflict_ceiling = 0 }
+  let default =
+    {
+      bdd_node_ceiling = 48_000_000;
+      sat_conflict_ceiling = 0;
+      sat_conflict_budget = 0;
+    }
+
+  let unlimited =
+    { bdd_node_ceiling = 0; sat_conflict_ceiling = 0; sat_conflict_budget = 0 }
 end
 
 (* Hit counters are per-context, per-rule mutable state. Contexts are
@@ -91,6 +102,9 @@ type t = {
   budget : Budget.t;
   deadline : Deadline.t;
   mutable hits : int array;
+  mutable sat_spent : int;
+      (* cumulative conflicts reported by guarded SAT calls; only
+         mutated on guarded contexts so the shared [none] stays pure *)
 }
 
 let none =
@@ -99,10 +113,11 @@ let none =
     budget = Budget.unlimited;
     deadline = Deadline.never;
     hits = [||];
+    sat_spent = 0;
   }
 
 let create ?(deadline = Deadline.never) budget =
-  { guarded = true; budget; deadline; hits = [||] }
+  { guarded = true; budget; deadline; hits = [||]; sat_spent = 0 }
 
 let budget t = t.budget
 let deadline t = t.deadline
@@ -120,16 +135,22 @@ let divide t n =
   if not t.guarded then List.init n (fun _ -> none)
   else
     List.init n (fun i ->
-        let ceiling = t.budget.Budget.bdd_node_ceiling in
-        let part =
-          if ceiling <= 0 then ceiling (* unlimited stays unlimited *)
-          else max 1 ((ceiling / n) + if i < ceiling mod n then 1 else 0)
+        let split whole =
+          if whole <= 0 then whole (* unlimited stays unlimited *)
+          else max 1 ((whole / n) + if i < whole mod n then 1 else 0)
         in
         {
           guarded = true;
-          budget = { t.budget with Budget.bdd_node_ceiling = part };
+          budget =
+            {
+              t.budget with
+              Budget.bdd_node_ceiling = split t.budget.Budget.bdd_node_ceiling;
+              Budget.sat_conflict_budget =
+                split t.budget.Budget.sat_conflict_budget;
+            };
           deadline = t.deadline;
           hits = [||];
+          sat_spent = 0;
         })
 
 module Inject = struct
@@ -305,11 +326,28 @@ let tick_sat t ~site =
   end
   else false
 
+(* The per-call ceiling and the cumulative budget compose by taking the
+   tightest positive bound; [<= 0] on any side means "no opinion". The
+   cumulative remainder is floored at 1 so a nearly spent budget still
+   caps the last call instead of reading as unlimited — full exhaustion
+   is [sat_exhausted], checked by the caller before the call. *)
 let sat_limit t ~requested =
-  let c = t.budget.Budget.sat_conflict_ceiling in
-  if c <= 0 then requested
-  else if requested <= 0 then c
-  else min requested c
+  let cap v limit =
+    if limit <= 0 then v else if v <= 0 then limit else min v limit
+  in
+  let v = cap requested t.budget.Budget.sat_conflict_ceiling in
+  let b = t.budget.Budget.sat_conflict_budget in
+  if b <= 0 then v else cap v (max 1 (b - t.sat_spent))
+
+let sat_exhausted t =
+  t.guarded
+  && t.budget.Budget.sat_conflict_budget > 0
+  && t.sat_spent >= t.budget.Budget.sat_conflict_budget
+
+let sat_spend t ~conflicts =
+  if t.guarded && conflicts > 0 then t.sat_spent <- t.sat_spent + conflicts
+
+let sat_spent t = t.sat_spent
 
 let check_deadline t ~site =
   if t.guarded then begin

@@ -89,6 +89,14 @@ module Budget : sig
         (** Caps the [conflict_limit] of every guarded
             [Sat.Solver.solve_limited] call. [<= 0] means the caller's
             own limit stands. *)
+    sat_conflict_budget : int;
+        (** Cumulative conflict budget across {e all} guarded SAT calls
+            of a context's lifetime (one sweep, one job): each call
+            reports its conflicts back via {!sat_spend}, {!sat_limit}
+            tightens per-call limits to the remainder, and once spent
+            ({!sat_exhausted}) further calls return no verdict. [<= 0]
+            means unlimited. Unlike [sat_conflict_ceiling], this bounds
+            a sweep of thousands of cheap queries in aggregate. *)
   }
 
   (** 48M BDD nodes, no SAT cap — far above anything the paper's
@@ -167,8 +175,22 @@ val bdd_ceiling : t -> int
 val tick_sat : t -> site:string -> bool
 
 (** Effective conflict limit: the caller's [requested] capped by the
-    budget's ceiling ([<= 0] on either side meaning unlimited). *)
+    budget's per-call ceiling and by what remains of the cumulative
+    budget ([<= 0] on any side meaning unlimited; the cumulative
+    remainder is floored at 1 — see {!sat_exhausted}). *)
 val sat_limit : t -> requested:int -> int
+
+(** [true] once a positive cumulative [sat_conflict_budget] is fully
+    spent: the caller must report "no verdict" ([None]) without running
+    the query. Always [false] for {!none} or an unlimited budget. *)
+val sat_exhausted : t -> bool
+
+(** Report [conflicts] consumed by a guarded SAT call back to the
+    context's cumulative spend. No-op on {!none}. *)
+val sat_spend : t -> conflicts:int -> unit
+
+(** Cumulative conflicts reported so far (diagnostics / tests). *)
+val sat_spent : t -> int
 
 (** [check_deadline t ~site] raises {!Blowup}[ Time] when the context's
     deadline has expired (real, [injected = false]) or an armed

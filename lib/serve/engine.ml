@@ -95,6 +95,19 @@ let validate (spec : Msg.submit) =
     else Error ("bad_request", Printf.sprintf "unknown tool %S" spec.tool)
   in
   let* () =
+    (* Budget fields are "0 = default/unlimited"; negative values are
+       always a client mistake, so reject them at admission instead of
+       silently treating them as defaults. *)
+    let b = spec.budget in
+    if
+      b.Msg.bdd_node_ceiling < 0
+      || b.Msg.sat_conflict_ceiling < 0
+      || b.Msg.sat_conflict_budget < 0
+      || b.Msg.deadline_s < 0.0
+    then Error ("bad_request", "budget fields must be non-negative")
+    else Ok ()
+  in
+  let* () =
     match spec.source with
     | Msg.Named n ->
       if known_circuit n then Ok ()
@@ -124,6 +137,9 @@ let guard_budget_of (b : Msg.budget) =
     sat_conflict_ceiling =
       (if b.sat_conflict_ceiling > 0 then b.sat_conflict_ceiling
        else Guard.Budget.default.Guard.Budget.sat_conflict_ceiling);
+    sat_conflict_budget =
+      (if b.sat_conflict_budget > 0 then b.sat_conflict_budget
+       else Guard.Budget.default.Guard.Budget.sat_conflict_budget);
   }
 
 (* The job's wall bound: the smaller of the driver's anytime budget

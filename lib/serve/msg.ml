@@ -17,11 +17,17 @@ let source_name = function
 type budget = {
   bdd_node_ceiling : int;
   sat_conflict_ceiling : int;
+  sat_conflict_budget : int;
   deadline_s : float;
 }
 
 let default_budget =
-  { bdd_node_ceiling = 0; sat_conflict_ceiling = 0; deadline_s = 0.0 }
+  {
+    bdd_node_ceiling = 0;
+    sat_conflict_ceiling = 0;
+    sat_conflict_budget = 0;
+    deadline_s = 0.0;
+  }
 
 type submit = {
   source : source;
@@ -135,6 +141,7 @@ let budget_to_json b =
     [
       ("bdd_nodes", J.Int b.bdd_node_ceiling);
       ("sat_conflicts", J.Int b.sat_conflict_ceiling);
+      ("sat_conflict_budget", J.Int b.sat_conflict_budget);
       ("deadline_s", J.Float b.deadline_s);
     ]
 
@@ -307,6 +314,9 @@ let budget_of_json = function
   | Some j ->
     let* bdd_node_ceiling = opt_int_field j "bdd_nodes" ~default:0 in
     let* sat_conflict_ceiling = opt_int_field j "sat_conflicts" ~default:0 in
+    let* sat_conflict_budget =
+      opt_int_field j "sat_conflict_budget" ~default:0
+    in
     let* deadline =
       match J.member "deadline_s" j with
       | Some (J.Float f) -> Ok f
@@ -318,6 +328,7 @@ let budget_of_json = function
       {
         bdd_node_ceiling;
         sat_conflict_ceiling;
+        sat_conflict_budget;
         deadline_s = deadline;
       }
 

@@ -29,6 +29,9 @@ val source_name : source -> string
 type budget = {
   bdd_node_ceiling : int;
   sat_conflict_ceiling : int;
+  sat_conflict_budget : int;
+      (** cumulative conflicts across all of the job's SAT queries;
+          [0] = unlimited (see [Guard.Budget.sat_conflict_budget]) *)
   deadline_s : float;
 }
 

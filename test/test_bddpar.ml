@@ -166,7 +166,11 @@ let test_divided_budget_retry () =
     else
       let guard =
         Guard.create
-          { Guard.Budget.bdd_node_ceiling = c; sat_conflict_ceiling = 0 }
+          {
+            Guard.Budget.bdd_node_ceiling = c;
+            sat_conflict_ceiling = 0;
+            sat_conflict_budget = 0;
+          }
       in
       let before = retries () in
       match run ~guard (Bdd.create ()) with

@@ -83,7 +83,7 @@ let test_budget_limits () =
     (Guard.bdd_ceiling Guard.none);
   let t =
     Guard.create
-      { Guard.Budget.bdd_node_ceiling = 100; sat_conflict_ceiling = 5 }
+      { Guard.Budget.bdd_node_ceiling = 100; sat_conflict_ceiling = 5; sat_conflict_budget = 0 }
   in
   Alcotest.(check int) "bdd ceiling" 100 (Guard.bdd_ceiling t);
   Alcotest.(check int) "sat cap caps" 5 (Guard.sat_limit t ~requested:4000);
@@ -98,7 +98,7 @@ let test_divide () =
   quiesce ();
   let t =
     Guard.create
-      { Guard.Budget.bdd_node_ceiling = 100; sat_conflict_ceiling = 5 }
+      { Guard.Budget.bdd_node_ceiling = 100; sat_conflict_ceiling = 5; sat_conflict_budget = 0 }
   in
   let parts = Guard.divide t 3 in
   Alcotest.(check int) "three parts" 3 (List.length parts);
@@ -113,7 +113,7 @@ let test_divide () =
      though that over-commits the total. *)
   let tiny =
     Guard.create
-      { Guard.Budget.bdd_node_ceiling = 2; sat_conflict_ceiling = 0 }
+      { Guard.Budget.bdd_node_ceiling = 2; sat_conflict_ceiling = 0; sat_conflict_budget = 0 }
   in
   List.iter
     (fun p -> Alcotest.(check int) "floor of one node" 1 (Guard.bdd_ceiling p))
@@ -121,7 +121,7 @@ let test_divide () =
   (* Unlimited stays unlimited; [none] divides into inert guards. *)
   let unl =
     Guard.create
-      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 0 }
+      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 0; sat_conflict_budget = 0 }
   in
   List.iter
     (fun p ->
@@ -137,13 +137,96 @@ let test_divide () =
        false
      with Invalid_argument _ -> true)
 
+let test_cumulative_sat_budget () =
+  quiesce ();
+  let t =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 0;
+        sat_conflict_budget = 10 }
+  in
+  (* The remainder caps every request; spending shrinks the remainder. *)
+  Alcotest.(check int) "fresh budget caps request" 10
+    (Guard.sat_limit t ~requested:4000);
+  Guard.sat_spend t ~conflicts:7;
+  Alcotest.(check int) "spend recorded" 7 (Guard.sat_spent t);
+  Alcotest.(check int) "remainder caps request" 3
+    (Guard.sat_limit t ~requested:4000);
+  Alcotest.(check int) "smaller request stands" 2
+    (Guard.sat_limit t ~requested:2);
+  Alcotest.(check bool) "not yet exhausted" false (Guard.sat_exhausted t);
+  Guard.sat_spend t ~conflicts:3;
+  Alcotest.(check bool) "exhausted at the budget" true (Guard.sat_exhausted t);
+  (* Overspend (a query granted the floor of 1 may overshoot) is benign. *)
+  Guard.sat_spend t ~conflicts:5;
+  Alcotest.(check bool) "still exhausted" true (Guard.sat_exhausted t);
+  (* The per-query ceiling composes with the remainder: min wins. *)
+  let both =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 4;
+        sat_conflict_budget = 10 }
+  in
+  Alcotest.(check int) "ceiling tighter than remainder" 4
+    (Guard.sat_limit both ~requested:4000);
+  Guard.sat_spend both ~conflicts:8;
+  Alcotest.(check int) "remainder tighter than ceiling" 2
+    (Guard.sat_limit both ~requested:4000);
+  (* Inert guards never track spend and never exhaust. *)
+  Guard.sat_spend Guard.none ~conflicts:1000;
+  Alcotest.(check int) "none never spends" 0 (Guard.sat_spent Guard.none);
+  Alcotest.(check bool) "none never exhausts" false
+    (Guard.sat_exhausted Guard.none)
+
+let test_cumulative_sat_budget_solver () =
+  quiesce ();
+  (* An exhausted budget makes [solve_limited] return [None] without
+     touching the solver, exactly like an exhausted per-query cap. *)
+  let t =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 0;
+        sat_conflict_budget = 5 }
+  in
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ 1; 2 ];
+  Sat.Solver.add_clause s [ -1; 2 ];
+  Alcotest.(check bool) "first query answers" true
+    (Sat.Solver.solve_limited ~guard:t ~conflict_limit:0 s
+    = Some Sat.Solver.Sat);
+  (* Drain the budget by hand (the easy queries above conflict little). *)
+  Guard.sat_spend t ~conflicts:5;
+  Alcotest.(check bool) "exhausted query yields no verdict" true
+    (Sat.Solver.solve_limited ~guard:t ~conflict_limit:0 s = None);
+  Alcotest.(check bool) "unguarded solver still answers" true
+    (Sat.Solver.solve_limited ~conflict_limit:0 s = Some Sat.Solver.Sat)
+
+let test_divide_splits_sat_budget () =
+  quiesce ();
+  let t =
+    Guard.create
+      { Guard.Budget.bdd_node_ceiling = 0; sat_conflict_ceiling = 0;
+        sat_conflict_budget = 10 }
+  in
+  Guard.sat_spend t ~conflicts:4;
+  let parts = Guard.divide t 3 in
+  Alcotest.(check int) "shares sum to the whole budget" 10
+    (List.fold_left (fun acc p -> acc + Guard.sat_limit p ~requested:0) 0 parts);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "shares start unspent" 0 (Guard.sat_spent p))
+    parts;
+  (* Unlimited budgets divide into unlimited shares. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "unlimited share" true
+        (Guard.sat_limit p ~requested:0 = 0 || Guard.sat_limit p ~requested:0 > 1000))
+    (Guard.divide Guard.none 4)
+
 let test_bdd_real_ceiling () =
   quiesce ();
   (* A genuinely exhausted node budget raises a non-injected Blowup
      from the allocation point, with no injection armed at all. *)
   let guard =
     Guard.create
-      { Guard.Budget.bdd_node_ceiling = 40; sat_conflict_ceiling = 0 }
+      { Guard.Budget.bdd_node_ceiling = 40; sat_conflict_ceiling = 0; sat_conflict_budget = 0 }
   in
   let man = Bdd.create ~guard () in
   let blown =
@@ -379,6 +462,12 @@ let () =
         [
           Alcotest.test_case "ceilings and caps" `Quick test_budget_limits;
           Alcotest.test_case "divide splits node budget" `Quick test_divide;
+          Alcotest.test_case "cumulative sat budget" `Quick
+            test_cumulative_sat_budget;
+          Alcotest.test_case "cumulative budget gates the solver" `Quick
+            test_cumulative_sat_budget_solver;
+          Alcotest.test_case "divide splits sat budget" `Quick
+            test_divide_splits_sat_budget;
           Alcotest.test_case "real bdd ceiling blows up typed" `Quick
             test_bdd_real_ceiling;
           Alcotest.test_case "injected sat exhaustion" `Quick

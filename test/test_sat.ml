@@ -111,6 +111,153 @@ let prop_incremental =
       ignore nvars;
       r1 = r2)
 
+(* ------------------------------------------------------------------ *)
+(* Assumptions vs brute force, vivification modes                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cnf_with_assumptions =
+  let open QCheck.Gen in
+  let lit nvars = map2 (fun v s -> if s then v else -v) (int_range 1 nvars) bool in
+  let clause nvars = list_size (int_range 1 3) (lit nvars) in
+  let g =
+    int_range 1 8 >>= fun nvars ->
+    list_size (int_range 1 25) (clause nvars) >>= fun cls ->
+    list_size (int_range 0 3) (lit nvars) >>= fun assumptions ->
+    return (nvars, cls, assumptions)
+  in
+  QCheck.make
+    ~print:(fun (n, cls, assumptions) ->
+      Printf.sprintf "nvars=%d cnf=%s assume=[%s]" n
+        (String.concat " & "
+           (List.map
+              (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+              cls))
+        (String.concat ";" (List.map string_of_int assumptions)))
+    g
+
+let prop_assumptions_vs_brute_force =
+  (* Assumptions must behave exactly like temporary unit clauses: the
+     verdict matches a brute-force run with the units added, a SAT model
+     satisfies both the clauses and the assumptions, and — because the
+     same solver answers all the queries of one instance back to back —
+     the incremental reuse path is exercised on every sample. *)
+  qtest ~count:400 "assumptions behave as temporary unit clauses"
+    gen_cnf_with_assumptions (fun (nvars, cls, assumptions) ->
+      let s = Solver.create ~reduce_base:20 () in
+      List.iter (Solver.add_clause s) cls;
+      let expected =
+        brute_force_sat nvars (List.map (fun l -> [ l ]) assumptions @ cls)
+      in
+      let got = Solver.solve ~assumptions s = Solver.Sat in
+      (if got then
+         let holds l =
+           if l > 0 then Solver.value s l else not (Solver.value s (-l))
+         in
+         if
+           not
+             (List.for_all (fun c -> List.exists holds c) cls
+             && List.for_all holds assumptions)
+         then QCheck.Test.fail_report "model violates clauses or assumptions");
+      (* The assumptions must not stick: solving the base formula again
+         must agree with brute force on the clauses alone. *)
+      let base = Solver.solve s = Solver.Sat in
+      got = expected && base = brute_force_sat nvars cls)
+
+let prop_vivify_modes_agree =
+  qtest ~count:200 "vivification on/off gives the same verdicts" gen_cnf
+    (fun (nvars, cls) ->
+      let on = Solver.create ~vivify:true ~reduce_base:20 () in
+      let off = Solver.create ~vivify:false ~reduce_base:20 () in
+      List.iter (Solver.add_clause on) cls;
+      List.iter (Solver.add_clause off) cls;
+      let expected = brute_force_sat nvars cls in
+      Solver.solve on = Solver.Sat = expected
+      && Solver.solve off = Solver.Sat = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction determinism and assumption reuse across reductions        *)
+(* ------------------------------------------------------------------ *)
+
+(* Pigeonhole clauses for [n] pigeons in [holes] holes over variables
+   starting at [base + 1]; unsatisfiable when [n > holes], with enough
+   conflicts to push a small [reduce_base] through several reductions. *)
+let pigeonhole_clauses ?(base = 0) n holes =
+  let v i j = base + (i * holes) + j + 1 in
+  let at_least = List.init n (fun i -> List.init holes (fun j -> v i j)) in
+  let at_most = ref [] in
+  for j = 0 to holes - 1 do
+    for i = 0 to n - 1 do
+      for k = i + 1 to n - 1 do
+        at_most := [ -v i j; -v k j ] :: !at_most
+      done
+    done
+  done;
+  at_least @ List.rev !at_most
+
+let solve_php_stats () =
+  let s = Solver.create ~reduce_base:50 () in
+  List.iter (Solver.add_clause s) (pigeonhole_clauses 6 5);
+  let r = Solver.solve s in
+  (r, Solver.stats s)
+
+let test_reduction_determinism () =
+  (* Reduction points are indexed by conflict count, never by time or
+     scheduling, so a fresh solver on the same formula must produce
+     bit-identical statistics no matter what pool it runs under. *)
+  let reference = solve_php_stats () in
+  let r, st = reference in
+  Alcotest.(check bool) "php(6,5) unsat" true (r = Solver.Unsat);
+  Alcotest.(check bool) "reductions fired" true (st.Solver.reductions > 0);
+  Alcotest.(check bool)
+    "learnts deleted" true
+    (st.Solver.learnts_deleted > 0);
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> Par.Pool.shutdown pool)
+        (fun () ->
+          let runs =
+            Par.map_list ~pool
+              (fun _ -> solve_php_stats ())
+              (List.init jobs (fun i -> i))
+          in
+          List.iter
+            (fun run ->
+              Alcotest.(check bool)
+                (Printf.sprintf "stats identical at -j %d" jobs)
+                true (run = reference))
+            runs))
+    [ 1; 2; 4 ]
+
+let test_assumptions_across_reduction () =
+  (* A relaxed pigeonhole: selector [r] added positively to every
+     clause, so [~assumptions:[-r]] poses the hard unsat instance and
+     [~assumptions:[r]] is trivially satisfiable. The hard query drives
+     the conflict count through several reduction points; the later
+     queries reuse the same solver — and its surviving learnts — across
+     those reductions and must still answer correctly. *)
+  let r = 31 in
+  let s = Solver.create ~reduce_base:50 () in
+  List.iter
+    (fun c -> Solver.add_clause s (r :: c))
+    (pigeonhole_clauses 6 5);
+  Alcotest.(check bool)
+    "hard branch unsat" true
+    (Solver.solve ~assumptions:[ -r ] s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "reductions fired" true (st.Solver.reductions > 0);
+  Alcotest.(check bool)
+    "relaxed branch sat" true
+    (Solver.solve ~assumptions:[ r ] s = Solver.Sat);
+  Alcotest.(check bool) "model sets r" true (Solver.value s r);
+  Alcotest.(check bool)
+    "hard branch still unsat" true
+    (Solver.solve ~assumptions:[ -r ] s = Solver.Unsat);
+  Alcotest.(check bool)
+    "formula without assumptions sat" true
+    (Solver.solve s = Solver.Sat)
+
 let () =
   Alcotest.run "sat"
     [
@@ -122,5 +269,14 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_assumptions;
           prop_random_cnf;
           prop_incremental;
+        ] );
+      ( "cdcl",
+        [
+          prop_assumptions_vs_brute_force;
+          prop_vivify_modes_agree;
+          Alcotest.test_case "reduction stats identical at -j 1/2/4" `Quick
+            test_reduction_determinism;
+          Alcotest.test_case "assumption reuse across reductions" `Quick
+            test_assumptions_across_reduction;
         ] );
     ]

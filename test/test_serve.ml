@@ -122,6 +122,7 @@ let submit_spec =
       {
         Msg.bdd_node_ceiling = 1000;
         sat_conflict_ceiling = 7;
+        sat_conflict_budget = 0;
         deadline_s = 2.5;
       };
     inject = Some "bdd@500:r";
@@ -478,7 +479,17 @@ let test_engine_validation () =
     "unknown adder kind" "bad_request";
   bad
     { small_job with Msg.inject = Some "gremlin@3" }
-    "bad inject spec" "bad_request"
+    "bad inject spec" "bad_request";
+  bad
+    { small_job with
+      Msg.budget = { Msg.default_budget with Msg.sat_conflict_budget = -5 }
+    }
+    "negative sat budget" "bad_request";
+  bad
+    { small_job with
+      Msg.budget = { Msg.default_budget with Msg.bdd_node_ceiling = -1 }
+    }
+    "negative node ceiling" "bad_request"
 
 let test_engine_queue_full () =
   quiesce ();
