@@ -91,10 +91,19 @@
 # and nonzero sat.reductions / sat.learnts_deleted in a full driver
 # report on a Table 2 circuit (dalu).
 #
+# Gate 9 (obs-telem): the telemetry layer. Runs `bench/main.exe obs`
+# (the serve-bench job mix through an in-process engine, journaling off
+# vs journaling to a rotated JSONL file with periodic Metrics scrapes;
+# the bench itself exits non-zero unless every job completes, the
+# journal file validates, and the journal's Det digest is identical
+# across warm -j 1, warm -j 4 and cold runs) and on top bounds the
+# enabled-telemetry overhead at OBS_TELEM_GATE_PCT% (default 3) of the
+# disabled baseline — production telemetry must be near-free.
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
 # Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1
 # / SKIP_OBS_GATE=1 / SKIP_GUARD_GATE=1 / SKIP_BDDPAR_GATE=1 /
-# SKIP_SERVE_GATE=1 / SKIP_SAT_GATE=1.
+# SKIP_SERVE_GATE=1 / SKIP_SAT_GATE=1 / SKIP_OBS_TELEM_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -121,9 +130,11 @@ serve_dir="${TMPDIR:-/tmp}/serve_gate.$$"
 sat_r1="${TMPDIR:-/tmp}/BENCH_sat.r1.$$.json"
 sat_r4="${TMPDIR:-/tmp}/BENCH_sat.r4.$$.json"
 sat_report="${TMPDIR:-/tmp}/BENCH_sat.report.$$.json"
+obs_telem_fresh="${TMPDIR:-/tmp}/BENCH_obs.fresh.$$.json"
 trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4" \
   "$guard_r1" "$guard_r4" "$bddpar_fresh" "$serve_fresh" \
-  "$sat_r1" "$sat_r4" "$sat_report" "$sat_r1.det" "$sat_r4.det"; \
+  "$sat_r1" "$sat_r4" "$sat_report" "$sat_r1.det" "$sat_r4.det" \
+  "$obs_telem_fresh"; \
   rm -rf "$serve_dir"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
@@ -564,6 +575,42 @@ else
   if [ "$sat_ok" = 1 ]; then
     echo "check_regression: sat gate OK"
   else
+    fail=1
+  fi
+fi
+
+# ------------------------------------------------------------------
+# Gate 9: telemetry (overhead bound + journal Det-digest identity)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_OBS_TELEM_GATE:-0}" = 1 ]; then
+  echo "check_regression: obs-telem gate skipped (SKIP_OBS_TELEM_GATE=1)"
+else
+  obs_telem_pct="${OBS_TELEM_GATE_PCT:-3}"
+
+  # `bench obs` exits non-zero itself on incompletion, an invalid
+  # journal file, or a digest divergence across -j / warm-cold.
+  if BENCH_OBS_OUT="$obs_telem_fresh" dune exec bench/main.exe -- obs; then
+    overhead=$(awk '
+      /"overhead_pct":/ {
+        v = $0; sub(/.*"overhead_pct": /, "", v); sub(/[,} ].*/, "", v)
+        print v; exit
+      }' "$obs_telem_fresh")
+    if [ -z "$overhead" ]; then
+      echo "check_regression: FAIL — obs-telem gate: could not parse $obs_telem_fresh" >&2
+      fail=1
+    else
+      echo "telemetry overhead: ${overhead}% (limit +${obs_telem_pct}%)"
+      if awk -v o="$overhead" -v p="$obs_telem_pct" \
+           'BEGIN { exit !(o <= p + 0.0) }'; then
+        echo "check_regression: obs-telem gate OK"
+      else
+        echo "check_regression: FAIL — enabled telemetry costs ${overhead}% (> ${obs_telem_pct}%)" >&2
+        fail=1
+      fi
+    fi
+  else
+    echo "check_regression: FAIL — obs-telem gate: bench obs failed" >&2
     fail=1
   fi
 fi

@@ -43,6 +43,17 @@
                                                   $BENCH_SERVE_JOBS,
                                                   $BENCH_SERVE_WINDOW,
                                                   $BENCH_SERVE_FAULT_EVERY)
+     dune exec bench/main.exe obs             -- telemetry cost + journal
+                                                 determinism: engine runs with
+                                                 journaling off vs on (+ live
+                                                 Metrics scrapes), then the
+                                                 journal Det digest across
+                                                 -j 1/4 and warm/cold
+                                                 (BENCH_obs.json /
+                                                  $BENCH_OBS_OUT; knobs:
+                                                  $BENCH_OBS_JOBS,
+                                                  $BENCH_OBS_ID_JOBS,
+                                                  $BENCH_OBS_REPS)
      dune exec bench/main.exe all             -- everything (fast table2)
 
    Observation (lib/obs) plumbing:
@@ -52,6 +63,11 @@
      check-report FILE                        -- validate a --report JSON file
                                                  (schema, types, invariants)
      check-trace FILE                         -- validate a --trace JSON file
+     check-exposition FILE                    -- validate a Prometheus-style
+                                                 metrics exposition (the
+                                                 server's `metrics` output)
+     check-journal FILE                       -- validate a JSONL job journal
+                                                 (--journal / Obs.Journal)
      compare-reports A B                      -- compare the deterministic
                                                  subtrees of two reports
 
@@ -1561,6 +1577,194 @@ let compare_reports a b =
       | Some p -> p
       | None -> "<structure>")
 
+(* Validate a Prometheus-style text exposition (the [metrics] request):
+   comment lines are # HELP / # TYPE, every sample belongs to a typed
+   family, histogram bucket series are cumulative, monotone and end at
+   le="+Inf" with a matching _count sample. *)
+let check_exposition path =
+  let text = read_file path in
+  let types = Hashtbl.create 16 in
+  (* (family, labels-without-le) -> (le, value) list, newest first *)
+  let buckets : (string, (string * float) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let counts : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let n_samples = ref 0 in
+  let name_ok n =
+    n <> ""
+    && (not (n.[0] >= '0' && n.[0] <= '9'))
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '_' || c = ':')
+         n
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if line = "" then ()
+      else if line.[0] = '#' then
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: name :: [ typ ] ->
+          if not (List.mem typ [ "counter"; "gauge"; "histogram" ]) then
+            fail "check-exposition: %s:%d: unknown type %s" path ln typ;
+          Hashtbl.replace types name typ
+        | "#" :: "HELP" :: name :: _ when name_ok name -> ()
+        | _ -> fail "check-exposition: %s:%d: malformed comment" path ln
+      else begin
+        let sp =
+          match String.rindex_opt line ' ' with
+          | Some p -> p
+          | None -> fail "check-exposition: %s:%d: no sample value" path ln
+        in
+        let name_part = String.sub line 0 sp in
+        let value =
+          match
+            float_of_string_opt
+              (String.sub line (sp + 1) (String.length line - sp - 1))
+          with
+          | Some v -> v
+          | None -> fail "check-exposition: %s:%d: non-numeric value" path ln
+        in
+        let name, labels =
+          match String.index_opt name_part '{' with
+          | None -> (name_part, [])
+          | Some b ->
+            if name_part.[String.length name_part - 1] <> '}' then
+              fail "check-exposition: %s:%d: unterminated labels" path ln;
+            let body =
+              String.sub name_part (b + 1) (String.length name_part - b - 2)
+            in
+            let labels =
+              List.map
+                (fun kv ->
+                  match String.index_opt kv '=' with
+                  | Some e
+                    when String.length kv > e + 2
+                         && kv.[e + 1] = '"'
+                         && kv.[String.length kv - 1] = '"' ->
+                    ( String.sub kv 0 e,
+                      String.sub kv (e + 2) (String.length kv - e - 3) )
+                  | _ ->
+                    fail "check-exposition: %s:%d: malformed label %S" path
+                      ln kv)
+                (String.split_on_char ',' body)
+            in
+            (String.sub name_part 0 b, labels)
+        in
+        if not (name_ok name) then
+          fail "check-exposition: %s:%d: bad metric name %S" path ln name;
+        let strip suf =
+          let ls = String.length suf and ln = String.length name in
+          if ln > ls && String.sub name (ln - ls) ls = suf then
+            Some (String.sub name 0 (ln - ls))
+          else None
+        in
+        let histo base =
+          match base with
+          | Some b when Hashtbl.find_opt types b = Some "histogram" -> Some b
+          | _ -> None
+        in
+        let series base =
+          base ^ "|"
+          ^ String.concat ","
+              (List.filter_map
+                 (fun (k, v) -> if k = "le" then None else Some (k ^ "=" ^ v))
+                 labels)
+        in
+        (match
+           ( histo (strip "_bucket"),
+             histo (strip "_sum"),
+             histo (strip "_count") )
+         with
+        | Some b, _, _ ->
+          let le =
+            match List.assoc_opt "le" labels with
+            | Some le -> le
+            | None ->
+              fail "check-exposition: %s:%d: bucket without le label" path ln
+          in
+          let key = series b in
+          Hashtbl.replace buckets key
+            ((le, value)
+            :: Option.value ~default:[] (Hashtbl.find_opt buckets key))
+        | None, Some _, _ -> ()
+        | None, None, Some b -> Hashtbl.replace counts (series b) value
+        | None, None, None ->
+          if not (Hashtbl.mem types name) then
+            fail "check-exposition: %s:%d: sample %s has no # TYPE" path ln
+              name);
+        n_samples := !n_samples + 1
+      end)
+    lines;
+  if !n_samples = 0 then fail "check-exposition: %s: no samples" path;
+  Hashtbl.iter
+    (fun key series ->
+      let series = List.rev series in
+      (match List.rev series with
+      | ("+Inf", last) :: _ -> (
+        match Hashtbl.find_opt counts key with
+        | Some c when c = last -> ()
+        | Some c ->
+          fail "check-exposition: %s: %s _count %g <> +Inf bucket %g" path
+            key c last
+        | None -> fail "check-exposition: %s: %s has no _count" path key)
+      | _ -> fail "check-exposition: %s: %s does not end at +Inf" path key);
+      ignore
+        (List.fold_left
+           (fun prev (_, v) ->
+             if v < prev then
+               fail "check-exposition: %s: %s buckets not cumulative" path
+                 key;
+             v)
+           0.0 series))
+    buckets;
+  Printf.printf "exposition OK: %s (%d sample(s), %d familie(s))\n" path
+    !n_samples (Hashtbl.length types)
+
+(* Validate a JSONL job journal (--journal / Obs.Journal file sink):
+   every line parses, seq strictly increases, kinds are non-empty, and
+   a served run contains at least one admission and one completion. *)
+let check_journal path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "check-journal: %s: empty journal" path;
+  let last_seq = ref (-1) in
+  let kinds = Hashtbl.create 16 in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match Obs.Json.of_string line with
+      | None -> fail "check-journal: %s:%d: not valid JSON" path ln
+      | Some j ->
+        (match Obs.Json.member "seq" j with
+        | Some (Obs.Json.Int seq) ->
+          if seq <= !last_seq then
+            fail "check-journal: %s:%d: seq %d not increasing" path ln seq;
+          last_seq := seq
+        | _ -> fail "check-journal: %s:%d: missing integer seq" path ln);
+        (match Obs.Json.member "ts_ns" j with
+        | Some (Obs.Json.Int ts) when ts >= 0 -> ()
+        | _ -> fail "check-journal: %s:%d: missing ts_ns" path ln);
+        (match Obs.Json.member "kind" j with
+        | Some (Obs.Json.String k) when k <> "" ->
+          Hashtbl.replace kinds k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
+        | _ -> fail "check-journal: %s:%d: missing kind" path ln))
+    lines;
+  let count k = Option.value ~default:0 (Hashtbl.find_opt kinds k) in
+  if count "job.admitted" = 0 then
+    fail "check-journal: %s: no job.admitted event" path;
+  if count "job.finished" = 0 then
+    fail "check-journal: %s: no job.finished event" path;
+  Printf.printf "journal OK: %s (%d event(s), %d kind(s))\n" path
+    (List.length lines) (Hashtbl.length kinds)
+
 (* ------------------------------------------------------------------- *)
 (* serve: load-bench the persistent job server (lib/serve). An          *)
 (* in-process server on a temp Unix socket receives a deterministic mix *)
@@ -1761,6 +1965,188 @@ let serve_bench () =
   if not identical then
     fail "bench serve: warm server diverged from cold runs"
 
+(* ------------------------------------------------------------------- *)
+(* obs: telemetry cost + journal determinism. The same clean/faulted    *)
+(* job mix as the serve bench runs through an in-process engine twice   *)
+(* per rep — journaling off vs journaling to a file with periodic       *)
+(* metrics scrapes — and the min-of-reps walls give the enabled         *)
+(* overhead. Then the journal's Det digest (order-insensitive hash of   *)
+(* every Det payload) is required to be identical warm -j1 / warm -j4 / *)
+(* cold -j1. JSON to BENCH_obs.json (or $BENCH_OBS_OUT);                *)
+(* check_regression.sh gate 9 bounds the overhead and requires the      *)
+(* identity.                                                            *)
+(* ------------------------------------------------------------------- *)
+
+let obs_bench () =
+  let module Msg = Serve.Msg in
+  let env_int name default =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v > 0 -> v
+      | _ -> fail "bench obs: %s='%s' is not a positive int" name s)
+  in
+  let njobs = env_int "BENCH_OBS_JOBS" 28 in
+  let id_jobs = env_int "BENCH_OBS_ID_JOBS" 14 in
+  let reps = env_int "BENCH_OBS_REPS" 2 in
+  let fault_every = 10 in
+  let faulted i = i mod fault_every = fault_every - 1 in
+  let spec_of i =
+    let kind, bits =
+      match i mod 7 with
+      | 0 -> ("ripple", 8)
+      | 1 -> ("cla", 8)
+      | 2 -> ("cla", 12)
+      | 3 -> ("select", 8)
+      | 4 -> ("cla", 16)
+      | 5 -> ("select", 12)
+      | _ -> ("select", 16)
+    in
+    let base =
+      Msg.submit_defaults ~source:(Msg.Adder { kind; bits }) ~tool:"lookahead"
+    in
+    let base = { base with Msg.time_limit_s = Some 0.0 } in
+    if faulted i then
+      {
+        base with
+        Msg.inject = Some "bdd@200:r";
+        budget = { Msg.default_budget with Msg.bdd_node_ceiling = 30_000 };
+      }
+    else base
+  in
+  let all_completed = ref true in
+  (* One engine lifetime per measured run: submit [n] jobs, wait for the
+     executor to drain, return the wall. [scrape] polls the Metrics
+     endpoint from this domain while jobs run — the live-monitoring
+     cost belongs in the enabled measurement. *)
+  let run_engine ~scrape n =
+    let ndone = Atomic.make 0 in
+    let engine =
+      Serve.Engine.create
+        ~on_event:(fun ev ->
+          match ev with
+          | Serve.Engine.Job_done { result; _ } ->
+            if result.Msg.state <> Msg.Done then all_completed := false;
+            Atomic.incr ndone
+          | Serve.Engine.Job_progress _ -> ())
+        { Serve.Engine.queue_capacity = n + 4; reuse_managers = true }
+    in
+    Serve.Engine.start engine;
+    let t0 = Guard.Clock.now_s () in
+    for i = 0 to n - 1 do
+      match Serve.Engine.submit engine ~tenant:0 (spec_of i) with
+      | Ok _ -> ()
+      | Error (code, msg) ->
+        fail "bench obs: submit rejected (%s): %s" code msg
+    done;
+    let scraped = ref 0 in
+    while Atomic.get ndone < n do
+      Unix.sleepf 0.002;
+      if scrape && Atomic.get ndone / 5 > !scraped then begin
+        scraped := Atomic.get ndone / 5;
+        ignore (Serve.Engine.metrics engine)
+      end
+    done;
+    let wall = Guard.Clock.now_s () -. t0 in
+    Serve.Engine.stop engine;
+    wall
+  in
+  let journal_file =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lookahead_obs_bench_%d.jsonl" (Unix.getpid ()))
+  in
+  (* Warm the process (circuit generators, BDD pool, code paths) before
+     timing anything. *)
+  ignore (run_engine ~scrape:false njobs);
+  let base_s = ref infinity and enab_s = ref infinity in
+  let journal_events = ref 0 and journal_rotations = ref 0 in
+  for _ = 1 to reps do
+    Obs.Journal.disable ();
+    base_s := Float.min !base_s (run_engine ~scrape:false njobs);
+    Obs.Journal.enable ~file:journal_file ();
+    enab_s := Float.min !enab_s (run_engine ~scrape:true njobs);
+    journal_events := Obs.Journal.events_total ();
+    journal_rotations := Obs.Journal.rotations ()
+  done;
+  Obs.Journal.disable ();
+  (try check_journal journal_file
+   with e ->
+     Sys.remove journal_file;
+     raise e);
+  Sys.remove journal_file;
+  let overhead_pct = (!enab_s -. !base_s) /. !base_s *. 100.0 in
+  (* Det-payload identity: the digest folds (count, sum, xor) over the
+     FNV-1a of every Det payload, so it is independent of event order —
+     the only thing domain count or warm state may change. *)
+  let digest_of ~jobs ~warm n =
+    Par.set_default_jobs jobs;
+    Obs.Journal.enable ();
+    if warm then ignore (run_engine ~scrape:false n)
+    else begin
+      Obs.enable ();
+      for i = 0 to n - 1 do
+        let r = Serve.Engine.run_cold (spec_of i) in
+        if r.Msg.state <> Msg.Done then
+          fail "bench obs: cold job %d did not complete" i
+      done
+    end;
+    let d = Obs.Journal.det_digest () in
+    Obs.Journal.disable ();
+    d
+  in
+  let d_warm1 = digest_of ~jobs:1 ~warm:true id_jobs in
+  let d_warm4 = digest_of ~jobs:4 ~warm:true id_jobs in
+  let d_cold1 = digest_of ~jobs:1 ~warm:false id_jobs in
+  Par.set_default_jobs 0;
+  let nonempty =
+    match String.index_opt d_warm1 ':' with
+    | Some i -> int_of_string (String.sub d_warm1 0 i) > 0
+    | None -> false
+  in
+  let identical =
+    nonempty && String.equal d_warm1 d_warm4 && String.equal d_warm1 d_cold1
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_OBS_OUT" with
+    | Some p -> p
+    | None -> "BENCH_obs.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"lookahead-bench-obs/1\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"baseline_s\": %.4f,\n\
+    \  \"enabled_s\": %.4f,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"journal\": { \"events\": %d, \"rotations\": %d },\n\
+    \  \"identity\": {\n\
+    \    \"jobs\": %d,\n\
+    \    \"warm_j1\": \"%s\",\n\
+    \    \"warm_j4\": \"%s\",\n\
+    \    \"cold_j1\": \"%s\",\n\
+    \    \"identical\": %b\n\
+    \  },\n\
+    \  \"all_completed\": %b\n\
+     }\n"
+    njobs reps !base_s !enab_s overhead_pct !journal_events
+    !journal_rotations id_jobs d_warm1 d_warm4 d_cold1 identical
+    !all_completed;
+  close_out oc;
+  Printf.printf
+    "obs: %d jobs x%d, journal off %.3fs / on %.3fs (%+.2f%%), digest %s \
+     -> %s\n\
+     %!"
+    njobs reps !base_s !enab_s overhead_pct
+    (if identical then "identical" else "DIVERGED")
+    out;
+  if not !all_completed then fail "bench obs: not every job completed";
+  if not identical then
+    fail "bench obs: journal Det digest diverged across -j / warm-cold"
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   (* Shared CLI dialect (Serve.Cli): -j N / --jobs N / -jN, the
@@ -1776,6 +2162,8 @@ let () =
   match args with
   | [ "check-report"; path ] -> check_report path
   | [ "check-trace"; path ] -> check_trace path
+  | [ "check-exposition"; path ] -> check_exposition path
+  | [ "check-journal"; path ] -> check_journal path
   | [ "compare-reports"; a; b ] -> compare_reports a b
   | args ->
   let args = if args = [] then [ "all" ] else args in
@@ -1810,6 +2198,7 @@ let () =
       | "bddpar" -> bddpar_bench ()
       | "sat" -> sat_bench ()
       | "serve" -> serve_bench ()
+      | "obs" -> obs_bench ()
       | "profile" -> profile ()
       | "all" ->
         table1 ();

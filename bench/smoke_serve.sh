@@ -1,11 +1,13 @@
 #!/bin/sh
-# Job-server smoke test: start `lookahead_serve run` on a scratch Unix
-# socket, submit one small clean job and one fault-injected job, assert
-# a well-formed success and a well-formed degradation response, then
-# shut the server down and require it to exit cleanly.
+# Job-server smoke test: start `lookahead_serve run` (with a journal
+# file and an SLO spec) on a scratch Unix socket, submit one small
+# clean job and one fault-injected job, assert a well-formed success
+# and a well-formed degradation response, scrape and validate the
+# telemetry surfaces (metrics exposition, per-job trace, top, journal
+# JSONL), then shut the server down and require it to exit cleanly.
 #
 # This is the cheap always-on CI check; the full warm-vs-cold identity
-# and latency gates live in check_regression.sh (gate 7).
+# and latency gates live in check_regression.sh (gates 7 and 9).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,9 +17,11 @@ out="${TMPDIR:-/tmp}/serve_smoke.$$"
 mkdir -p "$out"
 trap 'rm -rf "$out"; rm -f "$sock"' EXIT
 
-dune build bin/lookahead_serve.exe
+dune build bin/lookahead_serve.exe bench/main.exe
 
-dune exec bin/lookahead_serve.exe -- run -s "$sock" -j 2 >/dev/null 2>&1 &
+dune exec bin/lookahead_serve.exe -- run -s "$sock" -j 2 \
+  --journal "$out/journal.jsonl" --slo 'xs=60000,s=60000' \
+  >/dev/null 2>&1 &
 server_pid=$!
 i=0
 while [ ! -S "$sock" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i+1)); done
@@ -70,6 +74,41 @@ echo "$stats" | grep -q "submitted *: *2" || {
   echo "smoke_serve: FAIL — stats do not show 2 submissions" >&2; fail=1; }
 echo "$stats" | grep -q "completed *: *2" || {
   echo "smoke_serve: FAIL — stats do not show 2 completions" >&2; fail=1; }
+echo "$stats" | grep -q "slo" || {
+  echo "smoke_serve: FAIL — stats print no SLO table despite --slo" >&2
+  fail=1; }
+
+# Metrics endpoint: the text exposition must validate against the
+# bench grammar checker and account for both jobs.
+dune exec bin/lookahead_serve.exe -- metrics -s "$sock" \
+  -o "$out/metrics.prom" 2>/dev/null || {
+  echo "smoke_serve: FAIL — metrics scrape failed" >&2; fail=1; }
+dune exec bench/main.exe -- check-exposition "$out/metrics.prom" \
+  >/dev/null || {
+  echo "smoke_serve: FAIL — metrics exposition is malformed" >&2; fail=1; }
+grep -q 'lookahead_jobs_total{state="done"} 2' "$out/metrics.prom" || {
+  echo "smoke_serve: FAIL — exposition does not count 2 completed jobs" >&2
+  fail=1; }
+dune exec bin/lookahead_serve.exe -- metrics -s "$sock" --json \
+  2>/dev/null | grep -q '"schema": *"lookahead-metrics/1"' || {
+  echo "smoke_serve: FAIL — metrics JSON mirror missing schema" >&2
+  fail=1; }
+
+# Per-job trace: job 1 finished moments ago, so its Chrome-trace slice
+# must still be retained and well-formed.
+dune exec bin/lookahead_serve.exe -- trace -s "$sock" 1 \
+  -o "$out/trace1.json" 2>/dev/null || {
+  echo "smoke_serve: FAIL — trace request for job 1 failed" >&2; fail=1; }
+dune exec bench/main.exe -- check-trace "$out/trace1.json" >/dev/null || {
+  echo "smoke_serve: FAIL — retained job trace is malformed" >&2; fail=1; }
+
+# Live view, single CI iteration: plain output, must include the SLO
+# table header.
+dune exec bin/lookahead_serve.exe -- top -s "$sock" --iterations 1 \
+  >"$out/top.out" 2>/dev/null || {
+  echo "smoke_serve: FAIL — top failed" >&2; fail=1; }
+grep -q "breaches" "$out/top.out" || {
+  echo "smoke_serve: FAIL — top printed no SLO table" >&2; fail=1; }
 
 # Graceful shutdown: the request must be acknowledged and the server
 # process must exit on its own.
@@ -78,6 +117,13 @@ dune exec bin/lookahead_serve.exe -- shutdown -s "$sock" >/dev/null || {
 if ! wait "$server_pid"; then
   echo "smoke_serve: FAIL — server exited non-zero" >&2; fail=1
 fi
+
+# The journal must be valid JSONL with monotone seq and both lifecycle
+# events; validated after shutdown so the file is complete and closed.
+dune exec bench/main.exe -- check-journal "$out/journal.jsonl" \
+  >/dev/null || {
+  echo "smoke_serve: FAIL — job journal is missing or malformed" >&2
+  fail=1; }
 
 if [ "$fail" = 0 ]; then
   echo "smoke_serve: OK"

@@ -23,10 +23,10 @@ let opt_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
   let run circuit blif bench adder tool check out_blif verbose jobs time_limit
-      stats report_file trace inject =
+      stats report_file trace journal inject =
     Cli.setup_logs verbose;
     Cli.setup_jobs jobs;
-    let obs = { Cli.stats; report = report_file; trace } in
+    let obs = { Cli.stats; report = report_file; trace; journal } in
     Cli.setup_obs obs;
     Cli.setup_inject ~prog:"lookahead_opt" inject;
     let source =
@@ -58,7 +58,7 @@ let opt_cmd =
       const run $ Cli.circuit_term $ Cli.blif_term $ Cli.bench_term
       $ Cli.adder_term $ tool $ check $ out_blif $ verbose $ Cli.jobs_term
       $ Cli.time_limit_term $ Cli.stats_term $ Cli.report_term $ Cli.trace_term
-      $ Cli.inject_term)
+      $ Cli.journal_term $ Cli.inject_term)
 
 let timing_cmd =
   let circuit =
@@ -72,7 +72,7 @@ let timing_cmd =
   let run circuit tool jobs stats report_file trace =
     Cli.setup_logs false;
     Cli.setup_jobs jobs;
-    let obs = { Cli.stats; report = report_file; trace } in
+    let obs = { Cli.stats; report = report_file; trace; journal = None } in
     Cli.setup_obs obs;
     let g = Circuits.Suite.build circuit in
     let optimized = Run.tool ~options:(Cli.driver_options ()) tool g in

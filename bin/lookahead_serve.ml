@@ -49,9 +49,47 @@ let run_cmd =
             "Disable warm state (BDD manager recycling and circuit \
              interning); every job then runs as cold as the one-shot CLI.")
   in
-  let run socket tcp queue max_frame no_reuse jobs verbose =
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append the structured job journal as JSONL (one event per \
+             line; rotated to $(i,FILE).1 at $(b,--journal-max-bytes)).")
+  in
+  let journal_max_bytes =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "journal-max-bytes" ] ~docv:"BYTES"
+          ~doc:"Journal file-sink rotation threshold.")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "Per-size-class run-latency objectives, e.g. \
+             $(b,xs=50,s=200,m=1000): jobs of that class exceeding the \
+             objective (milliseconds) count as SLO breaches in $(b,stats), \
+             $(b,metrics) and $(b,top).")
+  in
+  let run socket tcp queue max_frame no_reuse journal journal_max_bytes slo
+      jobs verbose =
     Cli.setup_logs verbose;
     Cli.setup_jobs jobs;
+    let slo =
+      match slo with
+      | None -> []
+      | Some spec -> (
+        match Serve.Telemetry.parse_slo spec with
+        | Ok objectives -> objectives
+        | Error msg ->
+          Printf.eprintf "lookahead_serve: --slo: %s\n%!" msg;
+          exit 2)
+    in
     let listen = listen_of socket tcp in
     (match listen with
     | `Unix path -> Logs.app (fun m -> m "listening on unix:%s" path)
@@ -62,13 +100,16 @@ let run_cmd =
         queue_capacity = queue;
         max_frame;
         reuse_managers = not no_reuse;
+        journal;
+        journal_max_bytes;
+        slo;
       }
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the persistent synthesis job server.")
     Term.(
       const run $ socket_arg $ tcp_arg $ queue $ max_frame $ no_reuse
-      $ Cli.jobs_term $ verbose_arg)
+      $ journal $ journal_max_bytes $ slo $ Cli.jobs_term $ verbose_arg)
 
 let submit_cmd =
   let tool =
@@ -214,24 +255,135 @@ let cancel_cmd =
     (Cmd.info "cancel" ~doc:"Cancel one of this connection's jobs.")
     Term.(const run $ socket_arg $ tcp_arg $ id_arg)
 
+(* Shared by [stats] and [top]: one line per size class that has seen
+   jobs or carries an objective. *)
+let pp_slo_table ppf (slo : Msg.slo_stat list) =
+  if slo <> [] then begin
+    Fmt.pf ppf "slo       : %-4s %6s %6s %8s %8s %8s %9s %7s@." "cls" "jobs"
+      "objms" "p50ms" "p95ms" "p99ms" "breaches" "window";
+    List.iter
+      (fun (s : Msg.slo_stat) ->
+        Fmt.pf ppf "            %-4s %6d %6s %8.1f %8.1f %8.1f %9d %4d/%-3d@."
+          s.Msg.cls s.Msg.jobs
+          (if s.Msg.objective_ms > 0.0 then
+             Printf.sprintf "%.0f" s.Msg.objective_ms
+           else "-")
+          s.Msg.p50_ms s.Msg.p95_ms s.Msg.p99_ms s.Msg.breaches
+          s.Msg.window_breaches s.Msg.window)
+      slo
+  end
+
+let pp_stats ppf (s : Msg.server_stats) =
+  Fmt.pf ppf "submitted : %d@." s.Msg.submitted;
+  Fmt.pf ppf "completed : %d@." s.Msg.completed;
+  Fmt.pf ppf "failed    : %d@." s.Msg.failed;
+  Fmt.pf ppf "cancelled : %d@." s.Msg.cancelled;
+  Fmt.pf ppf "rejected  : %d@." s.Msg.rejected;
+  Fmt.pf ppf "queued    : %d / %d@." s.Msg.queued s.Msg.queue_capacity;
+  Fmt.pf ppf "running   : %b@." s.Msg.running;
+  Fmt.pf ppf "uptime    : %.1f s@." s.Msg.uptime_s;
+  Fmt.pf ppf "warm      : %d circuits, %d managers@." s.Msg.interned_circuits
+    s.Msg.pooled_managers;
+  pp_slo_table ppf s.Msg.slo
+
 let stats_cmd =
   let run socket tcp =
     let c = Client.connect (listen_of socket tcp) in
     let s = Client.stats c in
     Client.close c;
-    Fmt.pr "submitted : %d@." s.Msg.submitted;
-    Fmt.pr "completed : %d@." s.Msg.completed;
-    Fmt.pr "failed    : %d@." s.Msg.failed;
-    Fmt.pr "cancelled : %d@." s.Msg.cancelled;
-    Fmt.pr "queued    : %d / %d@." s.Msg.queued s.Msg.queue_capacity;
-    Fmt.pr "running   : %b@." s.Msg.running;
-    Fmt.pr "uptime    : %.1f s@." s.Msg.uptime_s;
-    Fmt.pr "warm      : %d circuits, %d managers@." s.Msg.interned_circuits
-      s.Msg.pooled_managers
+    Fmt.pr "%a" pp_stats s
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print server statistics.")
     Term.(const run $ socket_arg $ tcp_arg)
+
+let out_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write to $(i,FILE) instead of stdout.")
+
+let metrics_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the JSON mirror instead of the Prometheus-style text \
+             exposition.")
+  in
+  let run socket tcp json out =
+    let c = Client.connect (listen_of socket tcp) in
+    let text, j = Client.metrics c in
+    Client.close c;
+    let payload =
+      if json then Obs.Json.to_string j ^ "\n" else text
+    in
+    match out with
+    | None -> print_string payload
+    | Some path -> Cli.write_file path payload
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape the live metrics endpoint (Prometheus-style text, or \
+          $(b,--json)).")
+    Term.(const run $ socket_arg $ tcp_arg $ json $ out_file_arg)
+
+let trace_cmd =
+  let run socket tcp id out =
+    let c = Client.connect (listen_of socket tcp) in
+    let tr = Client.job_trace c id in
+    Client.close c;
+    let payload = Obs.Json.to_string tr ^ "\n" in
+    match out with
+    | None -> print_string payload
+    | Some path -> Cli.write_file path payload
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Fetch the retained Chrome-trace slice of a finished job (open in \
+          Perfetto or chrome://tracing). The server keeps the last few \
+          jobs only.")
+    Term.(const run $ socket_arg $ tcp_arg $ id_arg $ out_file_arg)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after N refreshes (0 = run until interrupted).")
+  in
+  let run socket tcp interval iterations =
+    let c = Client.connect (listen_of socket tcp) in
+    let rec go i =
+      let s = Client.stats c in
+      (* Clear + home only when looping; a single iteration (CI) keeps
+         plain, greppable output. *)
+      if iterations <> 1 then print_string "\027[2J\027[H";
+      Fmt.pr "lookahead_serve top — refresh %.1fs@." interval;
+      Fmt.pr "%a%!" pp_stats s;
+      if iterations = 0 || i < iterations then begin
+        Unix.sleepf interval;
+        go (i + 1)
+      end
+    in
+    (try go 1 with Failure msg -> Fmt.epr "top: %s@." msg);
+    Client.close c
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live server view: throughput counters and the per-size-class SLO \
+          table, refreshed in place.")
+    Term.(const run $ socket_arg $ tcp_arg $ interval $ iterations)
 
 let shutdown_cmd =
   let run socket tcp =
@@ -254,4 +406,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; submit_cmd; status_cmd; cancel_cmd; stats_cmd;
-            shutdown_cmd ]))
+            metrics_cmd; trace_cmd; top_cmd; shutdown_cmd ]))

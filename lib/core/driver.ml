@@ -419,13 +419,32 @@ let one_round opts ~deadline g =
            jump straight to the terminal rung — retrying cannot buy time
            back — with injected expiry counted [Det] (it fires on a tick
            count) and real expiry quarantined as [Sched]. *)
+        let journal_degrade rung =
+          (* Which output lands on which rung is a pure function of the
+             job (budgets and injected tick counts are Det), so the
+             payload is Det — the identity bench hashes it. *)
+          Obs.Journal.record ~kind:"guard.degrade"
+            ~det:
+              (Obs.Json.Obj
+                 [ ("rung", Obs.Json.String rung);
+                   ("output", Obs.Json.String o.Network.name) ])
+            ()
+        in
         let rec ladder rung =
           match attempt rung with
           | Ok r -> r
           | Error (Guard.Time, injected) ->
-            if injected then Obs.incr m_rung_skip
+            if injected then begin
+              Obs.incr m_rung_skip;
+              journal_degrade "skip_output"
+            end
             else begin
               Obs.incr m_guard_deadline_cut;
+              Obs.Journal.record ~kind:"guard.deadline_cut"
+                ~sched:
+                  (Obs.Json.Obj
+                     [ ("output", Obs.Json.String o.Network.name) ])
+                ();
               Log.debug (fun m ->
                   m "skip %s: deadline expired mid-decomposition"
                     o.Network.name)
@@ -435,12 +454,15 @@ let one_round opts ~deadline g =
             match rung with
             | `Exact ->
               Obs.incr m_rung_approx;
+              journal_degrade "approx_spcf";
               ladder `Approx
             | `Approx ->
               Obs.incr m_rung_shrink;
+              journal_degrade "shrink_window";
               ladder `Shrunk
             | `Shrunk ->
               Obs.incr m_rung_skip;
+              journal_degrade "skip_output";
               None)
         in
         ladder (if exact_spcf_eligible opts wnet then `Exact else `Approx)

@@ -307,10 +307,22 @@ let fires t fault site =
     rs;
   !fired
 
+(* Injection firings are deterministic (per-context tick counters), so
+   the journal payload is Det: the same faults fire at the same sites
+   in the same multiset at any [-j] and warm or cold. *)
+let journal_injected ~fault ~site =
+  Obs.Journal.record ~kind:"guard.injected"
+    ~det:
+      (Obs.Json.Obj
+         [ ("fault", Obs.Json.String fault);
+           ("site", Obs.Json.String site) ])
+    ()
+
 let tick_bdd t ~site =
   if t.guarded && Atomic.get Inject.on && fires t Inject.Bdd_blowup site
   then begin
     Obs.incr m_injected_bdd;
+    journal_injected ~fault:"bdd_blowup" ~site;
     raise (Blowup { resource = Bdd_nodes; site; injected = true })
   end
 
@@ -322,6 +334,7 @@ let tick_sat t ~site =
   if t.guarded && Atomic.get Inject.on && fires t Inject.Sat_exhaust site
   then begin
     Obs.incr m_injected_sat;
+    journal_injected ~fault:"sat_exhaust" ~site;
     true
   end
   else false
@@ -353,8 +366,15 @@ let check_deadline t ~site =
   if t.guarded then begin
     if Atomic.get Inject.on && fires t Inject.Deadline_expire site then begin
       Obs.incr m_injected_deadline;
+      journal_injected ~fault:"deadline_expire" ~site;
       raise (Blowup { resource = Time; site; injected = true })
     end;
-    if Deadline.expired t.deadline then
+    if Deadline.expired t.deadline then begin
+      (* Real expiry is pure scheduling: sched-only, excluded from the
+         journal's Det digest. *)
+      Obs.Journal.record ~kind:"guard.deadline"
+        ~sched:(Obs.Json.Obj [ ("site", Obs.Json.String site) ])
+        ();
       raise (Blowup { resource = Time; site; injected = false })
+    end
   end

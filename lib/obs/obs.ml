@@ -34,7 +34,13 @@ let hist_slots = hist_buckets + 2
 
 type span = { s_name : string; s_dur : int; s_cnt : int }
 
-type event = { e_name : string; e_tid : int; e_ts : int; e_dur : int }
+type event = {
+  e_name : string;
+  e_tid : int;
+  e_ts : int;
+  e_dur : int;
+  e_trace : string;
+}
 
 type sink = { mutable slots : int array; mutable events : event list }
 
@@ -181,6 +187,21 @@ let observe h v =
 let span_listener : (string -> int -> unit) option Atomic.t = Atomic.make None
 let set_span_listener f = Atomic.set span_listener f
 
+(* Trace correlation: one current trace id for the process (jobs run one
+   at a time on the executor; worker domains inherit it by reading the
+   same atomic). Stamped on every trace event; excluded from every Det
+   payload because which spans record while a trace is set depends on
+   scheduling only through the (deterministic) job boundaries. *)
+let current_trace : string Atomic.t = Atomic.make ""
+let set_trace id = Atomic.set current_trace id
+let trace_id () = Atomic.get current_trace
+
+(* Forward hook into [Journal] (defined below, after [Json]): when the
+   journal is enabled with a phase set, completed spans whose name is in
+   the set are journaled. One atomic load per span when off. *)
+let journal_on = Atomic.make false
+let journal_phase_hook : (string -> unit) ref = ref (fun _ -> ())
+
 let span_begin _s =
   if Atomic.get on then Int64.to_int (Clock.now_ns ()) else -1
 
@@ -196,8 +217,10 @@ let span_end sp token =
       { e_name = sp.s_name;
         e_tid = (Domain.self () :> int);
         e_ts = token;
-        e_dur = dur }
+        e_dur = dur;
+        e_trace = Atomic.get current_trace }
       :: s.events;
+    if Atomic.get journal_on then !journal_phase_hook sp.s_name;
     match Atomic.get span_listener with
     | None -> ()
     | Some f -> f sp.s_name dur
@@ -258,6 +281,28 @@ module Sink = struct
     s.slots <- [||];
     s.events <- []
 end
+
+(* GC probe: pull-model gauges from [Gc.quick_stat], registered at most
+   once per process. Heap shape depends on scheduling and allocation
+   interleaving, so everything is Sched and lands in the report's
+   ["runtime"] subtree. *)
+let gc_probe_registered = Atomic.make false
+
+let register_gc_probe () =
+  if not (Atomic.exchange gc_probe_registered true) then begin
+    let minor = gauge ~stability:Sched "gc.minor_collections" in
+    let major = gauge ~stability:Sched "gc.major_collections" in
+    let compactions = gauge ~stability:Sched "gc.compactions" in
+    let heap = gauge ~stability:Sched "gc.heap_words" in
+    let top = gauge ~stability:Sched "gc.top_heap_words" in
+    register_probe (fun () ->
+        let s = Gc.quick_stat () in
+        gauge_max minor s.Gc.minor_collections;
+        gauge_max major s.Gc.major_collections;
+        gauge_max compactions s.Gc.compactions;
+        gauge_max heap s.Gc.heap_words;
+        gauge_max top s.Gc.top_heap_words)
+  end
 
 let enable () =
   if not (Atomic.get on) then begin
@@ -526,6 +571,189 @@ module Json = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Journal                                                            *)
+(*                                                                    *)
+(* A bounded ring of typed lifecycle events (job admitted / started /  *)
+(* phase / degraded / cancelled / finished, injection firings) that    *)
+(* outlives per-job [reset] calls: it is a server-lifetime subsystem.  *)
+(* Each event splits its payload into a Det half (stable across -j and *)
+(* warm/cold for deterministic workloads) and a Sched half (ids,       *)
+(* timestamps, wall latencies). Identity is checked through a          *)
+(* commutative digest over the Det halves only, so the scheduling-     *)
+(* dependent ORDER in which domains append cannot break it, and ring   *)
+(* eviction cannot either (the digest accumulates at record time).     *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = struct
+  type entry = {
+    seq : int;
+    ts_ns : int;
+    trace : string;
+    kind : string;
+    det : Json.t;
+    sched : Json.t;
+  }
+
+  let mutex = Mutex.create ()
+
+  (* All mutable state below is guarded by [mutex]. *)
+  let ring : entry option array ref = ref [||]
+  let head = ref 0
+  let total = ref 0
+  let d_count = ref 0
+  let d_sum = ref 0L
+  let d_xor = ref 0L
+  let out : out_channel option ref = ref None
+  let out_path = ref ""
+  let out_bytes = ref 0
+  let out_max_bytes = ref (8 * 1024 * 1024)
+  let n_rotations = ref 0
+  let phases : string list Atomic.t = Atomic.make []
+
+  let locked f =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+  (* FNV-1a 64-bit over the canonical serialization of the Det payload;
+     combined order-insensitively (count, sum, xor) so any interleaving
+     of the same multiset of Det events yields the same digest. *)
+  let fnv1a64 s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h 0x100000001b3L)
+      s;
+    !h
+
+  let entry_json e =
+    Json.Obj
+      ([ ("seq", Json.Int e.seq);
+         ("ts_ns", Json.Int e.ts_ns);
+         ("kind", Json.String e.kind) ]
+       @ (if e.trace = "" then [] else [ ("trace", Json.String e.trace) ])
+       @ (match e.det with Json.Null -> [] | d -> [ ("det", d) ])
+       @ (match e.sched with Json.Null -> [] | s -> [ ("sched", s) ]))
+
+  (* Call with [mutex] held. *)
+  let rotate_locked oc =
+    close_out oc;
+    (try Sys.rename !out_path (!out_path ^ ".1") with Sys_error _ -> ());
+    out := Some (open_out !out_path);
+    out_bytes := 0;
+    n_rotations := !n_rotations + 1
+
+  let record ~kind ?(det = Json.Null) ?(sched = Json.Null) () =
+    if Atomic.get journal_on then begin
+      let ts = Int64.to_int (Clock.now_ns ()) in
+      let trace = Atomic.get current_trace in
+      locked (fun () ->
+          let e =
+            { seq = !total; ts_ns = ts; trace; kind; det; sched }
+          in
+          total := !total + 1;
+          (match det with
+           | Json.Null -> ()
+           | d ->
+             let h = fnv1a64 (kind ^ "\x00" ^ Json.to_string d) in
+             d_count := !d_count + 1;
+             d_sum := Int64.add !d_sum h;
+             d_xor := Int64.logxor !d_xor h);
+          let cap = Array.length !ring in
+          if cap > 0 then begin
+            !ring.(!head) <- Some e;
+            head := (!head + 1) mod cap
+          end;
+          match !out with
+          | None -> ()
+          | Some oc ->
+            let line = Json.to_string (entry_json e) in
+            let len = String.length line + 1 in
+            let oc =
+              if !out_bytes > 0 && !out_bytes + len > !out_max_bytes then begin
+                rotate_locked oc;
+                Option.get !out
+              end
+              else oc
+            in
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            out_bytes := !out_bytes + len)
+    end
+
+  let default_phases =
+    [ "opt.round"; "opt.balance"; "opt.polish"; "opt.sat_sweep";
+      "opt.final_cec" ]
+
+  let phase_hook name =
+    if List.mem name (Atomic.get phases) then
+      record ~kind:"phase"
+        ~det:(Json.Obj [ ("phase", Json.String name) ])
+        ()
+
+  let clear () =
+    locked (fun () ->
+        Array.fill !ring 0 (Array.length !ring) None;
+        head := 0;
+        total := 0;
+        d_count := 0;
+        d_sum := 0L;
+        d_xor := 0L)
+
+  let enable ?(capacity = 4096) ?file ?(file_max_bytes = 8 * 1024 * 1024)
+      ?(journal_phases = default_phases) () =
+    locked (fun () ->
+        (match !out with Some oc -> close_out oc | None -> ());
+        ring := Array.make (max 1 capacity) None;
+        head := 0;
+        total := 0;
+        d_count := 0;
+        d_sum := 0L;
+        d_xor := 0L;
+        n_rotations := 0;
+        out_bytes := 0;
+        out_max_bytes := max 4096 file_max_bytes;
+        (match file with
+         | None ->
+           out := None;
+           out_path := ""
+         | Some path ->
+           out_path := path;
+           out := Some (open_out path)));
+    Atomic.set phases journal_phases;
+    journal_phase_hook := phase_hook;
+    Atomic.set journal_on true
+
+  let disable () =
+    Atomic.set journal_on false;
+    locked (fun () ->
+        (match !out with Some oc -> close_out oc | None -> ());
+        out := None;
+        out_path := "")
+
+  let journaling () = Atomic.get journal_on
+
+  let entries () =
+    locked (fun () ->
+        let cap = Array.length !ring in
+        let acc = ref [] in
+        for i = 0 to cap - 1 do
+          match !ring.((!head + cap - 1 - i) mod cap) with
+          | Some e -> acc := e :: !acc
+          | None -> ()
+        done;
+        !acc)
+
+  let events_total () = locked (fun () -> !total)
+  let rotations () = locked (fun () -> !n_rotations)
+
+  let det_digest () =
+    locked (fun () ->
+        Printf.sprintf "%d:%016Lx:%016Lx" !d_count !d_sum !d_xor)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots and exports                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -558,6 +786,14 @@ let counter_value snap name =
 let sorted_metrics () =
   locked (fun () -> !metric_order)
   |> List.sort (fun a b -> String.compare a.m_name b.m_name)
+
+let counters snap =
+  List.filter_map
+    (fun m ->
+      if m.m_kind = Kcounter then
+        Some (m.m_name, m.m_stab, slot_value snap m.m_base)
+      else None)
+    (sorted_metrics ())
 
 let sorted_spans () =
   locked (fun () -> !span_order)
@@ -646,12 +882,17 @@ let trace_json snap =
     List.map
       (fun e ->
         Json.Obj
-          [ ("name", Json.String e.e_name);
-            ("ph", Json.String "X");
-            ("ts", Json.Float (float_of_int (e.e_ts - epoch) /. 1e3));
-            ("dur", Json.Float (float_of_int e.e_dur /. 1e3));
-            ("pid", Json.Int 1);
-            ("tid", Json.Int e.e_tid) ])
+          ([ ("name", Json.String e.e_name);
+             ("ph", Json.String "X");
+             ("ts", Json.Float (float_of_int (e.e_ts - epoch) /. 1e3));
+             ("dur", Json.Float (float_of_int e.e_dur /. 1e3));
+             ("pid", Json.Int 1);
+             ("tid", Json.Int e.e_tid) ]
+           @
+           if e.e_trace = "" then []
+           else
+             [ ("args",
+                Json.Obj [ ("trace", Json.String e.e_trace) ]) ]))
       events
   in
   Json.Obj

@@ -114,6 +114,21 @@ val span_end : span -> int -> unit
     atomic load per span when unset. *)
 val set_span_listener : (string -> int -> unit) option -> unit
 
+(** {1 Trace correlation}
+
+    One current trace id for the process, minted by the job engine at
+    admission ([t<tenant>.j<id>]) and set around each job's execution.
+    Every Chrome trace event records the trace id current at its
+    completion (in its [args]), and every {!Journal} entry carries it,
+    so spans, metrics and degradations are attributable to the job and
+    tenant that caused them. Trace ids are scheduling-scoped data: they
+    never enter a [Det] payload or the journal digest. *)
+
+val set_trace : string -> unit
+
+(** The current trace id ([""] when none is set). *)
+val trace_id : unit -> string
+
 (** {1 Sinks}
 
     One sink per domain is maintained automatically (domain-local, so
@@ -143,6 +158,13 @@ end
     counts, for instance — are not double-counted across snapshots. *)
 val register_probe : (unit -> unit) -> unit
 
+(** Register (once per process; later calls are no-ops) a pull-model
+    probe recording [Gc.quick_stat] as [Sched] gauges —
+    [gc.minor_collections], [gc.major_collections], [gc.compactions],
+    [gc.heap_words], [gc.top_heap_words] — in the report's ["runtime"]
+    subtree. *)
+val register_gc_probe : unit -> unit
+
 (** {1 Minimal JSON}
 
     Self-contained JSON tree with deterministic printing (object keys
@@ -170,6 +192,85 @@ module Json : sig
   val member : string -> t -> t option
 end
 
+(** {1 Journal}
+
+    A server-lifetime, bounded ring of typed lifecycle events (job
+    admitted/started/finished, phase completions, guard degradations
+    and injection firings) with an optional JSONL file sink. Unlike
+    metric sinks, the journal survives {!reset} — it spans jobs.
+
+    Each entry splits its payload: [det] holds data that is
+    bit-identical across [-j] and warm/cold for deterministic
+    workloads (circuit, tool, degradation rung, fault site); [sched]
+    holds ids, wall-clock latencies and anything scheduling-shaped.
+    Timestamps and trace ids ride alongside, outside both payloads.
+
+    The determinism contract is checked through {!det_digest}: a
+    commutative (count, sum, xor) combination of a 64-bit FNV-1a hash
+    of each entry's [kind] and serialized [det] payload. Commutativity
+    makes the digest independent of the order in which domains append;
+    accumulating at record time makes it independent of ring eviction.
+    Entries whose [det] payload is [Null] (cancellations, rejections,
+    real deadline cuts — events that exist only because of scheduling
+    or external action) are excluded from the digest. *)
+module Journal : sig
+  type entry = {
+    seq : int;          (** monotonically increasing admission number *)
+    ts_ns : int;        (** monotonic clock, Sched by nature *)
+    trace : string;     (** trace id current at record time, [""] if none *)
+    kind : string;      (** e.g. ["job.admitted"], ["guard.injected"] *)
+    det : Json.t;       (** Det-classified payload ([Null] = sched-only) *)
+    sched : Json.t;     (** Sched-classified payload ([Null] = none) *)
+  }
+
+  (** Start journaling. [capacity] bounds the in-memory ring (oldest
+      entries are evicted); [file] appends one JSON object per line,
+      rotated (renamed to [file ^ ".1"] and reopened) when it exceeds
+      [file_max_bytes]. [journal_phases] names the spans whose
+      completions are journaled as ["phase"] events (span counts are
+      deterministic for deadline-free runs; see DESIGN.md §4j). Resets
+      ring, digest and rotation state. *)
+  val enable :
+    ?capacity:int ->
+    ?file:string ->
+    ?file_max_bytes:int ->
+    ?journal_phases:string list ->
+    unit ->
+    unit
+
+  (** Stop journaling and close the file sink. *)
+  val disable : unit -> unit
+
+  val journaling : unit -> bool
+
+  (** Append an event (no-op when disabled). Thread-safe. *)
+  val record : kind:string -> ?det:Json.t -> ?sched:Json.t -> unit -> unit
+
+  (** Ring contents, oldest first. *)
+  val entries : unit -> entry list
+
+  (** The JSONL line for an entry ([Null] payloads omitted). *)
+  val entry_json : entry -> Json.t
+
+  (** Events recorded since {!enable}/{!clear}, including evicted. *)
+  val events_total : unit -> int
+
+  (** File-sink rotations since {!enable}. *)
+  val rotations : unit -> int
+
+  (** ["<count>:<sum>:<xor>"] over the Det payload hashes — the
+      telemetry identity contract (byte-identical across [-j] and
+      warm/cold for deterministic workloads). *)
+  val det_digest : unit -> string
+
+  (** Empty the ring and zero the digest (keeps the configuration and
+      file sink). For identity benches that compare runs. *)
+  val clear : unit -> unit
+
+  (** The spans journaled by default: the driver's top-level phases. *)
+  val default_phases : string list
+end
+
 (** {1 Snapshots and exports}
 
     Take snapshots only at quiescent points (every future awaited, no
@@ -182,6 +283,11 @@ val snapshot : unit -> snapshot
 
 (** Merged value of a counter (0 when never registered/recorded). *)
 val counter_value : snapshot -> string -> int
+
+(** All registered counters with their stability and merged value,
+    sorted by name — the fold-friendly view a server uses to
+    accumulate per-job snapshots into cumulative telemetry. *)
+val counters : snapshot -> (string * stability * int) list
 
 (** The machine report:
     [{"schema", "deterministic": {counters,gauges,histograms},

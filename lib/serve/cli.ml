@@ -41,6 +41,7 @@ type obs_flags = {
   stats : bool;
   report : string option;
   trace : string option;
+  journal : string option;
 }
 
 let stats_term =
@@ -70,10 +71,26 @@ let trace_term =
           "Write a Chrome trace-event file (open in Perfetto or \
            chrome://tracing).")
 
-let setup_obs { stats; report; trace } =
-  if stats || report <> None || trace <> None then Obs.enable ()
+let journal_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append the structured job journal as JSONL (one event per \
+           line, size-rotated; see $(b,Obs.Journal)). Implies recording.")
 
-let finish_obs { stats; report; trace } =
+let setup_obs { stats; report; trace; journal } =
+  if stats || report <> None || trace <> None || journal <> None then begin
+    Obs.enable ();
+    Obs.register_gc_probe ()
+  end;
+  match journal with
+  | Some file -> Obs.Journal.enable ~file ()
+  | None -> ()
+
+let finish_obs { stats; report; trace; journal } =
+  if journal <> None then Obs.Journal.disable ();
   if Obs.enabled () then begin
     let snap = Obs.snapshot () in
     (match report with
@@ -241,6 +258,7 @@ let strip_obs ~prog args =
   let stats = ref false in
   let report = ref None in
   let trace = ref None in
+  let journal = ref None in
   let rec go = function
     | "--stats" :: rest ->
       stats := true;
@@ -251,14 +269,19 @@ let strip_obs ~prog args =
     | "--trace" :: path :: rest ->
       trace := Some path;
       go rest
-    | [ ("--report" | "--trace") ] ->
-      Printf.eprintf "%s: --report/--trace require a file argument\n" prog;
+    | "--journal" :: path :: rest ->
+      journal := Some path;
+      go rest
+    | [ ("--report" | "--trace" | "--journal") ] ->
+      Printf.eprintf
+        "%s: --report/--trace/--journal require a file argument\n" prog;
       exit 2
     | arg :: rest -> arg :: go rest
     | [] -> []
   in
   let rest = go args in
-  (rest, { stats = !stats; report = !report; trace = !trace })
+  ( rest,
+    { stats = !stats; report = !report; trace = !trace; journal = !journal } )
 
 let strip_inject ~prog args =
   let rec go = function

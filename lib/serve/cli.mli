@@ -31,11 +31,16 @@ type obs_flags = {
   stats : bool;
   report : string option;
   trace : string option;
+  journal : string option;
 }
 
 val stats_term : bool Cmdliner.Term.t
 val report_term : string option Cmdliner.Term.t
 val trace_term : string option Cmdliner.Term.t
+val journal_term : string option Cmdliner.Term.t
+
+(** Any set flag enables recording plus the GC probe; [journal] also
+    opens the JSONL journal sink. *)
 val setup_obs : obs_flags -> unit
 
 (** Snapshot and export per the flags (summary to stderr, report/trace

@@ -114,6 +114,36 @@ let stats t =
   t.inbox <- List.rev !deferred @ t.inbox;
   s
 
+let metrics t =
+  send t Msg.Metrics;
+  let deferred = ref [] in
+  let m =
+    recv_where t
+      (function
+        | Msg.Metrics_reply { text; json } -> Some (text, json)
+        | Msg.Error_reply { code; message } ->
+          failwith (Printf.sprintf "metrics failed (%s): %s" code message)
+        | _ -> None)
+      (fun r -> deferred := r :: !deferred)
+  in
+  t.inbox <- List.rev !deferred @ t.inbox;
+  m
+
+let job_trace t id =
+  send t (Msg.Trace id);
+  let deferred = ref [] in
+  let tr =
+    recv_where t
+      (function
+        | Msg.Trace_reply { id = rid; trace } when rid = id -> Some trace
+        | Msg.Error_reply { code; message } ->
+          failwith (Printf.sprintf "trace failed (%s): %s" code message)
+        | _ -> None)
+      (fun r -> deferred := r :: !deferred)
+  in
+  t.inbox <- List.rev !deferred @ t.inbox;
+  tr
+
 let shutdown t =
   send t Msg.Shutdown;
   let deferred = ref [] in

@@ -29,4 +29,12 @@ val submit_wait :
 (** Convenience wrappers; each raises [Failure] on an error reply. *)
 val stats : t -> Msg.server_stats
 
+(** Scrape the live metrics endpoint: Prometheus-style text exposition
+    plus its JSON mirror. *)
+val metrics : t -> string * Obs.Json.t
+
+(** Retrieve the retained Chrome-trace slice of a finished job. Raises
+    [Failure] (code [no_trace]) for unknown or evicted ids. *)
+val job_trace : t -> int -> Obs.Json.t
+
 val shutdown : t -> unit

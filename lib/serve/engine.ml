@@ -19,6 +19,7 @@ type event =
 type job = {
   id : int;
   tenant : int;
+  trace : string; (* "t<tenant>.j<id>", minted at admission *)
   spec : Msg.submit;
   rules : Guard.Inject.rule list; (* [] = no injection *)
   (* Cancellation handle, live from admission. The runner tightens it
@@ -30,6 +31,13 @@ type job = {
   mutable state : Msg.job_state;
   mutable started_ns : int64;
 }
+
+let trace_of ~tenant ~id = Printf.sprintf "t%d.j%d" tenant id
+
+(* How many finished jobs keep their Chrome-trace slice retrievable via
+   the [Trace] request. Slices are rendered once, at job completion, on
+   the executor domain — the request path only does a list lookup. *)
+let trace_keep = 8
 
 type t = {
   config : config;
@@ -45,6 +53,9 @@ type t = {
   mutable n_completed : int;
   mutable n_failed : int;
   mutable n_cancelled : int;
+  mutable n_rejected : int;
+  mutable traces : (int * Obs.Json.t) list; (* newest first, <= trace_keep *)
+  telemetry : Telemetry.t;
   mutable executor : unit Domain.t option;
   on_event : event -> unit;
   (* Interned generated circuits, executor-domain only. Safe to share
@@ -58,7 +69,7 @@ type t = {
   born_s : float;
 }
 
-let create ?(on_event = fun _ -> ()) config =
+let create ?(on_event = fun _ -> ()) ?(slo = []) config =
   {
     config;
     lock = Mutex.create ();
@@ -73,6 +84,9 @@ let create ?(on_event = fun _ -> ()) config =
     n_completed = 0;
     n_failed = 0;
     n_cancelled = 0;
+    n_rejected = 0;
+    traces = [];
+    telemetry = Telemetry.create ~slo ();
     executor = None;
     on_event = (fun e -> on_event e);
     intern = Hashtbl.create 16;
@@ -160,32 +174,73 @@ let wall_bound (spec : Msg.submit) =
 
 let ms_of_ns ns = Int64.to_float ns *. 1e-6
 
+(* Journal helpers. The Det half of a lifecycle payload holds only data
+   that is a pure function of the job spec and its deterministic
+   execution (circuit, tool, size class, final state, degradation);
+   ids, tenants and wall latencies are Sched. Admission and execution
+   emit identical Det payloads on the warm and cold paths, so the
+   journal digest is part of the warm≡cold identity contract. *)
+let journal_admitted (spec : Msg.submit) =
+  Obs.Journal.record ~kind:"job.admitted"
+    ~det:
+      (Obs.Json.Obj
+         [ ("circuit", Obs.Json.String (Msg.source_name spec.source));
+           ("tool", Obs.Json.String spec.tool) ])
+    ()
+
 (* The cold-CLI operation sequence, verbatim: arm injection, reset
    observation, load, optimize, measure, snapshot, serialize. Returns a
-   finished result (state Done/Failed/Cancelled). *)
-let execute ~intern ~reuse ~id (spec : Msg.submit) ~rules ~cancel_handle
-    ~wait_ns =
+   finished result (state Done/Failed/Cancelled) together with the
+   job's Obs snapshot (when one was taken) and its size class. *)
+let execute_ex ~intern ~reuse ~id ~trace (spec : Msg.submit) ~rules
+    ~cancel_handle ~wait_ns =
   let t0 = Guard.Clock.now_ns () in
   (match rules with
   | [] -> Guard.Inject.disarm ()
   | rs -> Guard.Inject.arm rs);
   Obs.reset ();
+  Obs.set_trace trace;
   let name = Msg.source_name spec.source in
-  let finish state ~metrics ~degraded ~error ~blif ~report =
+  Obs.Journal.record ~kind:"job.started"
+    ~det:
+      (Obs.Json.Obj
+         [ ("circuit", Obs.Json.String name);
+           ("tool", Obs.Json.String spec.tool) ])
+    ~sched:(Obs.Json.Obj [ ("id", Obs.Json.Int id) ])
+    ();
+  let finish state ~cls ~metrics ~degraded ~error ~blif ~report ~snap =
     Guard.Inject.disarm ();
-    {
-      Msg.id;
-      circuit = name;
-      tool = spec.tool;
-      state;
-      metrics;
-      degraded;
-      error;
-      blif;
-      report;
-      wait_ms = ms_of_ns wait_ns;
-      run_ms = ms_of_ns (Int64.sub (Guard.Clock.now_ns ()) t0);
-    }
+    let r =
+      {
+        Msg.id;
+        circuit = name;
+        tool = spec.tool;
+        state;
+        metrics;
+        degraded;
+        error;
+        blif;
+        report;
+        wait_ms = ms_of_ns wait_ns;
+        run_ms = ms_of_ns (Int64.sub (Guard.Clock.now_ns ()) t0);
+      }
+    in
+    Obs.Journal.record ~kind:"job.finished"
+      ~det:
+        (Obs.Json.Obj
+           [ ("circuit", Obs.Json.String name);
+             ("tool", Obs.Json.String spec.tool);
+             ("class", Obs.Json.String cls);
+             ("state", Obs.Json.String (Msg.state_name state));
+             ("degraded", Obs.Json.Bool degraded) ])
+      ~sched:
+        (Obs.Json.Obj
+           [ ("id", Obs.Json.Int id);
+             ("wait_ms", Obs.Json.Float r.Msg.wait_ms);
+             ("run_ms", Obs.Json.Float r.Msg.run_ms) ])
+      ();
+    Obs.set_trace "";
+    (r, snap, cls)
   in
   match
     let g =
@@ -200,6 +255,7 @@ let execute ~intern ~reuse ~id (spec : Msg.submit) ~rules ~cancel_handle
           g)
       | _ -> Run.build_source spec.source
     in
+    let cls = Telemetry.size_class ~gates:(Aig.num_reachable_ands g) in
     let bound = wall_bound spec in
     let deadline = Guard.Deadline.bound cancel_handle bound in
     let options =
@@ -214,30 +270,35 @@ let execute ~intern ~reuse ~id (spec : Msg.submit) ~rules ~cancel_handle
     let optimized = Run.tool ~options spec.tool g in
     let metrics = Run.metrics ~original:g optimized in
     let snap = Obs.snapshot () in
-    (g, optimized, metrics, snap)
+    (cls, optimized, metrics, snap)
   with
-  | _, optimized, metrics, snap ->
+  | cls, optimized, metrics, snap ->
     if Guard.Deadline.cancelled cancel_handle then
-      finish Msg.Cancelled ~metrics:None ~degraded:(Run.degraded snap)
-        ~error:None ~blif:None ~report:None
+      finish Msg.Cancelled ~cls ~metrics:None ~degraded:(Run.degraded snap)
+        ~error:None ~blif:None ~report:None ~snap:(Some snap)
     else
-      finish Msg.Done ~metrics:(Some metrics) ~degraded:(Run.degraded snap)
-        ~error:None
+      finish Msg.Done ~cls ~metrics:(Some metrics)
+        ~degraded:(Run.degraded snap) ~error:None
         ~blif:
           (if spec.want_blif then Some (Run.blif_of ~name optimized)
            else None)
         ~report:
           (if spec.want_report then Some (Obs.report_json snap) else None)
+        ~snap:(Some snap)
   | exception e ->
     let cancelled = Guard.Deadline.cancelled cancel_handle in
     let state = if cancelled then Msg.Cancelled else Msg.Failed in
     let error = if cancelled then None else Some (Printexc.to_string e) in
-    finish state ~metrics:None ~degraded:false ~error ~blif:None ~report:None
+    finish state ~cls:"na" ~metrics:None ~degraded:false ~error ~blif:None
+      ~report:None ~snap:None
 
 let run_cold spec =
   if spec.Msg.want_report then Obs.enable ();
   match validate spec with
   | Error (code, msg) ->
+    Obs.Journal.record ~kind:"job.rejected"
+      ~sched:(Obs.Json.Obj [ ("code", Obs.Json.String code) ])
+      ();
     {
       Msg.id = 0;
       circuit = Msg.source_name spec.Msg.source;
@@ -252,8 +313,13 @@ let run_cold spec =
       run_ms = 0.0;
     }
   | Ok rules ->
-    execute ~intern:None ~reuse:false ~id:0 spec ~rules
-      ~cancel_handle:(Guard.Deadline.cancellable ()) ~wait_ns:0L
+    journal_admitted spec;
+    let r, _, _ =
+      execute_ex ~intern:None ~reuse:false ~id:0
+        ~trace:(trace_of ~tenant:0 ~id:0) spec ~rules
+        ~cancel_handle:(Guard.Deadline.cancellable ()) ~wait_ns:0L
+    in
+    r
 
 (* --- the executor domain ---------------------------------------------- *)
 
@@ -299,16 +365,38 @@ let rec executor_loop t =
         Atomic.set t.pseq 0;
         Atomic.set t.current (Some (job.id, job.tenant))
       end;
-      let result =
-        execute
+      let result, snap, cls =
+        execute_ex
           ~intern:(Some t.intern)
-          ~reuse:t.config.reuse_managers ~id:job.id job.spec ~rules:job.rules
-          ~cancel_handle:job.cancel_handle ~wait_ns
+          ~reuse:t.config.reuse_managers ~id:job.id ~trace:job.trace job.spec
+          ~rules:job.rules ~cancel_handle:job.cancel_handle ~wait_ns
       in
       Atomic.set t.current None;
+      (* Telemetry and the retained trace slice are built here, on the
+         executor domain, so the Metrics/Trace request paths never touch
+         job state. *)
+      Telemetry.record_result t.telemetry ~cls
+        ~state:(Msg.state_name result.Msg.state)
+        ~wait_ms:result.Msg.wait_ms ~run_ms:result.Msg.run_ms;
+      let trace_slice =
+        match snap with
+        | None -> None
+        | Some snap ->
+          Telemetry.absorb_counters t.telemetry
+            (List.map (fun (n, _, v) -> (n, v)) (Obs.counters snap));
+          Some (Obs.trace_json snap)
+      in
       Mutex.lock t.lock;
       job.state <- result.Msg.state;
       t.running <- None;
+      (match trace_slice with
+      | Some tr ->
+        t.traces <-
+          (job.id, tr)
+          :: (if List.length t.traces >= trace_keep then
+                List.filteri (fun i _ -> i < trace_keep - 1) t.traces
+              else t.traces)
+      | None -> ());
       (match result.Msg.state with
       | Msg.Done -> t.n_completed <- t.n_completed + 1
       | Msg.Failed -> t.n_failed <- t.n_failed + 1
@@ -327,6 +415,7 @@ let progress_phases =
 
 let start t =
   Obs.enable ();
+  Obs.register_gc_probe ();
   Obs.set_span_listener
     (Some
        (fun phase _dur ->
@@ -379,9 +468,23 @@ let count_queued t =
   Queue.fold (fun acc j -> acc + if j.state = Msg.Queued then 1 else 0) 0
     t.queue
 
+let reject t ~tenant code =
+  Mutex.lock t.lock;
+  t.n_rejected <- t.n_rejected + 1;
+  Mutex.unlock t.lock;
+  Telemetry.record_reject t.telemetry ~tenant;
+  Obs.Journal.record ~kind:"job.rejected"
+    ~sched:
+      (Obs.Json.Obj
+         [ ("tenant", Obs.Json.Int tenant);
+           ("code", Obs.Json.String code) ])
+    ()
+
 let submit t ~tenant spec =
   match validate spec with
-  | Error e -> Error e
+  | Error ((code, _) as e) ->
+    reject t ~tenant code;
+    Error e
   | Ok rules ->
     Mutex.lock t.lock;
     let r =
@@ -398,6 +501,7 @@ let submit t ~tenant spec =
           {
             id;
             tenant;
+            trace = trace_of ~tenant ~id;
             spec;
             rules;
             cancel_handle = Guard.Deadline.cancellable ();
@@ -415,6 +519,24 @@ let submit t ~tenant spec =
       end
     in
     Mutex.unlock t.lock;
+    (match r with
+    | Ok (id, _) ->
+      Telemetry.record_admit t.telemetry ~tenant;
+      (* The admission event carries the job's trace id explicitly: the
+         process-wide current trace belongs to whatever job is running
+         on the executor right now. *)
+      Obs.Journal.record ~kind:"job.admitted"
+        ~det:
+          (Obs.Json.Obj
+             [ ("circuit", Obs.Json.String (Msg.source_name spec.Msg.source));
+               ("tool", Obs.Json.String spec.Msg.tool) ])
+        ~sched:
+          (Obs.Json.Obj
+             [ ("id", Obs.Json.Int id);
+               ("tenant", Obs.Json.Int tenant);
+               ("trace", Obs.Json.String (trace_of ~tenant ~id)) ])
+        ()
+    | Error (code, _) -> reject t ~tenant code);
     r
 
 let status t id =
@@ -434,16 +556,31 @@ let status t id =
 (* Cancel one job; under [lock]. Emits the cancelled result for queued
    jobs (there will be no executor pass to do it); a running job winds
    down through its deadline and reports from the executor. *)
+let journal_cancelled (job : job) =
+  (* Cancellation is an external action — sched-only, no Det payload,
+     excluded from the journal digest. *)
+  Obs.Journal.record ~kind:"job.cancelled"
+    ~sched:
+      (Obs.Json.Obj
+         [ ("id", Obs.Json.Int job.id);
+           ("tenant", Obs.Json.Int job.tenant);
+           ("trace", Obs.Json.String job.trace) ])
+    ()
+
 let cancel_job t (job : job) =
   match job.state with
   | Msg.Queued ->
     job.state <- Msg.Cancelled;
     t.n_cancelled <- t.n_cancelled + 1;
     Guard.Deadline.cancel job.cancel_handle;
+    journal_cancelled job;
+    Telemetry.record_cancel t.telemetry ~tenant:job.tenant;
     let wait_ns = Int64.sub (Guard.Clock.now_ns ()) job.enq_ns in
     Some (Job_done { tenant = job.tenant; result = cancelled_result job ~wait_ns })
   | Msg.Running ->
     Guard.Deadline.cancel job.cancel_handle;
+    journal_cancelled job;
+    Telemetry.record_cancel t.telemetry ~tenant:job.tenant;
     None
   | _ -> None
 
@@ -486,16 +623,59 @@ let stats t =
       completed = t.n_completed;
       failed = t.n_failed;
       cancelled = t.n_cancelled;
+      rejected = t.n_rejected;
       queued = count_queued t;
       running = t.running <> None;
       queue_capacity = t.config.queue_capacity;
       uptime_s = Guard.Clock.now_s () -. t.born_s;
       interned_circuits = Hashtbl.length t.intern;
       pooled_managers = Bdd.Pool.size ();
+      slo = [];
     }
   in
   Mutex.unlock t.lock;
-  s
+  { s with Msg.slo = Telemetry.slo_report t.telemetry }
+
+let metrics t =
+  Mutex.lock t.lock;
+  let queued = count_queued t in
+  let running_age_s =
+    match t.running with
+    | Some job when job.started_ns <> 0L ->
+      Int64.to_float (Int64.sub (Guard.Clock.now_ns ()) job.started_ns)
+      *. 1e-9
+    | _ -> 0.0
+  in
+  let running = if t.running = None then 0.0 else 1.0 in
+  let rejected = float_of_int t.n_rejected in
+  let interned = float_of_int (Hashtbl.length t.intern) in
+  Mutex.unlock t.lock;
+  Telemetry.exposition t.telemetry
+    ~gauges:
+      [
+        ("queue_depth", "Jobs waiting in the admission queue.",
+         float_of_int queued);
+        ("queue_capacity", "Admission queue capacity.",
+         float_of_int t.config.queue_capacity);
+        ("running_jobs", "Jobs currently executing (0 or 1).", running);
+        ("running_job_age_s", "Wall-clock age of the running job.",
+         running_age_s);
+        ("rejected_total", "Admissions rejected since start.", rejected);
+        ("uptime_s", "Engine uptime.", Guard.Clock.now_s () -. t.born_s);
+        ("interned_circuits", "Warm interned circuit images.", interned);
+        ("pooled_managers", "Recycled BDD managers in the pool.",
+         float_of_int (Bdd.Pool.size ()));
+        ("journal_events", "Journal events recorded since enable.",
+         float_of_int (Obs.Journal.events_total ()));
+        ("journal_rotations", "Journal file-sink rotations.",
+         float_of_int (Obs.Journal.rotations ()));
+      ]
+
+let job_trace t id =
+  Mutex.lock t.lock;
+  let r = List.assoc_opt id t.traces in
+  Mutex.unlock t.lock;
+  r
 
 let stop t =
   Mutex.lock t.lock;

@@ -39,7 +39,11 @@ type event =
 
 type t
 
-val create : ?on_event:(event -> unit) -> config -> t
+(** [create ?on_event ?slo config] — [slo] maps size classes to
+    run-latency objectives in milliseconds (see {!Telemetry.parse_slo})
+    for the engine's cumulative telemetry. *)
+val create :
+  ?on_event:(event -> unit) -> ?slo:(string * float) list -> config -> t
 
 (** Spawn the executor domain. Enables [Obs] recording (reports are
     part of the protocol) and installs the progress span listener. *)
@@ -78,6 +82,17 @@ val cancel :
 val drop_tenant : t -> int -> unit
 
 val stats : t -> Msg.server_stats
+
+(** Live telemetry: Prometheus-style text exposition plus its JSON
+    mirror, combining the cumulative {!Telemetry} state with live
+    engine gauges (queue depth, running-job age, warm-state sizes,
+    journal counters). Safe from any thread. *)
+val metrics : t -> string * Obs.Json.t
+
+(** The retained Chrome-trace slice of a recently finished job (the
+    engine keeps the last few), rendered at job completion; [None] for
+    unknown or evicted ids. *)
+val job_trace : t -> int -> Obs.Json.t option
 
 (** Run a job cold on the calling domain: fresh circuit build (no
     intern), no manager reuse, per-run [Obs.reset] — the library-call

@@ -57,6 +57,8 @@ type request =
   | Status of int
   | Cancel of int
   | Stats
+  | Metrics
+  | Trace of int
   | Shutdown
 
 type job_state = Queued | Running | Done | Failed | Cancelled
@@ -103,17 +105,31 @@ type result = {
   run_ms : float;
 }
 
+type slo_stat = {
+  cls : string;
+  objective_ms : float;
+  jobs : int;
+  breaches : int;
+  window : int;
+  window_breaches : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
 type server_stats = {
   submitted : int;
   completed : int;
   failed : int;
   cancelled : int;
+  rejected : int;
   queued : int;
   running : bool;
   queue_capacity : int;
   uptime_s : float;
   interned_circuits : int;
   pooled_managers : int;
+  slo : slo_stat list;
 }
 
 type response =
@@ -122,6 +138,8 @@ type response =
   | Progress of { id : int; phase : string; seq : int }
   | Result of result
   | Stats_reply of server_stats
+  | Metrics_reply of { text : string; json : J.t }
+  | Trace_reply of { id : int; trace : J.t }
   | Error_reply of { code : string; message : string }
   | Shutdown_ack
 
@@ -166,6 +184,8 @@ let request_to_json = function
   | Status id -> J.Obj [ ("type", J.String "status"); ("id", J.Int id) ]
   | Cancel id -> J.Obj [ ("type", J.String "cancel"); ("id", J.Int id) ]
   | Stats -> J.Obj [ ("type", J.String "stats") ]
+  | Metrics -> J.Obj [ ("type", J.String "metrics") ]
+  | Trace id -> J.Obj [ ("type", J.String "trace"); ("id", J.Int id) ]
   | Shutdown -> J.Obj [ ("type", J.String "shutdown") ]
 
 let metrics_to_json m =
@@ -181,6 +201,20 @@ let metrics_to_json m =
       ("area", J.Float m.area);
       ("delay_ps", J.Float m.delay_ps);
       ("power_mw", J.Float m.power_mw);
+    ]
+
+let slo_to_json s =
+  J.Obj
+    [
+      ("class", J.String s.cls);
+      ("objective_ms", J.Float s.objective_ms);
+      ("jobs", J.Int s.jobs);
+      ("breaches", J.Int s.breaches);
+      ("window", J.Int s.window);
+      ("window_breaches", J.Int s.window_breaches);
+      ("p50_ms", J.Float s.p50_ms);
+      ("p95_ms", J.Float s.p95_ms);
+      ("p99_ms", J.Float s.p99_ms);
     ]
 
 let response_to_json = function
@@ -230,13 +264,25 @@ let response_to_json = function
         ("completed", J.Int s.completed);
         ("failed", J.Int s.failed);
         ("cancelled", J.Int s.cancelled);
+        ("rejected", J.Int s.rejected);
         ("queued", J.Int s.queued);
         ("running", J.Bool s.running);
         ("queue_capacity", J.Int s.queue_capacity);
         ("uptime_s", J.Float s.uptime_s);
         ("interned_circuits", J.Int s.interned_circuits);
         ("pooled_managers", J.Int s.pooled_managers);
+        ("slo", J.List (List.map slo_to_json s.slo));
       ]
+  | Metrics_reply { text; json } ->
+    J.Obj
+      [
+        ("type", J.String "metrics");
+        ("text", J.String text);
+        ("json", json);
+      ]
+  | Trace_reply { id; trace } ->
+    J.Obj
+      [ ("type", J.String "trace"); ("id", J.Int id); ("trace", trace) ]
   | Error_reply { code; message } ->
     J.Obj
       [
@@ -371,6 +417,10 @@ let request_of_json j =
       let* id = int_field j "id" in
       Ok (Cancel id)
     | "stats" -> Ok Stats
+    | "metrics" -> Ok Metrics
+    | "trace" ->
+      let* id = int_field j "id" in
+      Ok (Trace id)
     | "shutdown" -> Ok Shutdown
     | other -> bad "unknown request type %S" other)
   | _ -> bad "request must be a JSON object"
@@ -418,6 +468,29 @@ let num_field j name ~default =
   | Some (J.Int i) -> Ok (float_of_int i)
   | None -> Ok default
   | Some _ -> bad "field %S must be a number" name
+
+let slo_of_json j =
+  let* cls = str_field j "class" in
+  let* objective_ms = num_field j "objective_ms" ~default:0.0 in
+  let* jobs = opt_int_field j "jobs" ~default:0 in
+  let* breaches = opt_int_field j "breaches" ~default:0 in
+  let* window = opt_int_field j "window" ~default:0 in
+  let* window_breaches = opt_int_field j "window_breaches" ~default:0 in
+  let* p50_ms = num_field j "p50_ms" ~default:0.0 in
+  let* p95_ms = num_field j "p95_ms" ~default:0.0 in
+  let* p99_ms = num_field j "p99_ms" ~default:0.0 in
+  Ok
+    {
+      cls;
+      objective_ms;
+      jobs;
+      breaches;
+      window;
+      window_breaches;
+      p50_ms;
+      p95_ms;
+      p99_ms;
+    }
 
 let response_of_json j =
   match j with
@@ -481,12 +554,26 @@ let response_of_json j =
       let* completed = int_field j "completed" in
       let* failed = int_field j "failed" in
       let* cancelled = int_field j "cancelled" in
+      let* rejected = opt_int_field j "rejected" ~default:0 in
       let* queued = int_field j "queued" in
       let* running = opt_bool_field j "running" ~default:false in
       let* queue_capacity = int_field j "queue_capacity" in
       let* uptime_s = num_field j "uptime_s" ~default:0.0 in
       let* interned_circuits = int_field j "interned_circuits" in
       let* pooled_managers = int_field j "pooled_managers" in
+      let* slo =
+        match J.member "slo" j with
+        | None -> Ok []
+        | Some (J.List xs) ->
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              let* s = slo_of_json x in
+              Ok (s :: acc))
+            (Ok []) xs
+          |> Result.map List.rev
+        | Some _ -> bad "field \"slo\" must be a list"
+      in
       Ok
         (Stats_reply
            {
@@ -494,13 +581,23 @@ let response_of_json j =
              completed;
              failed;
              cancelled;
+             rejected;
              queued;
              running;
              queue_capacity;
              uptime_s;
              interned_circuits;
              pooled_managers;
+             slo;
            })
+    | "metrics" ->
+      let* text = str_field j "text" in
+      let json = Option.value (J.member "json" j) ~default:J.Null in
+      Ok (Metrics_reply { text; json })
+    | "trace" ->
+      let* id = int_field j "id" in
+      let trace = Option.value (J.member "trace" j) ~default:J.Null in
+      Ok (Trace_reply { id; trace })
     | "error" ->
       let* code = str_field j "code" in
       let* message = str_field j "message" in

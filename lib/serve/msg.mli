@@ -58,6 +58,11 @@ type request =
   | Status of int
   | Cancel of int
   | Stats
+  | Metrics
+      (** live telemetry: Prometheus-style text exposition plus a JSON
+          mirror, built from cumulative per-job observations *)
+  | Trace of int
+      (** per-job Chrome-trace slice for a recently finished job id *)
   | Shutdown
 
 type job_state = Queued | Running | Done | Failed | Cancelled
@@ -94,17 +99,35 @@ type result = {
   run_ms : float;  (** execution wall clock *)
 }
 
+(** Rolling latency-objective health for one job size class (see
+    {!Telemetry}): lifetime breach counts plus a bounded window of the
+    most recent outcomes, and log-bucket-interpolated latency
+    quantiles. *)
+type slo_stat = {
+  cls : string;  (** size class: xs | s | m | l | xl *)
+  objective_ms : float;  (** 0 when the class has no objective *)
+  jobs : int;
+  breaches : int;
+  window : int;  (** completed jobs currently in the rolling window *)
+  window_breaches : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
 type server_stats = {
   submitted : int;
   completed : int;
   failed : int;
   cancelled : int;
+  rejected : int;
   queued : int;
   running : bool;
   queue_capacity : int;
   uptime_s : float;
   interned_circuits : int;
   pooled_managers : int;
+  slo : slo_stat list;
 }
 
 type response =
@@ -113,9 +136,11 @@ type response =
   | Progress of { id : int; phase : string; seq : int }
   | Result of result
   | Stats_reply of server_stats
+  | Metrics_reply of { text : string; json : Obs.Json.t }
+  | Trace_reply of { id : int; trace : Obs.Json.t }
   | Error_reply of { code : string; message : string }
       (** codes: [parse], [bad_request], [queue_full], [shutting_down],
-          [unknown_job], [not_owner], [oversized] *)
+          [unknown_job], [not_owner], [oversized], [no_trace] *)
   | Shutdown_ack
 
 val request_to_json : request -> Obs.Json.t

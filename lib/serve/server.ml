@@ -14,6 +14,9 @@ type config = {
   queue_capacity : int;
   max_frame : int;
   reuse_managers : bool;
+  journal : string option;
+  journal_max_bytes : int;
+  slo : (string * float) list;
 }
 
 let default_config listen =
@@ -22,6 +25,9 @@ let default_config listen =
     queue_capacity = 256;
     max_frame = Frame.max_frame_default;
     reuse_managers = true;
+    journal = None;
+    journal_max_bytes = 8 * 1024 * 1024;
+    slo = [];
   }
 
 type conn = {
@@ -119,6 +125,21 @@ let handle_request st conn (req : Msg.request) =
     | Error (code, message) ->
       queue_response conn (Msg.Error_reply { code; message }))
   | Msg.Stats -> queue_response conn (Msg.Stats_reply (Engine.stats engine))
+  | Msg.Metrics ->
+    let text, json = Engine.metrics engine in
+    queue_response conn (Msg.Metrics_reply { text; json })
+  | Msg.Trace id -> (
+    match Engine.job_trace engine id with
+    | Some trace -> queue_response conn (Msg.Trace_reply { id; trace })
+    | None ->
+      queue_response conn
+        (Msg.Error_reply
+           {
+             code = "no_trace";
+             message =
+               Printf.sprintf
+                 "no retained trace for job %d (unknown or evicted)" id;
+           }))
   | Msg.Shutdown ->
     Log.info (fun m -> m "shutdown requested by tenant %d" conn.tenant);
     st.draining <- true;
@@ -220,6 +241,12 @@ let run ?(ready = fun () -> ()) config =
       draining = false;
     }
   in
+  (* The journal is server-lifetime state: enabled before the engine
+     starts so admission events of the very first job are captured. *)
+  (match config.journal with
+  | Some file ->
+    Obs.Journal.enable ~file ~file_max_bytes:config.journal_max_bytes ()
+  | None -> ());
   let engine =
     Engine.create
       ~on_event:(fun ev ->
@@ -228,6 +255,7 @@ let run ?(ready = fun () -> ()) config =
           post st tenant (Msg.Result result)
         | Engine.Job_progress { tenant; id; phase; seq } ->
           post st tenant (Msg.Progress { id; phase; seq }))
+      ~slo:config.slo
       {
         Engine.queue_capacity = config.queue_capacity;
         reuse_managers = config.reuse_managers;
@@ -291,6 +319,7 @@ let run ?(ready = fun () -> ()) config =
   in
   loop ();
   Engine.stop engine;
+  if config.journal <> None then Obs.Journal.disable ();
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
     st.conns;
   Unix.close st.listen_fd;

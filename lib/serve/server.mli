@@ -19,6 +19,11 @@ type config = {
   queue_capacity : int;
   max_frame : int;
   reuse_managers : bool;
+  journal : string option;
+      (** JSONL journal file ({!Obs.Journal}); [None] = journaling off *)
+  journal_max_bytes : int;  (** file-sink rotation threshold *)
+  slo : (string * float) list;
+      (** per-size-class run-latency objectives, milliseconds *)
 }
 
 val default_config : listen -> config

@@ -1,0 +1,453 @@
+(* Cumulative server-side telemetry: size-classed latency histograms
+   with interpolated quantiles, per-tenant admission outcomes, SLO
+   burn tracking, and a Prometheus-style text exposition (plus a JSON
+   mirror). See telemetry.mli.
+
+   Everything here is Sched data — wall-clock latencies, admission
+   order, tenant behaviour — so none of it participates in the
+   determinism contract. What IS deterministic is the exposition
+   builder itself: given the same recorded observations it produces
+   byte-identical text (all iteration is over sorted keys), which is
+   what the golden format test pins down. *)
+
+module J = Obs.Json
+
+(* --- size classes --------------------------------------------------- *)
+
+let size_classes = [ "xs"; "s"; "m"; "l"; "xl" ]
+
+let size_class ~gates =
+  if gates < 64 then "xs"
+  else if gates < 256 then "s"
+  else if gates < 1024 then "m"
+  else if gates < 4096 then "l"
+  else "xl"
+
+(* --- log-bucketed latency histograms ------------------------------- *)
+
+(* Bucket [0] covers [0, 1] ms; bucket [i >= 1] covers (2^(i-1), 2^i];
+   the last bucket is the +Inf overflow. 2^26 ms ≈ 18.6 h, far beyond
+   any job this service runs. *)
+let nbounds = 27
+
+type hist = {
+  buckets : int array; (* nbounds + 1 slots, last = overflow *)
+  mutable count : int;
+  mutable sum_ms : float;
+}
+
+let hist_create () =
+  { buckets = Array.make (nbounds + 1) 0; count = 0; sum_ms = 0.0 }
+
+let bound_ms i = float_of_int (1 lsl i)
+
+let bucket_of_ms v =
+  let rec go i =
+    if i >= nbounds then nbounds else if v <= bound_ms i then i else go (i + 1)
+  in
+  go 0
+
+let hist_observe h v =
+  let v = if v < 0.0 then 0.0 else v in
+  let i = bucket_of_ms v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.count <- h.count + 1;
+  h.sum_ms <- h.sum_ms +. v
+
+(* Linear interpolation inside the bucket holding rank [q * count].
+   The estimate always lands in the same power-of-two bucket as the
+   exact order statistic, so it is within a factor of 2 of it (and in
+   practice much closer). *)
+let quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int h.count in
+    let rec go i cum =
+      if i > nbounds then bound_ms nbounds
+      else
+        let c = h.buckets.(i) in
+        if c > 0 && float_of_int (cum + c) >= rank then begin
+          let lo = if i = 0 then 0.0 else bound_ms (i - 1) in
+          let hi = if i = nbounds then 2.0 *. lo else bound_ms i in
+          lo +. ((hi -. lo) *. (rank -. float_of_int cum) /. float_of_int c)
+        end
+        else go (i + 1) (cum + c)
+    in
+    go 0 0
+  end
+
+(* --- SLO objectives ------------------------------------------------- *)
+
+let parse_slo spec =
+  let items = String.split_on_char ',' (String.trim spec) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | item :: rest -> (
+      match String.index_opt item '=' with
+      | None -> Error (Printf.sprintf "bad SLO item %S, want CLASS=MS" item)
+      | Some eq ->
+        let cls = String.trim (String.sub item 0 eq) in
+        let v =
+          String.trim
+            (String.sub item (eq + 1) (String.length item - eq - 1))
+        in
+        if not (List.mem cls size_classes) then
+          Error
+            (Printf.sprintf "unknown size class %S (want %s)" cls
+               (String.concat "|" size_classes))
+        else
+          match float_of_string_opt v with
+          | Some ms when ms > 0.0 -> go ((cls, ms) :: acc) rest
+          | _ -> Error (Printf.sprintf "bad SLO objective %S for %S" v cls))
+  in
+  go [] items
+
+(* --- state ----------------------------------------------------------- *)
+
+type class_state = {
+  cs_cls : string;
+  cs_objective_ms : float; (* 0 = no objective configured *)
+  cs_run : hist;
+  mutable cs_jobs : int;
+  mutable cs_breaches : int;
+  cs_window : bool array; (* rolling breach flags, newest overwrites *)
+  mutable cs_w_idx : int;
+  mutable cs_w_fill : int;
+}
+
+type tenant_state = {
+  mutable t_admitted : int;
+  mutable t_rejected : int;
+  mutable t_cancelled : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  classes : (string * class_state) list; (* fixed order: size_classes *)
+  wait : hist;
+  states : (string, int) Hashtbl.t;
+  tenants : (int, tenant_state) Hashtbl.t;
+  obs_totals : (string, int) Hashtbl.t;
+}
+
+let create ?(slo = []) ?(window = 100) () =
+  let classes =
+    List.map
+      (fun cls ->
+        ( cls,
+          {
+            cs_cls = cls;
+            cs_objective_ms =
+              (match List.assoc_opt cls slo with Some ms -> ms | None -> 0.0);
+            cs_run = hist_create ();
+            cs_jobs = 0;
+            cs_breaches = 0;
+            cs_window = Array.make (max 1 window) false;
+            cs_w_idx = 0;
+            cs_w_fill = 0;
+          } ))
+      size_classes
+  in
+  {
+    lock = Mutex.create ();
+    classes;
+    wait = hist_create ();
+    states = Hashtbl.create 8;
+    tenants = Hashtbl.create 8;
+    obs_totals = Hashtbl.create 64;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let tenant_state t tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some ts -> ts
+  | None ->
+    let ts = { t_admitted = 0; t_rejected = 0; t_cancelled = 0 } in
+    Hashtbl.replace t.tenants tenant ts;
+    ts
+
+let record_admit t ~tenant =
+  locked t (fun () ->
+      let ts = tenant_state t tenant in
+      ts.t_admitted <- ts.t_admitted + 1)
+
+let record_reject t ~tenant =
+  locked t (fun () ->
+      let ts = tenant_state t tenant in
+      ts.t_rejected <- ts.t_rejected + 1)
+
+let record_cancel t ~tenant =
+  locked t (fun () ->
+      let ts = tenant_state t tenant in
+      ts.t_cancelled <- ts.t_cancelled + 1)
+
+let record_result t ~cls ~state ~wait_ms ~run_ms =
+  locked t (fun () ->
+      Hashtbl.replace t.states state
+        (1 + Option.value (Hashtbl.find_opt t.states state) ~default:0);
+      hist_observe t.wait wait_ms;
+      match List.assoc_opt cls t.classes with
+      | None -> ()
+      | Some cs ->
+        cs.cs_jobs <- cs.cs_jobs + 1;
+        hist_observe cs.cs_run run_ms;
+        let breach =
+          cs.cs_objective_ms > 0.0 && run_ms > cs.cs_objective_ms
+        in
+        if breach then cs.cs_breaches <- cs.cs_breaches + 1;
+        let n = Array.length cs.cs_window in
+        cs.cs_window.(cs.cs_w_idx) <- breach;
+        cs.cs_w_idx <- (cs.cs_w_idx + 1) mod n;
+        cs.cs_w_fill <- min (cs.cs_w_fill + 1) n)
+
+let absorb_counters t counters =
+  locked t (fun () ->
+      List.iter
+        (fun (name, v) ->
+          if v <> 0 then
+            Hashtbl.replace t.obs_totals name
+              (v + Option.value (Hashtbl.find_opt t.obs_totals name) ~default:0))
+        counters)
+
+(* Call with the lock held. *)
+let window_breaches_locked cs =
+  let n = ref 0 in
+  for i = 0 to cs.cs_w_fill - 1 do
+    if cs.cs_window.(i) then n := !n + 1
+  done;
+  !n
+
+let slo_report t =
+  locked t (fun () ->
+      List.filter_map
+        (fun (_, cs) ->
+          if cs.cs_jobs = 0 && cs.cs_objective_ms = 0.0 then None
+          else
+            Some
+              {
+                Msg.cls = cs.cs_cls;
+                objective_ms = cs.cs_objective_ms;
+                jobs = cs.cs_jobs;
+                breaches = cs.cs_breaches;
+                window = cs.cs_w_fill;
+                window_breaches = window_breaches_locked cs;
+                p50_ms = quantile cs.cs_run 0.50;
+                p95_ms = quantile cs.cs_run 0.95;
+                p99_ms = quantile cs.cs_run 0.99;
+              })
+        t.classes)
+
+(* --- exposition ------------------------------------------------------ *)
+
+(* Prometheus sample values: integers print bare, everything else in
+   shortest-%g form — stable, locale-free, golden-testable. *)
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let sorted_hashtbl tbl compare_key =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+
+let render_labels = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+    ^ "}"
+
+let add_family b ~name ~help ~typ samples =
+  if samples <> [] then begin
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    List.iter
+      (fun (labels, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" name (render_labels labels) v))
+      samples
+  end
+
+(* One Prometheus histogram family: [# TYPE name histogram], then per
+   labeled series the cumulative [name_bucket{...,le=...}] samples up
+   to the first bound that already covers every observation, the
+   mandatory [le="+Inf"] bucket, and [name_sum] / [name_count]. *)
+let add_hist b ~name ~help series =
+  if series <> [] then begin
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+    List.iter
+      (fun (labels, h) ->
+        let cum = ref 0 in
+        let i = ref 0 in
+        let continue = ref (h.count > 0) in
+        while !continue && !i < nbounds do
+          cum := !cum + h.buckets.(!i);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (render_labels (labels @ [ ("le", fnum (bound_ms !i)) ]))
+               !cum);
+          if !cum = h.count then continue := false;
+          i := !i + 1
+        done;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" name
+             (render_labels (labels @ [ ("le", "+Inf") ]))
+             h.count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
+             (fnum h.sum_ms));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+             h.count))
+      series
+  end
+
+let hist_json h =
+  J.Obj
+    [
+      ("count", J.Int h.count);
+      ("sum_ms", J.Float h.sum_ms);
+      ("p50_ms", J.Float (quantile h 0.50));
+      ("p95_ms", J.Float (quantile h 0.95));
+      ("p99_ms", J.Float (quantile h 0.99));
+    ]
+
+let exposition t ~gauges =
+  locked t (fun () ->
+      let b = Buffer.create 4096 in
+      (* Job outcomes. *)
+      let states = sorted_hashtbl t.states String.compare in
+      add_family b ~name:"lookahead_jobs_total"
+        ~help:"Completed jobs by final state." ~typ:"counter"
+        (List.map
+           (fun (s, n) -> ([ ("state", s) ], string_of_int n))
+           states);
+      (* Per-tenant admission outcomes. *)
+      let tenants = sorted_hashtbl t.tenants compare in
+      add_family b ~name:"lookahead_tenant_jobs_total"
+        ~help:"Per-tenant admission outcomes." ~typ:"counter"
+        (List.concat_map
+           (fun (tid, ts) ->
+             let t = string_of_int tid in
+             [
+               ([ ("tenant", t); ("event", "admitted") ],
+                string_of_int ts.t_admitted);
+               ([ ("tenant", t); ("event", "rejected") ],
+                string_of_int ts.t_rejected);
+               ([ ("tenant", t); ("event", "cancelled") ],
+                string_of_int ts.t_cancelled);
+             ])
+           tenants);
+      (* Queue wait. *)
+      if t.wait.count > 0 then
+        add_hist b ~name:"lookahead_queue_wait_ms"
+          ~help:"Queue wait, admission to start, milliseconds."
+          [ ([], t.wait) ];
+      (* Per-class run latency. *)
+      let active =
+        List.filter (fun (_, cs) -> cs.cs_jobs > 0) t.classes
+      in
+      add_hist b ~name:"lookahead_job_run_ms"
+        ~help:"Job execution wall clock by size class, milliseconds."
+        (List.map (fun (cls, cs) -> ([ ("class", cls) ], cs.cs_run)) active);
+      add_family b ~name:"lookahead_job_run_ms_quantile"
+        ~help:"Interpolated run-latency quantiles by size class."
+        ~typ:"gauge"
+        (List.concat_map
+           (fun (cls, cs) ->
+             List.map
+               (fun (q, qv) ->
+                 ([ ("class", cls); ("q", q) ], fnum (quantile cs.cs_run qv)))
+               [ ("0.5", 0.50); ("0.95", 0.95); ("0.99", 0.99) ])
+           active);
+      (* SLO tracking. *)
+      let tracked =
+        List.filter (fun (_, cs) -> cs.cs_objective_ms > 0.0) t.classes
+      in
+      add_family b ~name:"lookahead_slo_objective_ms"
+        ~help:"Configured run-latency objective by size class."
+        ~typ:"gauge"
+        (List.map
+           (fun (cls, cs) -> ([ ("class", cls) ], fnum cs.cs_objective_ms))
+           tracked);
+      add_family b ~name:"lookahead_slo_breaches_total"
+        ~help:"Jobs over their class objective since start." ~typ:"counter"
+        (List.map
+           (fun (cls, cs) -> ([ ("class", cls) ], string_of_int cs.cs_breaches))
+           tracked);
+      add_family b ~name:"lookahead_slo_window_jobs"
+        ~help:"Completed jobs in the rolling SLO window." ~typ:"gauge"
+        (List.map
+           (fun (cls, cs) -> ([ ("class", cls) ], string_of_int cs.cs_w_fill))
+           tracked);
+      add_family b ~name:"lookahead_slo_window_breaches"
+        ~help:"Objective breaches in the rolling SLO window." ~typ:"gauge"
+        (List.map
+           (fun (cls, cs) ->
+             ([ ("class", cls) ], string_of_int (window_breaches_locked cs)))
+           tracked);
+      (* Cumulative Obs counters folded over per-job snapshots. *)
+      let obs = sorted_hashtbl t.obs_totals String.compare in
+      add_family b ~name:"lookahead_obs_total"
+        ~help:"Cumulative Obs counters over all completed jobs."
+        ~typ:"counter"
+        (List.map
+           (fun (name, v) -> ([ ("metric", name) ], string_of_int v))
+           obs);
+      (* Live engine gauges, injected by the caller. *)
+      List.iter
+        (fun (name, help, v) ->
+          add_family b ~name:("lookahead_" ^ name) ~help ~typ:"gauge"
+            [ ([], fnum v) ])
+        gauges;
+      let text = Buffer.contents b in
+      let json =
+        J.Obj
+          [
+            ("schema", J.String "lookahead-metrics/1");
+            ("jobs",
+             J.Obj (List.map (fun (s, n) -> (s, J.Int n)) states));
+            ("tenants",
+             J.Obj
+               (List.map
+                  (fun (tid, ts) ->
+                    ( string_of_int tid,
+                      J.Obj
+                        [
+                          ("admitted", J.Int ts.t_admitted);
+                          ("rejected", J.Int ts.t_rejected);
+                          ("cancelled", J.Int ts.t_cancelled);
+                        ] ))
+                  tenants));
+            ("queue_wait_ms", hist_json t.wait);
+            ("classes",
+             J.Obj
+               (List.filter_map
+                  (fun (cls, cs) ->
+                    if cs.cs_jobs = 0 && cs.cs_objective_ms = 0.0 then None
+                    else
+                      Some
+                        ( cls,
+                          J.Obj
+                            [
+                              ("run_ms", hist_json cs.cs_run);
+                              ("objective_ms", J.Float cs.cs_objective_ms);
+                              ("breaches", J.Int cs.cs_breaches);
+                              ("window", J.Int cs.cs_w_fill);
+                              ("window_breaches",
+                               J.Int (window_breaches_locked cs));
+                            ] ))
+                  t.classes));
+            ("obs",
+             J.Obj (List.map (fun (name, v) -> (name, J.Int v)) obs));
+            ("gauges",
+             J.Obj
+               (List.map (fun (name, _, v) -> (name, J.Float v)) gauges));
+          ]
+      in
+      (text, json))

@@ -24,9 +24,10 @@ let random_aig ?(inputs = 6) ?(gates = 40) ?(outputs = 2) seed =
   done;
   g
 
-(* Every test leaves observation off and the sinks empty so tests are
-   order-independent. *)
+(* Every test leaves observation off, the journal closed and the sinks
+   empty so tests are order-independent. *)
 let quiesce () =
+  Obs.Journal.disable ();
   Obs.disable ();
   Obs.reset ()
 
@@ -300,6 +301,157 @@ let test_pool_stats () =
            st.Par.Pool.per_domain_completed))
 
 (* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_ring () =
+  quiesce ();
+  Obs.Journal.enable ~capacity:4 ();
+  for i = 0 to 5 do
+    Obs.Journal.record ~kind:"test.ev"
+      ~det:(Obs.Json.Obj [ ("i", Obs.Json.Int i) ])
+      ()
+  done;
+  let es = Obs.Journal.entries () in
+  Alcotest.(check int) "ring keeps capacity entries" 4 (List.length es);
+  Alcotest.(check int) "events_total counts evicted too" 6
+    (Obs.Journal.events_total ());
+  Alcotest.(check (list int)) "oldest-first, eviction dropped 0 and 1"
+    [ 2; 3; 4; 5 ]
+    (List.map (fun e -> e.Obs.Journal.seq) es);
+  quiesce ()
+
+let test_journal_digest () =
+  quiesce ();
+  let a = Obs.Json.Obj [ ("x", Obs.Json.Int 1) ] in
+  let b = Obs.Json.Obj [ ("x", Obs.Json.Int 2) ] in
+  Obs.Journal.enable ();
+  Obs.Journal.record ~kind:"k" ~det:a ();
+  Obs.Journal.record ~kind:"k" ~det:b ();
+  let d_ab = Obs.Journal.det_digest () in
+  (* Order-insensitive: any interleaving of the same Det multiset. *)
+  Obs.Journal.enable ();
+  Obs.Journal.record ~kind:"k" ~det:b ();
+  Obs.Journal.record ~kind:"k" ~det:a ();
+  Alcotest.(check string) "digest order-insensitive" d_ab
+    (Obs.Journal.det_digest ());
+  (* Sched-only events must not contribute. *)
+  Obs.Journal.record ~kind:"k.sched"
+    ~sched:(Obs.Json.Obj [ ("wall_ms", Obs.Json.Float 3.5) ])
+    ();
+  Alcotest.(check string) "sched-only event excluded" d_ab
+    (Obs.Journal.det_digest ());
+  (* The kind participates: same payload under another kind differs. *)
+  Obs.Journal.enable ();
+  Obs.Journal.record ~kind:"other" ~det:a ();
+  Obs.Journal.record ~kind:"k" ~det:b ();
+  Alcotest.(check bool) "kind is part of the digest" false
+    (String.equal d_ab (Obs.Journal.det_digest ()));
+  (* Eviction cannot lose digest contributions. *)
+  Obs.Journal.enable ~capacity:2 ();
+  Obs.Journal.record ~kind:"k" ~det:a ();
+  Obs.Journal.record ~kind:"k" ~det:b ();
+  Obs.Journal.record ~kind:"k.sched" ~sched:a ();
+  Obs.Journal.record ~kind:"k.sched" ~sched:b ();
+  Alcotest.(check string) "digest survives ring eviction" d_ab
+    (Obs.Journal.det_digest ());
+  quiesce ()
+
+let test_journal_file_rotation () =
+  quiesce ();
+  let path =
+    Filename.temp_file "lookahead_test_journal" ".jsonl"
+  in
+  (* file_max_bytes is clamped to >= 4096, so write enough to roll. *)
+  Obs.Journal.enable ~file:path ~file_max_bytes:4096 ();
+  for i = 0 to 99 do
+    Obs.Journal.record ~kind:"test.fill"
+      ~det:
+        (Obs.Json.Obj
+           [ ("i", Obs.Json.Int i);
+             ("pad", Obs.Json.String (String.make 64 'x')) ])
+      ()
+  done;
+  Obs.Journal.disable ();
+  Alcotest.(check bool) "rotation happened" true
+    (Obs.Journal.rotations () > 0);
+  Alcotest.(check bool) "rotated file exists" true
+    (Sys.file_exists (path ^ ".1"));
+  let lines p =
+    let ic = open_in p in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         (match Obs.Json.of_string line with
+         | Some _ -> ()
+         | None -> Alcotest.fail "journal line does not parse as JSON");
+         incr n
+       done
+     with End_of_file -> close_in ic);
+    !n
+  in
+  Alcotest.(check bool) "current file non-empty" true (lines path > 0);
+  Alcotest.(check bool) "rotated file non-empty" true
+    (lines (path ^ ".1") > 0);
+  Sys.remove path;
+  Sys.remove (path ^ ".1");
+  quiesce ()
+
+let test_journal_phase_hook () =
+  quiesce ();
+  Obs.enable ();
+  Obs.Journal.enable ();
+  let phase = Obs.span "opt.round" in
+  let other = Obs.span "test.not_a_phase" in
+  Obs.with_span phase (fun () -> ());
+  Obs.with_span other (fun () -> ());
+  let kinds =
+    List.filter_map
+      (fun e ->
+        if e.Obs.Journal.kind = "phase" then
+          Obs.Json.member "phase" e.Obs.Journal.det
+        else None)
+      (Obs.Journal.entries ())
+  in
+  Alcotest.(check bool) "listed phase span journaled" true
+    (List.mem (Obs.Json.String "opt.round") kinds);
+  Alcotest.(check int) "unlisted span not journaled" 1 (List.length kinds);
+  quiesce ()
+
+(* The journal's Det digest must be invariant under the pool size: the
+   same optimizer run journals the same multiset of Det payloads at any
+   -j, even though domain interleaving reorders them. *)
+let test_journal_jobs_identity () =
+  quiesce ();
+  let g = random_aig ~inputs:6 ~gates:40 ~outputs:2 9321 in
+  let options =
+    { Lookahead.Driver.default with Lookahead.Driver.time_limit_s = infinity }
+  in
+  let run j =
+    Par.set_default_jobs j;
+    Obs.reset ();
+    Obs.enable ();
+    Obs.Journal.enable ();
+    ignore (Lookahead.Driver.optimize ~options g);
+    let d = Obs.Journal.det_digest () in
+    Obs.Journal.disable ();
+    Obs.disable ();
+    d
+  in
+  let d1 = run 1 in
+  Alcotest.(check bool) "journal saw Det events" true
+    (String.length d1 > 0 && d1.[0] <> '0');
+  List.iter
+    (fun j ->
+      Alcotest.(check string)
+        (Printf.sprintf "journal digest identical at -j %d" j)
+        d1 (run j))
+    [ 2; 4 ];
+  Par.set_default_jobs 0;
+  quiesce ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -331,5 +483,17 @@ let () =
           Alcotest.test_case "Sat.Solver.stats" `Quick test_solver_stats;
           Alcotest.test_case "Aig.Cec.check_with_stats" `Quick test_cec_stats;
           Alcotest.test_case "Par.Pool.stats" `Quick test_pool_stats;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "bounded ring + eviction" `Quick
+            test_journal_ring;
+          Alcotest.test_case "Det digest semantics" `Quick
+            test_journal_digest;
+          Alcotest.test_case "file sink rotation" `Quick
+            test_journal_file_rotation;
+          Alcotest.test_case "phase hook" `Quick test_journal_phase_hook;
+          Alcotest.test_case "digest identical at -j 1/2/4" `Slow
+            test_journal_jobs_identity;
         ] );
     ]

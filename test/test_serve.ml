@@ -18,6 +18,8 @@ module Engine = Serve.Engine
 let quiesce () =
   Guard.Inject.disarm ();
   Obs.set_span_listener None;
+  Obs.Journal.disable ();
+  Obs.set_trace "";
   Obs.disable ();
   Obs.reset ();
   Bdd.Pool.clear ()
@@ -147,6 +149,8 @@ let requests =
     Msg.Status 42;
     Msg.Cancel 7;
     Msg.Stats;
+    Msg.Metrics;
+    Msg.Trace 3;
     Msg.Shutdown;
   ]
 
@@ -203,12 +207,48 @@ let responses =
         completed = 7;
         failed = 1;
         cancelled = 2;
+        rejected = 4;
         queued = 0;
         running = false;
         queue_capacity = 256;
         uptime_s = 12.25;
         interned_circuits = 3;
         pooled_managers = 2;
+        slo =
+          [
+            {
+              Msg.cls = "xs";
+              objective_ms = 50.0;
+              jobs = 6;
+              breaches = 1;
+              window = 100;
+              window_breaches = 1;
+              p50_ms = 12.5;
+              p95_ms = 48.0;
+              p99_ms = 61.25;
+            };
+            {
+              Msg.cls = "s";
+              objective_ms = 0.0;
+              jobs = 1;
+              breaches = 0;
+              window = 100;
+              window_breaches = 0;
+              p50_ms = 200.0;
+              p95_ms = 200.0;
+              p99_ms = 200.0;
+            };
+          ];
+      };
+    Msg.Metrics_reply
+      {
+        text = "# TYPE lookahead_jobs_total counter\n";
+        json = Obs.Json.Obj [ ("schema", Obs.Json.String "m") ];
+      };
+    Msg.Trace_reply
+      {
+        id = 3;
+        trace = Obs.Json.Obj [ ("traceEvents", Obs.Json.List []) ];
       };
     Msg.Error_reply { code = "queue_full"; message = "full" };
     Msg.Shutdown_ack;
@@ -641,6 +681,242 @@ let test_engine_faulted_warm_identity () =
     (Obs.Json.equal (det r1) (det cold_f))
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Serve.Telemetry
+
+(* Deterministic pseudo-random latencies spanning many buckets, all
+   > 1 ms so none lands in the [0, 1] bucket whose lower edge is 0
+   (where the factor-2 bound below would be vacuous). *)
+let quantile_workload n =
+  let state = ref 0x2545F491 in
+  List.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      1.5
+      +. float_of_int (!state mod 4999)
+      +. (float_of_int (!state mod 997) /. 1000.))
+
+(* The interpolated estimate lands in the same power-of-two bucket as
+   the exact order statistic, so it is within a factor of 2 of it. *)
+let test_telemetry_quantiles () =
+  let n = 200 in
+  let values = quantile_workload n in
+  let t = Telemetry.create () in
+  List.iter
+    (fun v ->
+      Telemetry.record_result t ~cls:"m" ~state:"done" ~wait_ms:0.0 ~run_ms:v)
+    values;
+  let sorted = Array.of_list values in
+  Array.sort compare sorted;
+  let exact q =
+    let rank = q *. float_of_int n in
+    sorted.(max 0 (int_of_float (ceil rank) - 1))
+  in
+  let report =
+    match
+      List.find_opt (fun s -> s.Msg.cls = "m") (Telemetry.slo_report t)
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "class m missing from the SLO report"
+  in
+  Alcotest.(check int) "jobs recorded" n report.Msg.jobs;
+  let close what est q =
+    let ex = exact q in
+    if not (est <= 2.0 *. ex && ex <= 2.0 *. est) then
+      Alcotest.failf "%s estimate %g not within 2x of exact %g" what est ex
+  in
+  close "p50" report.Msg.p50_ms 0.50;
+  close "p95" report.Msg.p95_ms 0.95;
+  close "p99" report.Msg.p99_ms 0.99;
+  Alcotest.(check bool)
+    "quantile estimates are monotone" true
+    (report.Msg.p50_ms <= report.Msg.p95_ms
+    && report.Msg.p95_ms <= report.Msg.p99_ms)
+
+(* Golden exposition text: a fixed set of observations must render to
+   byte-identical Prometheus text (sorted iteration, %g floats). *)
+let test_telemetry_exposition_golden () =
+  let t = Telemetry.create ~slo:[ ("xs", 50.0) ] () in
+  Telemetry.record_admit t ~tenant:1;
+  Telemetry.record_admit t ~tenant:1;
+  Telemetry.record_admit t ~tenant:2;
+  Telemetry.record_reject t ~tenant:2;
+  Telemetry.record_cancel t ~tenant:1;
+  Telemetry.record_result t ~cls:"xs" ~state:"done" ~wait_ms:0.5 ~run_ms:3.0;
+  Telemetry.record_result t ~cls:"xs" ~state:"done" ~wait_ms:2.0 ~run_ms:96.0;
+  Telemetry.record_result t ~cls:"s" ~state:"failed" ~wait_ms:1.0 ~run_ms:12.0;
+  Telemetry.absorb_counters t [ ("bdd.nodes", 100) ];
+  let text, json =
+    Telemetry.exposition t
+      ~gauges:[ ("queue_depth", "Jobs waiting in the queue.", 2.0) ]
+  in
+  let golden =
+    String.concat "\n"
+      [
+        "# HELP lookahead_jobs_total Completed jobs by final state.";
+        "# TYPE lookahead_jobs_total counter";
+        "lookahead_jobs_total{state=\"done\"} 2";
+        "lookahead_jobs_total{state=\"failed\"} 1";
+        "# HELP lookahead_tenant_jobs_total Per-tenant admission outcomes.";
+        "# TYPE lookahead_tenant_jobs_total counter";
+        "lookahead_tenant_jobs_total{tenant=\"1\",event=\"admitted\"} 2";
+        "lookahead_tenant_jobs_total{tenant=\"1\",event=\"rejected\"} 0";
+        "lookahead_tenant_jobs_total{tenant=\"1\",event=\"cancelled\"} 1";
+        "lookahead_tenant_jobs_total{tenant=\"2\",event=\"admitted\"} 1";
+        "lookahead_tenant_jobs_total{tenant=\"2\",event=\"rejected\"} 1";
+        "lookahead_tenant_jobs_total{tenant=\"2\",event=\"cancelled\"} 0";
+        "# HELP lookahead_queue_wait_ms Queue wait, admission to start, \
+         milliseconds.";
+        "# TYPE lookahead_queue_wait_ms histogram";
+        "lookahead_queue_wait_ms_bucket{le=\"1\"} 2";
+        "lookahead_queue_wait_ms_bucket{le=\"2\"} 3";
+        "lookahead_queue_wait_ms_bucket{le=\"+Inf\"} 3";
+        "lookahead_queue_wait_ms_sum 3.5";
+        "lookahead_queue_wait_ms_count 3";
+        "# HELP lookahead_job_run_ms Job execution wall clock by size class, \
+         milliseconds.";
+        "# TYPE lookahead_job_run_ms histogram";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"1\"} 0";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"2\"} 0";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"4\"} 1";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"8\"} 1";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"16\"} 1";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"32\"} 1";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"64\"} 1";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"128\"} 2";
+        "lookahead_job_run_ms_bucket{class=\"xs\",le=\"+Inf\"} 2";
+        "lookahead_job_run_ms_sum{class=\"xs\"} 99";
+        "lookahead_job_run_ms_count{class=\"xs\"} 2";
+        "lookahead_job_run_ms_bucket{class=\"s\",le=\"1\"} 0";
+        "lookahead_job_run_ms_bucket{class=\"s\",le=\"2\"} 0";
+        "lookahead_job_run_ms_bucket{class=\"s\",le=\"4\"} 0";
+        "lookahead_job_run_ms_bucket{class=\"s\",le=\"8\"} 0";
+        "lookahead_job_run_ms_bucket{class=\"s\",le=\"16\"} 1";
+        "lookahead_job_run_ms_bucket{class=\"s\",le=\"+Inf\"} 1";
+        "lookahead_job_run_ms_sum{class=\"s\"} 12";
+        "lookahead_job_run_ms_count{class=\"s\"} 1";
+        "# HELP lookahead_job_run_ms_quantile Interpolated run-latency \
+         quantiles by size class.";
+        "# TYPE lookahead_job_run_ms_quantile gauge";
+        "lookahead_job_run_ms_quantile{class=\"xs\",q=\"0.5\"} 4";
+        "lookahead_job_run_ms_quantile{class=\"xs\",q=\"0.95\"} 121.6";
+        "lookahead_job_run_ms_quantile{class=\"xs\",q=\"0.99\"} 126.72";
+        "lookahead_job_run_ms_quantile{class=\"s\",q=\"0.5\"} 12";
+        "lookahead_job_run_ms_quantile{class=\"s\",q=\"0.95\"} 15.6";
+        "lookahead_job_run_ms_quantile{class=\"s\",q=\"0.99\"} 15.92";
+        "# HELP lookahead_slo_objective_ms Configured run-latency objective \
+         by size class.";
+        "# TYPE lookahead_slo_objective_ms gauge";
+        "lookahead_slo_objective_ms{class=\"xs\"} 50";
+        "# HELP lookahead_slo_breaches_total Jobs over their class objective \
+         since start.";
+        "# TYPE lookahead_slo_breaches_total counter";
+        "lookahead_slo_breaches_total{class=\"xs\"} 1";
+        "# HELP lookahead_slo_window_jobs Completed jobs in the rolling SLO \
+         window.";
+        "# TYPE lookahead_slo_window_jobs gauge";
+        "lookahead_slo_window_jobs{class=\"xs\"} 2";
+        "# HELP lookahead_slo_window_breaches Objective breaches in the \
+         rolling SLO window.";
+        "# TYPE lookahead_slo_window_breaches gauge";
+        "lookahead_slo_window_breaches{class=\"xs\"} 1";
+        "# HELP lookahead_obs_total Cumulative Obs counters over all \
+         completed jobs.";
+        "# TYPE lookahead_obs_total counter";
+        "lookahead_obs_total{metric=\"bdd.nodes\"} 100";
+        "# HELP lookahead_queue_depth Jobs waiting in the queue.";
+        "# TYPE lookahead_queue_depth gauge";
+        "lookahead_queue_depth 2";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition text" golden text;
+  match json with
+  | Obs.Json.Obj fields ->
+    Alcotest.(check bool)
+      "JSON mirror carries the schema tag" true
+      (List.assoc_opt "schema" fields
+      = Some (Obs.Json.String "lookahead-metrics/1"))
+  | _ -> Alcotest.fail "JSON mirror is not an object"
+
+(* A fault-injected job must carry its trace id ("t<tenant>.j<id>")
+   through the guard blowup site into the journal, and its Chrome-trace
+   slice must be retrievable from the engine afterwards. *)
+let test_trace_propagation () =
+  quiesce ();
+  let faulted =
+    {
+      small_job with
+      Msg.inject = Some "bdd@500:r";
+      budget = { Msg.default_budget with Msg.bdd_node_ceiling = 30_000 };
+    }
+  in
+  let s = sink () in
+  let e =
+    Engine.create ~on_event:(sink_push s)
+      { Engine.queue_capacity = 4; reuse_managers = true }
+  in
+  Obs.Journal.enable ();
+  Engine.start e;
+  let id =
+    match Engine.submit e ~tenant:1 faulted with
+    | Ok (id, _) -> id
+    | Error (c, m) -> Alcotest.failf "submit failed: %s: %s" c m
+  in
+  let r = wait_result s id in
+  Engine.stop e;
+  let entries = Obs.Journal.entries () in
+  let tr = Engine.job_trace e id in
+  quiesce ();
+  Alcotest.(check bool) "faulted job completes" true (r.Msg.state = Msg.Done);
+  Alcotest.(check bool) "faulted job degraded" true r.Msg.degraded;
+  let trace_id = Printf.sprintf "t%d.j%d" 1 id in
+  let of_kind k = List.filter (fun e -> e.Obs.Journal.kind = k) entries in
+  (match of_kind "guard.injected" with
+  | [] -> Alcotest.fail "no guard.injected journal entry"
+  | es ->
+    List.iter
+      (fun e ->
+        Alcotest.(check string)
+          "injection firing carries the job trace id" trace_id
+          e.Obs.Journal.trace)
+      es);
+  List.iter
+    (fun kind ->
+      match of_kind kind with
+      | [ e ] ->
+        Alcotest.(check string)
+          (kind ^ " carries the job trace id")
+          trace_id e.Obs.Journal.trace
+      | es ->
+        Alcotest.failf "expected exactly one %s entry, got %d" kind
+          (List.length es))
+    [ "job.started"; "job.finished" ];
+  (* Admission happens off the executor, so its entry carries the trace
+     in the Sched payload rather than the (executor-owned) trace slot. *)
+  (match of_kind "job.admitted" with
+  | [ e ] -> (
+    match e.Obs.Journal.sched with
+    | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "admission Sched payload names the trace id" true
+        (List.assoc_opt "trace" fields = Some (Obs.Json.String trace_id))
+    | _ -> Alcotest.fail "admission entry has no Sched payload")
+  | es ->
+    Alcotest.failf "expected exactly one job.admitted entry, got %d"
+      (List.length es));
+  match tr with
+  | Some (Obs.Json.Obj fields) -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Obs.Json.List evs) ->
+      Alcotest.(check bool)
+        "retained Chrome trace has events" true
+        (List.length evs > 0)
+    | _ -> Alcotest.fail "trace JSON lacks traceEvents")
+  | _ -> Alcotest.fail "job_trace returned no trace for the finished job"
+
+(* ------------------------------------------------------------------ *)
 (* Socket server                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -818,6 +1094,14 @@ let () =
           Alcotest.test_case "warm identity" `Slow test_engine_warm_identity;
           Alcotest.test_case "faulted warm identity" `Slow
             test_engine_faulted_warm_identity;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "quantiles vs exact" `Quick
+            test_telemetry_quantiles;
+          Alcotest.test_case "golden exposition" `Quick
+            test_telemetry_exposition_golden;
+          Alcotest.test_case "trace propagation" `Slow test_trace_propagation;
         ] );
       ( "server",
         [
