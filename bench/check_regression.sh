@@ -100,10 +100,23 @@
 # enabled-telemetry overhead at OBS_TELEM_GATE_PCT% (default 3) of the
 # disabled baseline — production telemetry must be near-free.
 #
+# Gate 10 (egraph): the portfolio optimizer. Runs `bench/main.exe
+# egraph` (the deadline-free fast subset through every fixed arm and
+# the parallel portfolio; the bench itself exits non-zero when any arm
+# or the portfolio loses equivalence, or when the portfolio's winning
+# cost exceeds the best fixed arm's — "portfolio never worse" is the
+# mode's whole contract) at -j 1 and -j 4 and requires the emitted
+# JSON — winner names, costs to 3 decimals, per-arm cost maps and
+# winner-BLIF md5s, no wall-clock fields — byte-identical across the
+# two pool sizes and against the checked-in BENCH_egraph.json, so a
+# schedule-dependent winner pick or an extraction drift shows up as a
+# diff against the seed.
+#
 # Usage: bench/check_regression.sh [max_regression_percent]
 # Skip a gate with SKIP_BDD_GATE=1 / SKIP_PAR_GATE=1 / SKIP_INCR_GATE=1
 # / SKIP_OBS_GATE=1 / SKIP_GUARD_GATE=1 / SKIP_BDDPAR_GATE=1 /
-# SKIP_SERVE_GATE=1 / SKIP_SAT_GATE=1 / SKIP_OBS_TELEM_GATE=1.
+# SKIP_SERVE_GATE=1 / SKIP_SAT_GATE=1 / SKIP_OBS_TELEM_GATE=1 /
+# SKIP_EGRAPH_GATE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -131,10 +144,12 @@ sat_r1="${TMPDIR:-/tmp}/BENCH_sat.r1.$$.json"
 sat_r4="${TMPDIR:-/tmp}/BENCH_sat.r4.$$.json"
 sat_report="${TMPDIR:-/tmp}/BENCH_sat.report.$$.json"
 obs_telem_fresh="${TMPDIR:-/tmp}/BENCH_obs.fresh.$$.json"
+egraph_r1="${TMPDIR:-/tmp}/BENCH_egraph.r1.$$.json"
+egraph_r4="${TMPDIR:-/tmp}/BENCH_egraph.r4.$$.json"
 trap 'rm -f "$bdd_fresh" "$par_fresh" "$incr_fresh" "$obs_r1" "$obs_r4" \
   "$guard_r1" "$guard_r4" "$bddpar_fresh" "$serve_fresh" \
   "$sat_r1" "$sat_r4" "$sat_report" "$sat_r1.det" "$sat_r4.det" \
-  "$obs_telem_fresh"; \
+  "$obs_telem_fresh" "$egraph_r1" "$egraph_r4"; \
   rm -rf "$serve_dir"' EXIT
 
 extract() { # extract <file> <entry-name> -> seconds
@@ -611,6 +626,49 @@ else
     fi
   else
     echo "check_regression: FAIL — obs-telem gate: bench obs failed" >&2
+    fail=1
+  fi
+fi
+
+# ------------------------------------------------------------------
+# Gate 10: egraph portfolio (cost floor + cross-j / vs-seed identity)
+# ------------------------------------------------------------------
+
+if [ "${SKIP_EGRAPH_GATE:-0}" = 1 ]; then
+  echo "check_regression: egraph gate skipped (SKIP_EGRAPH_GATE=1)"
+else
+  # `bench egraph` exits non-zero itself when any arm or the portfolio
+  # breaks equivalence, or when the portfolio's winning cost exceeds
+  # the best fixed arm on any circuit.
+  egraph_ok=1
+  if ! BENCH_EGRAPH_OUT="$egraph_r1" dune exec bench/main.exe -- egraph -j 1
+  then
+    echo "check_regression: FAIL — egraph gate: bench egraph -j 1 failed" >&2
+    egraph_ok=0
+  fi
+  if ! BENCH_EGRAPH_OUT="$egraph_r4" dune exec bench/main.exe -- egraph -j 4
+  then
+    echo "check_regression: FAIL — egraph gate: bench egraph -j 4 failed" >&2
+    egraph_ok=0
+  fi
+
+  if [ "$egraph_ok" = 1 ]; then
+    # The JSON carries no wall-clock fields, so byte identity is the
+    # determinism check: same winners, costs, arm maps and winner-BLIF
+    # md5s no matter the pool size, and no drift against the seed.
+    if ! cmp -s "$egraph_r1" "$egraph_r4"; then
+      echo "check_regression: FAIL — egraph gate: -j 1 and -j 4 outputs differ" >&2
+      egraph_ok=0
+    fi
+    if ! cmp -s "$egraph_r1" BENCH_egraph.json; then
+      echo "check_regression: FAIL — egraph gate: output differs from checked-in BENCH_egraph.json" >&2
+      egraph_ok=0
+    fi
+  fi
+
+  if [ "$egraph_ok" = 1 ]; then
+    echo "check_regression: egraph gate OK"
+  else
     fail=1
   fi
 fi

@@ -10,6 +10,12 @@
      dune exec bench/main.exe bechamel        -- wall-clock micro-benchmarks
      dune exec bench/main.exe bdd             -- BDD manager kernels + JSON
                                                  (BENCH_bdd.json / $BENCH_BDD_OUT)
+     dune exec bench/main.exe egraph          -- portfolio vs each fixed
+                                                 optimizer on the fast subset
+                                                 minus C432, per-arm costs +
+                                                 winner-BLIF md5, all-Det JSON
+                                                 (BENCH_egraph.json /
+                                                  $BENCH_EGRAPH_OUT)
      dune exec bench/main.exe profile         -- per-phase wall-clock breakdown
      dune exec bench/main.exe par             -- parallel-runtime scaling + JSON
                                                  (BENCH_par.json / $BENCH_PAR_OUT,
@@ -2147,6 +2153,114 @@ let obs_bench () =
   if not identical then
     fail "bench obs: journal Det digest diverged across -j / warm-cold"
 
+(* ------------------------------------------------------------------ *)
+(* E-graph bench: the portfolio against every fixed optimizer.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Gate 10's workload. Every fixed arm and the portfolio run on the
+   fast subset minus C432 (the one circuit whose lookahead run is only
+   bounded by the anytime deadline — a deadline cut is a function of
+   wall-clock scheduling, and this JSON must be byte-identical across
+   -j). The portfolio must never lose to the best fixed arm — it runs
+   the same arms and picks by measured cost — so losing is a selection
+   bug and fails the bench directly; the JSON records per-arm costs and
+   the winner-BLIF md5 for the checked-in baseline comparison. *)
+let egraph_bench () =
+  let names =
+    List.filter (fun n -> not (String.equal n "C432")) fast_subset
+  in
+  let cost = Egraph.Cost.levels in
+  let nolimit =
+    { Lookahead.Driver.default with time_limit_s = infinity }
+  in
+  let fixed_arms : (string * (Aig.t -> Aig.t)) list =
+    [
+      ("sis", Baselines.sis_like);
+      ("abc", Baselines.abc_like);
+      ("dc", Baselines.dc_like);
+      ("lookahead", fun g -> Lookahead.optimize ~options:nolimit g);
+      ("egraph", fun g -> Egraph.optimize ~cost g);
+    ]
+  in
+  Printf.printf "== E-graph portfolio vs fixed optimizers (cost: %s) ==\n"
+    cost.Egraph.Cost.name;
+  Printf.printf "%-24s | %s | %-10s %6s\n%!" "Name"
+    (String.concat " "
+       (List.map (fun (n, _) -> Printf.sprintf "%9s" n) fixed_arms))
+    "winner" "cost";
+  let rows =
+    List.map
+      (fun name ->
+        let g = Circuits.Suite.build name in
+        let t0 = Unix.gettimeofday () in
+        let fixed =
+          List.map
+            (fun (an, f) ->
+              let out = f g in
+              if not (Aig.Cec.equivalent g out) then
+                fail "bench egraph: %s: arm %s broke equivalence" name an;
+              (an, cost.Egraph.Cost.measure out))
+            fixed_arms
+        in
+        let t1 = Unix.gettimeofday () in
+        let out, r = Egraph.Portfolio.run_ex ~options:nolimit ~cost g in
+        let t2 = Unix.gettimeofday () in
+        if not (Aig.Cec.equivalent g out) then
+          fail "bench egraph: %s: portfolio output not equivalent" name;
+        let best_fixed =
+          List.fold_left (fun acc (_, c) -> Float.min acc c) infinity fixed
+        in
+        if r.Egraph.Portfolio.winner_cost > best_fixed then
+          fail
+            "bench egraph: %s: portfolio cost %.3f worse than best fixed arm \
+             %.3f"
+            name r.Egraph.Portfolio.winner_cost best_fixed;
+        let md5 =
+          Digest.to_hex (Digest.string (Aig.Io.blif_to_string ~model:name out))
+        in
+        Printf.printf "%-24s | %s | %-10s %6.0f   (arms %.2fs, portfolio %.2fs)\n%!"
+          name
+          (String.concat " "
+             (List.map (fun (_, c) -> Printf.sprintf "%9.0f" c) fixed))
+          r.Egraph.Portfolio.winner r.Egraph.Portfolio.winner_cost
+          (t1 -. t0) (t2 -. t1);
+        (name, fixed, r, md5))
+      names
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_EGRAPH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_egraph.json"
+  in
+  let oc = open_out out in
+  (* Deterministic content only — gate 10 requires the whole file
+     byte-identical across -j and against the checked-in baseline, so
+     no wall-clock fields. *)
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"egraph-bench/v1\",\n\
+    \  \"cost\": \"%s\",\n\
+    \  \"rows\": [\n"
+    cost.Egraph.Cost.name;
+  let row_strings =
+    List.map
+      (fun (name, fixed, (r : Egraph.Portfolio.report), md5) ->
+        Printf.sprintf
+          "    { \"name\": \"%s\", \"winner\": \"%s\", \"winner_cost\": %.3f, \
+           \"sequential\": %b, \"arms\": { %s }, \"blif_md5\": \"%s\" }"
+          name r.Egraph.Portfolio.winner r.Egraph.Portfolio.winner_cost
+          r.Egraph.Portfolio.sequential
+          (String.concat ", "
+             (List.map
+                (fun (an, c) -> Printf.sprintf "\"%s\": %.3f" an c)
+                (fixed @ [ ("portfolio", r.Egraph.Portfolio.winner_cost) ])))
+          md5)
+      rows
+  in
+  Printf.fprintf oc "%s\n  ]\n}\n" (String.concat ",\n" row_strings);
+  close_out oc;
+  Printf.printf "egraph: %d circuits -> %s\n%!" (List.length rows) out
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   (* Shared CLI dialect (Serve.Cli): -j N / --jobs N / -jN, the
@@ -2199,6 +2313,7 @@ let () =
       | "sat" -> sat_bench ()
       | "serve" -> serve_bench ()
       | "obs" -> obs_bench ()
+      | "egraph" -> egraph_bench ()
       | "profile" -> profile ()
       | "all" ->
         table1 ();

@@ -11,7 +11,8 @@ module Run = Serve.Run
 let opt_cmd =
   let tool =
     Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
-           ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, or none.")
+           ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, none, \
+                 egraph[:COST], or portfolio[:COST].")
   in
   let check =
     Arg.(value & flag & info [ "check" ]
@@ -22,13 +23,14 @@ let opt_cmd =
            ~doc:"Write the optimized circuit as BLIF.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
-  let run circuit blif bench adder tool check out_blif verbose jobs time_limit
-      stats report_file trace journal inject =
+  let run circuit blif bench adder tool portfolio cost check out_blif verbose
+      jobs time_limit stats report_file trace journal inject =
     Cli.setup_logs verbose;
     Cli.setup_jobs jobs;
     let obs = { Cli.stats; report = report_file; trace; journal } in
     Cli.setup_obs obs;
     Cli.setup_inject ~prog:"lookahead_opt" inject;
+    let tool = Cli.resolve_tool ~prog:"lookahead_opt" ~portfolio ~cost tool in
     let source =
       Cli.resolve_source
         ~default:(Cli.Adder ("ripple", 8))
@@ -56,9 +58,10 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Optimize a circuit and report Table 2 metrics.")
     Term.(
       const run $ Cli.circuit_term $ Cli.blif_term $ Cli.bench_term
-      $ Cli.adder_term $ tool $ check $ out_blif $ verbose $ Cli.jobs_term
-      $ Cli.time_limit_term $ Cli.stats_term $ Cli.report_term $ Cli.trace_term
-      $ Cli.journal_term $ Cli.inject_term)
+      $ Cli.adder_term $ tool $ Cli.portfolio_term $ Cli.cost_term $ check
+      $ out_blif $ verbose $ Cli.jobs_term $ Cli.time_limit_term
+      $ Cli.stats_term $ Cli.report_term $ Cli.trace_term $ Cli.journal_term
+      $ Cli.inject_term)
 
 let timing_cmd =
   let circuit =

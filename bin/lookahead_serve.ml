@@ -114,7 +114,8 @@ let run_cmd =
 let submit_cmd =
   let tool =
     Arg.(value & opt string "lookahead" & info [ "t"; "tool" ] ~docv:"TOOL"
-           ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, or none.")
+           ~doc:"Optimizer: lookahead, sis, abc, dc, resub, mfs, none, \
+                 egraph[:COST], or portfolio[:COST].")
   in
   let nodes =
     Arg.(
@@ -151,9 +152,11 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the optimized circuit as BLIF.")
   in
-  let run socket tcp circuit blif bench adder tool nodes sat sat_total deadline
-      inject time_limit progress out_blif report_file verbose =
+  let run socket tcp circuit blif bench adder tool portfolio cost nodes sat
+      sat_total deadline inject time_limit progress out_blif report_file
+      verbose =
     Cli.setup_logs verbose;
+    let tool = Cli.resolve_tool ~prog:"lookahead_serve" ~portfolio ~cost tool in
     let source =
       Cli.resolve_source
         ~default:(Cli.Adder ("ripple", 8))
@@ -211,8 +214,8 @@ let submit_cmd =
           served image of $(b,lookahead_opt opt).")
     Term.(
       const run $ socket_arg $ tcp_arg $ Cli.circuit_term $ Cli.blif_term
-      $ Cli.bench_term $ Cli.adder_term $ tool $ nodes $ sat $ sat_total
-      $ deadline
+      $ Cli.bench_term $ Cli.adder_term $ tool $ Cli.portfolio_term
+      $ Cli.cost_term $ nodes $ sat $ sat_total $ deadline
       $ Cli.inject_term $ Cli.time_limit_term $ progress $ out_blif
       $ Cli.report_term $ verbose_arg)
 

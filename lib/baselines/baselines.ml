@@ -56,8 +56,5 @@ let dc_like g =
   let area = Aig.Rewrite.run ~k:5 ~per_node:6 ~objective:`Area swept in
   if Aig.depth area <= Aig.depth swept then area else swept
 
-let by_name = function
-  | "sis" -> Some sis_like
-  | "abc" -> Some abc_like
-  | "dc" -> Some dc_like
-  | _ -> None
+let all = [ ("sis", sis_like); ("abc", abc_like); ("dc", dc_like) ]
+let by_name name = List.assoc_opt name all

@@ -24,6 +24,10 @@ val sis_like : Aig.t -> Aig.t
 val abc_like : Aig.t -> Aig.t
 val dc_like : Aig.t -> Aig.t
 
+(** The three baselines in fixed [sis; abc; dc] order — the order the
+    portfolio driver runs them as arms and breaks cost ties by. *)
+val all : (string * (Aig.t -> Aig.t)) list
+
 (** [by_name "sis" | "abc" | "dc"] — lookup used by the CLI and the
     benchmark harness. *)
 val by_name : string -> (Aig.t -> Aig.t) option

@@ -60,9 +60,10 @@ let m_skip_deadline =
    a real wall-clock expiry fires on a per-job tick count, which
    depends only on the job's input — never on scheduling. Real deadline
    cuts are inherently schedule-dependent and quarantined as [Sched]. *)
-let m_rung_approx = Obs.counter "guard.rung.approx_spcf"
-let m_rung_shrink = Obs.counter "guard.rung.shrink_window"
-let m_rung_skip = Obs.counter "guard.rung.skip_output"
+let rung_counter name = Obs.counter ("guard.rung." ^ name)
+let m_rung_approx = rung_counter "approx_spcf"
+let m_rung_shrink = rung_counter "shrink_window"
+let m_rung_skip = rung_counter "skip_output"
 let m_reconstruct_fallback = Obs.counter "guard.reconstruct_fallbacks"
 
 let m_guard_deadline_cut =

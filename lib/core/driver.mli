@@ -76,3 +76,12 @@ val optimize_with_stats : ?options:options -> Aig.t -> Aig.t * stats
     job; other sequential passes that own a private manager ({!Mfs})
     call it too. No-op while observation is disabled. *)
 val record_bdd_stats : Bdd.man -> unit
+
+(** [rung_counter name] is the [Det] counter ["guard.rung." ^ name] —
+    the degradation-ladder accounting idiom. Every governed optimizer
+    records its rung descents through this so the names stay in one
+    dotted family (the driver's [approx_spcf]/[shrink_window]/
+    [skip_output] rungs, the e-graph engine's [egraph_best_so_far]).
+    Metrics are registered once by name, so repeated calls return the
+    same counter. *)
+val rung_counter : string -> Obs.counter

@@ -1,0 +1,67 @@
+(* See cost.mli. *)
+
+type shape = Leaf | Neg | Conj
+
+type t = {
+  name : string;
+  node_cost : shape -> float array -> float;
+  measure : Aig.t -> float;
+}
+
+let levels =
+  {
+    name = "levels";
+    node_cost =
+      (fun shape c ->
+        match shape with
+        | Leaf -> 0.0
+        | Neg -> c.(0)
+        | Conj -> 1.0 +. Float.max c.(0) c.(1));
+    measure = (fun g -> float_of_int (Aig.depth g));
+  }
+
+let gates =
+  {
+    name = "gates";
+    node_cost =
+      (fun shape c ->
+        match shape with
+        | Leaf -> 0.0
+        | Neg -> c.(0)
+        | Conj -> 1.0 +. c.(0) +. c.(1));
+    measure = (fun g -> float_of_int (Aig.num_reachable_ands g));
+  }
+
+(* The mapped costs share one shape: a per-Conj weight from the AND2
+   cell (complement edges are free in the AIG; the mapper absorbs most
+   of them into NAND/NOR forms, so charging inverters in the proxy
+   would mis-rank against what the mapper actually builds), and the
+   real mapper as the measure. *)
+let mapped name ~combine ~weight ~measure =
+  {
+    name;
+    node_cost =
+      (fun shape c ->
+        match shape with
+        | Leaf -> 0.0
+        | Neg -> c.(0)
+        | Conj -> weight +. combine c.(0) c.(1));
+    measure;
+  }
+
+let delay =
+  mapped "delay" ~combine:Float.max ~weight:Techmap.Eval.and_delay_ps
+    ~measure:(fun g -> (Techmap.Eval.measure g).Techmap.Eval.delay_ps)
+
+let area =
+  mapped "area" ~combine:( +. ) ~weight:Techmap.Eval.and_area
+    ~measure:(fun g -> (Techmap.Eval.measure g).Techmap.Eval.area)
+
+let power =
+  mapped "power" ~combine:( +. ) ~weight:Techmap.Eval.and_power_mw
+    ~measure:(fun g -> (Techmap.Eval.measure g).Techmap.Eval.power_mw)
+
+let all = [ levels; gates; delay; area; power ]
+let names = List.map (fun c -> c.name) all
+let of_name name = List.find_opt (fun c -> String.equal c.name name) all
+let custom ~name ~node_cost ~measure = { name; node_cost; measure }

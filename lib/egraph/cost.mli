@@ -1,0 +1,62 @@
+(** Pluggable cost functions for e-graph extraction and the portfolio.
+
+    A cost has two halves. [node_cost] drives the bottom-up fixpoint of
+    extraction: given a node's {!shape} and the best costs of its
+    children it returns the node's cost, and extraction picks the
+    cheapest node of every e-class. [measure] is the whole-circuit
+    number the portfolio compares arms by — for the mapped metrics it
+    runs the real technology mapper ({!Techmap.Eval}), so the
+    node-local proxy only has to rank candidates, never to be
+    absolute.
+
+    [node_cost] must be monotone (not decreasing in any child cost) and
+    must yield strictly increasing costs along a [Conj] edge, which is
+    what keeps the extraction fixpoint cycle-free; every built-in
+    satisfies both. *)
+
+(** The node shapes of the e-graph language, cost-wise: [Leaf] covers
+    constants and primary inputs (no children), [Neg] a complement
+    (one child), [Conj] a conjunction (two children). *)
+type shape = Leaf | Neg | Conj
+
+type t = {
+  name : string;
+  node_cost : shape -> float array -> float;
+      (** children's best costs, in child order; [ [||] ] for [Leaf] *)
+  measure : Aig.t -> float;
+      (** whole-circuit cost of an extracted (or arm-produced) AIG *)
+}
+
+(** AIG depth: [Conj] is one level above its deepest child, complement
+    edges are free. [measure] is {!Aig.depth}. *)
+val levels : t
+
+(** AIG node count ([Conj] nodes, tree-counted in the proxy).
+    [measure] is {!Aig.num_reachable_ands}. *)
+val gates : t
+
+(** Mapped-delay proxy: AND2 fanout-of-one delay per [Conj] level;
+    [measure] maps the circuit and reads the STA arrival. *)
+val delay : t
+
+(** Mapped-area proxy: AND2 cell area per [Conj]; [measure] maps and
+    sums cell areas. *)
+val area : t
+
+(** Dynamic-power proxy: AND2 pin switching power per [Conj];
+    [measure] maps and runs the library power model. *)
+val power : t
+
+(** The built-in cost names, in the order above. *)
+val names : string list
+
+(** Look a built-in up by name. *)
+val of_name : string -> t option
+
+(** A user-supplied cost function (the "user-supplied closures" of the
+    cost-generic contract). *)
+val custom :
+  name:string ->
+  node_cost:(shape -> float array -> float) ->
+  measure:(Aig.t -> float) ->
+  t

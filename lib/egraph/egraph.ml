@@ -1,0 +1,6 @@
+(* Library root: the e-graph core at the top level, costs and the
+   portfolio driver as submodules — mirrors lib/aig. *)
+
+include Graph
+module Cost = Cost
+module Portfolio = Portfolio

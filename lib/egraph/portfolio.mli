@@ -1,0 +1,64 @@
+(** Cost-generic portfolio driver: run every optimizer the repo owns as
+    a parallel arm and keep the best result under a pluggable cost.
+
+    The arms, in fixed order, are the three baseline recipes
+    ({!Baselines.all}: [sis], [abc], [dc]), the paper's lookahead flow,
+    e-graph saturation ({!Graph.optimize} under the same cost), and the
+    untouched input as a floor. Arms run on the {!Par} pool, each under
+    its own {!Guard.divide} slice of the portfolio's budget, so a
+    blowup in one arm cannot starve the others; an arm that blows up
+    past its own degradation ladder contributes the input circuit.
+
+    {b Winner selection} is deterministic: smallest [cost.measure],
+    ties broken by the fixed arm order above. The winner is certified
+    with {!Aig.Cec.equivalent} against the input; a failing arm is
+    excluded and the next-best takes over (the input floor always
+    passes), so the returned circuit is CEC-equal to the input by
+    construction.
+
+    {b Determinism across [-j].} Arm contexts are divided up front,
+    results are collected in submission order, and every portfolio
+    counter ([portfolio.cost.*], [portfolio.winner.*],
+    [portfolio.sequential_fallback] — all [Det]) is recorded on the
+    calling domain in fixed arm order after collection, so reports are
+    bit-identical for any [-j]. *)
+
+(** How to split the portfolio's guard context over [n] arms. *)
+type plan =
+  | Parallel of Guard.t list  (** one divided sub-context per arm *)
+  | Sequential
+      (** {!Guard.divide} would overcommit (the floor-1 path: more arms
+          than remaining node budget) — run the arms one after another
+          under the undivided parent context instead *)
+
+(** [plan parent n] chooses {!Sequential} exactly when
+    {!Guard.divide_overcommits}[ parent n]. *)
+val plan : Guard.t -> int -> plan
+
+(** Arm names, in run/tie-break order. *)
+val arm_names : string list
+
+type report = {
+  winner : string;
+  winner_cost : float;
+  arm_costs : (string * float) list;  (** in arm order *)
+  sequential : bool;  (** the {!Sequential} fallback was taken *)
+}
+
+(** Run the portfolio. [options] seeds the lookahead arm and supplies
+    the shared budget/deadline ({!Lookahead.Driver.default} when
+    omitted); [pool] defaults to the shared {!Par} pool. *)
+val run_ex :
+  ?options:Lookahead.Driver.options ->
+  ?pool:Par.Pool.t ->
+  cost:Cost.t ->
+  Aig.t ->
+  Aig.t * report
+
+(** {!run_ex} without the report. *)
+val run :
+  ?options:Lookahead.Driver.options ->
+  ?pool:Par.Pool.t ->
+  cost:Cost.t ->
+  Aig.t ->
+  Aig.t

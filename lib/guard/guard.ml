@@ -153,6 +153,16 @@ let divide t n =
           sat_spent = 0;
         })
 
+(* The floor-1 rule above means [divide t n] with [n] greater than the
+   node ceiling hands out [n] parts of ceiling 1 — their sum exceeds
+   the whole. Callers that can serialize instead (the portfolio arm
+   splitter) probe this predicate and keep the undivided context. *)
+let divide_overcommits t n =
+  if n <= 0 then invalid_arg "Guard.divide_overcommits: n must be positive";
+  t.guarded
+  && t.budget.Budget.bdd_node_ceiling > 0
+  && t.budget.Budget.bdd_node_ceiling < n
+
 module Inject = struct
   type fault = Bdd_blowup | Sat_exhaust | Deadline_expire
 

@@ -127,6 +127,15 @@ val deadline : t -> Deadline.t
     [divide none n] is [n] copies of {!none}. *)
 val divide : t -> int -> t list
 
+(** [divide_overcommits t n] is [true] exactly when {!divide}[ t n]
+    would take the floor-1 path: [t] is guarded with a positive BDD
+    node ceiling smaller than [n], so the parts' ceilings sum beyond
+    the whole. Callers that can serialize their parts (the portfolio
+    arm splitter) use this to run them sequentially under the undivided
+    context instead of over-committing. Raises [Invalid_argument] for
+    [n <= 0], like {!divide}. *)
+val divide_overcommits : t -> int -> bool
+
 (** Deterministic fault injection. Rules are global (armed once, before
     workers start) but fire against per-context tick counts, so where a
     fault lands is independent of scheduling. Disabled, the hooks cost

@@ -152,6 +152,58 @@ let driver_options ?time_limit () =
       time_limit_s = (if s <= 0.0 then infinity else s);
     }
 
+(* --- portfolio mode ---------------------------------------------------- *)
+
+let portfolio_term =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Run every optimizer as a parallel arm (baselines, lookahead, \
+           e-graph saturation) and keep the best result under \
+           $(b,--cost); shorthand for $(b,-t portfolio[:COST]).")
+
+let cost_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cost" ] ~docv:"FN"
+        ~doc:
+          (Printf.sprintf
+             "Cost function for $(b,--portfolio) and the $(b,egraph) tool: \
+              one of %s. Default: levels."
+             (String.concat ", " Egraph.Cost.names)))
+
+let resolve_tool ~prog ~portfolio ~cost tool =
+  let err fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: %s\n%!" prog msg;
+        exit 2)
+      fmt
+  in
+  (match cost with
+  | Some name when Egraph.Cost.of_name name = None ->
+    err "--cost: unknown cost function %S (expected one of %s)" name
+      (String.concat ", " Egraph.Cost.names)
+  | _ -> ());
+  let base, inline_cost = Run.split_tool tool in
+  let base = if portfolio then "portfolio" else base in
+  (match (cost, inline_cost) with
+  | Some a, Some b when not (String.equal a b) ->
+    err "--cost %s conflicts with tool suffix %S" a tool
+  | _ -> ());
+  let cost = match cost with Some _ -> cost | None -> inline_cost in
+  let spec =
+    match cost with
+    | Some name when base = "portfolio" || base = "egraph" ->
+      base ^ ":" ^ name
+    | Some name -> err "--cost %s only applies to portfolio/egraph runs" name
+    | None -> base
+  in
+  if not (Run.tool_known spec) then err "unknown tool %S" spec;
+  spec
+
 (* --- circuit sources --------------------------------------------------- *)
 
 type source_cli =

@@ -65,6 +65,19 @@ val time_limit_term : float option Cmdliner.Term.t
 val driver_options :
   ?time_limit:float -> unit -> Lookahead.Driver.options
 
+(** {1 Portfolio mode} *)
+
+val portfolio_term : bool Cmdliner.Term.t
+val cost_term : string option Cmdliner.Term.t
+
+(** Fold [--portfolio]/[--cost] into the [-t] tool name, yielding the
+    canonical wire spec ([portfolio:delay], [egraph:area], ...); exits 2
+    with a [prog: ...] message on an unknown cost, a cost that
+    contradicts an inline [:COST] suffix, a [--cost] on a tool that
+    takes none, or an unknown tool. *)
+val resolve_tool :
+  prog:string -> portfolio:bool -> cost:string option -> string -> string
+
 (** {1 Circuit sources} *)
 
 type source_cli =

@@ -105,7 +105,7 @@ let known_circuit name =
 let validate (spec : Msg.submit) =
   let ( let* ) = Result.bind in
   let* () =
-    if List.mem spec.tool Run.known_tools then Ok ()
+    if Run.tool_known spec.tool then Ok ()
     else Error ("bad_request", Printf.sprintf "unknown tool %S" spec.tool)
   in
   let* () =

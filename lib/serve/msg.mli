@@ -39,7 +39,10 @@ val default_budget : budget
 
 type submit = {
   source : source;
-  tool : string;  (** lookahead | resub | mfs | none | sis | abc | dc *)
+  tool : string;
+      (** lookahead | resub | mfs | none | sis | abc | dc |
+          egraph[:COST] | portfolio[:COST] — COST one of
+          {!Egraph.Cost.names} *)
   budget : budget;
   inject : string option;  (** fault-injection spec, [--inject] syntax *)
   time_limit_s : float option;

@@ -15,20 +15,65 @@ let build_source = function
   | Msg.Adder { kind; bits } -> build_adder kind bits
 
 let known_tools =
-  [ "lookahead"; "resub"; "mfs"; "none"; "sis"; "abc"; "dc" ]
+  [ "lookahead"; "resub"; "mfs"; "none"; "sis"; "abc"; "dc"; "egraph";
+    "portfolio" ]
 
-let tool ~options = function
+(* "egraph:delay" / "portfolio:area" — a tool name with an optional
+   cost-function suffix. Plain names parse as (name, None). *)
+let split_tool spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, None)
+  | Some i ->
+    ( String.sub spec 0 i,
+      Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+
+let cost_of = function
+  | None -> Some Egraph.Cost.levels
+  | Some name -> Egraph.Cost.of_name name
+
+let tool_known spec =
+  let base, cost = split_tool spec in
+  List.mem base known_tools
+  && (cost = None || cost_of cost <> None)
+  && (cost = None || base = "egraph" || base = "portfolio")
+
+let tool ~options spec =
+  let base, cost_name = split_tool spec in
+  let cost () =
+    match cost_of cost_name with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "unknown cost function in %s" spec)
+  in
+  match base with
   | "lookahead" -> fun g -> Lookahead.optimize ~options g
   | "resub" -> fun g -> Aig.Resub.run (Aig.Balance.run g)
   | "mfs" -> fun g -> Lookahead.Mfs.run g
   | "none" -> Fun.id
+  | "egraph" ->
+    let cost = cost () in
+    fun g ->
+      let deadline =
+        match options.Lookahead.Driver.deadline with
+        | Some d -> d
+        | None ->
+          if options.Lookahead.Driver.time_limit_s < infinity then
+            Guard.Deadline.after options.Lookahead.Driver.time_limit_s
+          else Guard.Deadline.never
+      in
+      let guard =
+        Guard.create ~deadline options.Lookahead.Driver.guard_budget
+      in
+      Egraph.optimize ~guard ~cost g
+  | "portfolio" ->
+    let cost = cost () in
+    fun g -> Egraph.Portfolio.run ~options ~cost g
   | name -> (
     match Baselines.by_name name with
     | Some f -> f
     | None -> invalid_arg (Printf.sprintf "unknown tool %s" name))
 
 let metrics ~original optimized =
-  let netlist = Techmap.Mapper.map optimized in
+  let m = Techmap.Eval.measure optimized in
   {
     Msg.pi = Aig.num_inputs optimized;
     po = List.length (Aig.outputs optimized);
@@ -36,10 +81,10 @@ let metrics ~original optimized =
     gates = Aig.num_reachable_ands optimized;
     levels_before = Aig.depth original;
     levels = Aig.depth optimized;
-    cells = Techmap.Mapper.num_gates netlist;
-    area = Techmap.Mapper.area netlist;
-    delay_ps = Techmap.Mapper.delay netlist;
-    power_mw = Techmap.Power.dynamic_mw netlist;
+    cells = m.Techmap.Eval.cells;
+    area = m.Techmap.Eval.area;
+    delay_ps = m.Techmap.Eval.delay_ps;
+    power_mw = m.Techmap.Eval.power_mw;
   }
 
 let pp_metrics ~circuit ~tool ppf (m : Msg.metrics) =
@@ -58,6 +103,7 @@ let degraded snap =
   Obs.counter_value snap "guard.rung.approx_spcf"
   + Obs.counter_value snap "guard.rung.shrink_window"
   + Obs.counter_value snap "guard.rung.skip_output"
+  + Obs.counter_value snap "guard.rung.egraph_best_so_far"
   + Obs.counter_value snap "guard.injected.bdd_blowup"
   + Obs.counter_value snap "guard.injected.sat_exhaust"
   + Obs.counter_value snap "guard.injected.deadline"

@@ -8,11 +8,23 @@
 val build_source : Msg.source -> Aig.t
 
 (** The optimizer dispatch of the CLI's [-t] flag. [options] is used by
-    the lookahead tool only (the baselines take no knobs). Raises
-    [Invalid_argument] on an unknown tool name. *)
+    the lookahead, egraph and portfolio tools (its budget/deadline
+    govern their guards; the baselines take no knobs). [egraph] and
+    [portfolio] accept an optional [:COST] suffix naming an
+    {!Egraph.Cost} function ([levels] when omitted), e.g.
+    ["portfolio:delay"]. Raises [Invalid_argument] on an unknown tool
+    or cost name. *)
 val tool : options:Lookahead.Driver.options -> string -> Aig.t -> Aig.t
 
 val known_tools : string list
+
+(** Split a tool spec into its base name and optional [:COST] suffix. *)
+val split_tool : string -> string * string option
+
+(** Validate a full tool spec — base name plus, for [egraph] and
+    [portfolio] only, an optional known [:COST] suffix. This, not
+    [List.mem … known_tools], is what {!Engine.validate} consults. *)
+val tool_known : string -> bool
 
 (** Measure the Table-2 metric set — same calls, same order, as the
     CLI's report printer. *)

@@ -1,0 +1,341 @@
+(* E-graph core and portfolio tests: congruence under random
+   merge/rebuild interleavings, saturation-equivalence by CEC,
+   extraction optimality against brute-force enumeration on small
+   graphs, cost-monotonicity of levels extraction, the floor-1 arm
+   splitter, and the table1 differential portfolio run across -j. *)
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let random_aig ?(inputs = 5) ?(gates = 20) ?(outputs = 2) seed =
+  let st = Random.State.make [| seed; inputs; gates |] in
+  let g = Aig.create () in
+  let ins =
+    Array.init inputs (fun i ->
+        Aig.add_input ~name:(Printf.sprintf "x%d" i) g)
+  in
+  let pool = ref (Array.to_list ins) in
+  let pick () =
+    let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+    if Random.State.bool st then Aig.bnot l else l
+  in
+  for _ = 1 to gates do
+    pool := Aig.band g (pick ()) (pick ()) :: !pool
+  done;
+  for i = 0 to outputs - 1 do
+    Aig.add_output g (Printf.sprintf "y%d" i) (pick ())
+  done;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_folds () =
+  let t = Egraph.create () in
+  let f = Egraph.false_id t and tr = Egraph.true_id t in
+  let x = Egraph.add t (Egraph.Input 0) in
+  let nx = Egraph.add t (Egraph.Not x) in
+  Alcotest.(check int) "x and false is false" f
+    (Egraph.add t (Egraph.And (x, f)));
+  Alcotest.(check int) "x and true is x" x (Egraph.add t (Egraph.And (x, tr)));
+  Alcotest.(check int) "x and x is x" x (Egraph.add t (Egraph.And (x, x)));
+  Alcotest.(check int) "x and not x is false" f
+    (Egraph.add t (Egraph.And (x, nx)));
+  Alcotest.(check int) "not not x is x" x (Egraph.add t (Egraph.Not nx));
+  Alcotest.(check int) "sorted children hash-cons commutes"
+    (Egraph.add t (Egraph.And (x, nx)))
+    (Egraph.add t (Egraph.And (nx, x)));
+  Alcotest.(check bool) "invariants" true (Egraph.invariants_ok t)
+
+let test_congruence_basic () =
+  let t = Egraph.create () in
+  let a = Egraph.add t (Egraph.Input 0) in
+  let b = Egraph.add t (Egraph.Input 1) in
+  let c = Egraph.add t (Egraph.Input 2) in
+  let ac = Egraph.add t (Egraph.And (a, c)) in
+  let bc = Egraph.add t (Egraph.And (b, c)) in
+  Alcotest.(check bool) "distinct before union" true
+    (Egraph.find t ac <> Egraph.find t bc);
+  ignore (Egraph.union t a b);
+  Egraph.rebuild t;
+  Alcotest.(check int) "congruent parents merged" (Egraph.find t ac)
+    (Egraph.find t bc);
+  Alcotest.(check bool) "invariants" true (Egraph.invariants_ok t)
+
+(* Merging a class with its own complement's conjunction partner must
+   also propagate through the not-table: a = b forces ¬a = ¬b. *)
+let test_not_congruence () =
+  let t = Egraph.create () in
+  let a = Egraph.add t (Egraph.Input 0) in
+  let b = Egraph.add t (Egraph.Input 1) in
+  let na = Egraph.add t (Egraph.Not a) in
+  let nb = Egraph.add t (Egraph.Not b) in
+  ignore (Egraph.union t a b);
+  Egraph.rebuild t;
+  Alcotest.(check int) "complements merged" (Egraph.find t na)
+    (Egraph.find t nb);
+  Alcotest.(check bool) "invariants" true (Egraph.invariants_ok t)
+
+(* ------------------------------------------------------------------ *)
+(* Congruence under random merge/rebuild interleavings                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_interleaving =
+  QCheck.make
+    ~print:(fun (seed, ops) ->
+      Printf.sprintf "seed=%d ops=[%s]" seed
+        (String.concat ";"
+           (List.map
+              (fun (i, j, r) -> Printf.sprintf "%d,%d,%b" i j r)
+              ops)))
+    QCheck.Gen.(
+      pair (int_bound 100000)
+        (list_size (int_range 1 30) (triple (int_bound 1000) (int_bound 1000) bool)))
+
+let prop_congruence =
+  qtest ~count:100 "congruence invariant survives merge/rebuild interleavings"
+    gen_interleaving (fun (seed, ops) ->
+      let t = Egraph.of_aig (random_aig ~gates:25 seed) in
+      let pick k =
+        let cs = Egraph.classes t in
+        List.nth cs (k mod List.length cs)
+      in
+      List.iter
+        (fun (i, j, rebuild_now) ->
+          ignore (Egraph.union t (pick i) (pick j));
+          if rebuild_now then Egraph.rebuild t)
+        ops;
+      Egraph.rebuild t;
+      Egraph.invariants_ok t)
+
+(* ------------------------------------------------------------------ *)
+(* Saturation: equivalence and determinism                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_saturation_equivalent =
+  qtest ~count:60 "every extracted term is CEC-equivalent to the input"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let g = random_aig ~gates:25 seed in
+      let t = Egraph.of_aig g in
+      ignore (Egraph.saturate ~max_iters:3 t);
+      List.for_all
+        (fun cost -> Aig.Cec.equivalent g (Egraph.extract t cost))
+        [ Egraph.Cost.levels; Egraph.Cost.gates; Egraph.Cost.delay ])
+
+let prop_cost_monotone =
+  qtest ~count:60 "levels extraction never exceeds the input's depth"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let g = random_aig ~gates:30 seed in
+      let out = Egraph.optimize ~cost:Egraph.Cost.levels g in
+      Aig.depth out <= Aig.depth g)
+
+(* ------------------------------------------------------------------ *)
+(* Extraction optimality vs brute force                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Brute force: enumerate every per-class choice of e-node (the
+   cartesian product over classes), cost each acyclic selection
+   bottom-up, and take the minimum at the root. Exponential, so only
+   run on graphs small enough to enumerate. *)
+let brute_force_best t (cost : Egraph.Cost.t) root =
+  let classes = Egraph.classes t in
+  let arity = List.map (fun c -> List.length (Egraph.nodes_of t c)) classes in
+  let combos = List.fold_left (fun acc n -> acc * n) 1 arity in
+  if combos > 20_000 then None
+  else begin
+    let best = ref infinity in
+    let choice = Hashtbl.create 16 in
+    let rec assignments = function
+      | [] ->
+        (* cost this selection; cycles cost infinity *)
+        let memo = Hashtbl.create 16 in
+        let rec eval c =
+          let c = Egraph.find t c in
+          match Hashtbl.find_opt memo c with
+          | Some v -> v
+          | None ->
+            Hashtbl.replace memo c infinity (* cycle sentinel *)
+            ;
+            let v =
+              match Hashtbl.find_opt choice c with
+              | None -> infinity
+              | Some node -> (
+                match (node : Egraph.enode) with
+                | Egraph.Const | Egraph.Input _ ->
+                  cost.Egraph.Cost.node_cost Egraph.Cost.Leaf [||]
+                | Egraph.Not a ->
+                  let ca = eval a in
+                  if ca = infinity then infinity
+                  else cost.Egraph.Cost.node_cost Egraph.Cost.Neg [| ca |]
+                | Egraph.And (a, b) ->
+                  let ca = eval a and cb = eval b in
+                  if ca = infinity || cb = infinity then infinity
+                  else cost.Egraph.Cost.node_cost Egraph.Cost.Conj [| ca; cb |])
+            in
+            Hashtbl.replace memo c v;
+            v
+        in
+        let v = eval root in
+        if v < !best then best := v
+      | c :: rest ->
+        List.iter
+          (fun node ->
+            Hashtbl.replace choice c node;
+            assignments rest)
+          (Egraph.nodes_of t c)
+    in
+    assignments classes;
+    Some !best
+  end
+
+let prop_extraction_optimal =
+  qtest ~count:60 "fixpoint extraction matches brute force on small graphs"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let g = random_aig ~inputs:3 ~gates:5 ~outputs:1 seed in
+      let t = Egraph.of_aig g in
+      ignore (Egraph.saturate ~max_iters:2 ~max_apps:4 ~max_window:4 t);
+      List.for_all
+        (fun cost ->
+          List.for_all
+            (fun c ->
+              match brute_force_best t cost c with
+              | None -> true (* too large to enumerate — vacuous *)
+              | Some bf -> Float.equal (Egraph.best_cost t cost c) bf)
+            (Egraph.classes t))
+        [ Egraph.Cost.levels; Egraph.Cost.gates ])
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_floor1 () =
+  let mk ceiling =
+    Guard.create
+      {
+        Guard.Budget.bdd_node_ceiling = ceiling;
+        sat_conflict_ceiling = 0;
+        sat_conflict_budget = 0;
+      }
+  in
+  (match Egraph.Portfolio.plan (mk 3) 8 with
+  | Egraph.Portfolio.Sequential -> ()
+  | Egraph.Portfolio.Parallel _ ->
+    Alcotest.fail "floor-1 over-commit must serialize");
+  (match Egraph.Portfolio.plan (mk 1000) 8 with
+  | Egraph.Portfolio.Parallel ctxs ->
+    Alcotest.(check int) "one context per arm" 8 (List.length ctxs)
+  | Egraph.Portfolio.Sequential -> Alcotest.fail "ample budget must divide");
+  match Egraph.Portfolio.plan Guard.none 8 with
+  | Egraph.Portfolio.Parallel ctxs ->
+    Alcotest.(check int) "ungoverned divides into inert shares" 8
+      (List.length ctxs)
+  | Egraph.Portfolio.Sequential -> Alcotest.fail "none must divide"
+
+(* A portfolio under a node budget smaller than the arm count must take
+   the sequential fallback — and still return a CEC-sound circuit. *)
+let test_portfolio_sequential_fallback () =
+  let g = Circuits.Adders.ripple_carry 4 in
+  let options =
+    {
+      Lookahead.Driver.default with
+      Lookahead.Driver.time_limit_s = infinity;
+      guard_budget =
+        {
+          Guard.Budget.default with
+          Guard.Budget.bdd_node_ceiling = List.length Egraph.Portfolio.arm_names - 1;
+        };
+    }
+  in
+  let out, r =
+    Egraph.Portfolio.run_ex ~options ~cost:Egraph.Cost.levels g
+  in
+  Alcotest.(check bool) "sequential fallback taken" true
+    r.Egraph.Portfolio.sequential;
+  Alcotest.(check bool) "still equivalent" true (Aig.Cec.equivalent g out)
+
+(* The differential satellite: on the table1 adders, the portfolio
+   winner is CEC-equal to the input, its cost is no worse than any arm
+   run standalone, and the winner choice and the output BLIF are
+   byte-identical across -j 1/2/4. *)
+let nolimit =
+  { Lookahead.Driver.default with Lookahead.Driver.time_limit_s = infinity }
+
+let standalone_arms g cost =
+  List.map (fun (name, f) -> (name, f g)) Baselines.all
+  @ [
+      ("lookahead", Lookahead.optimize ~options:nolimit g);
+      ("egraph", Egraph.optimize ~cost g);
+      ("none", g);
+    ]
+
+let portfolio_at jobs cost g =
+  Par.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Par.set_default_jobs 0)
+    (fun () ->
+      let out, r = Egraph.Portfolio.run_ex ~options:nolimit ~cost g in
+      (Aig.Io.blif_to_string ~model:"portfolio" out, r))
+
+let test_portfolio_differential () =
+  let cost = Egraph.Cost.levels in
+  List.iter
+    (fun (kind, build) ->
+      let g = build 8 in
+      let blif1, r1 = portfolio_at 1 cost g in
+      let out1 = Aig.Io.read_blif blif1 in
+      Alcotest.(check bool)
+        (kind ^ ": winner equivalent to input")
+        true
+        (Aig.Cec.equivalent g out1);
+      let floor =
+        List.fold_left
+          (fun acc (_, out) -> Float.min acc (cost.Egraph.Cost.measure out))
+          infinity (standalone_arms g cost)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cost %.0f <= best standalone arm %.0f" kind
+           r1.Egraph.Portfolio.winner_cost floor)
+        true
+        (r1.Egraph.Portfolio.winner_cost <= floor);
+      List.iter
+        (fun jobs ->
+          let blif, r = portfolio_at jobs cost g in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: same winner at -j%d" kind jobs)
+            r1.Egraph.Portfolio.winner r.Egraph.Portfolio.winner;
+          Alcotest.(check string)
+            (Printf.sprintf "%s: identical BLIF at -j%d" kind jobs)
+            blif1 blif)
+        [ 2; 4 ])
+    [
+      ("ripple", Circuits.Adders.ripple_carry);
+      ("cla", Circuits.Adders.carry_lookahead);
+      ("skip", fun n -> Circuits.Adders.carry_skip n);
+    ]
+
+let () =
+  Alcotest.run "egraph"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "constant/complement folds" `Quick test_folds;
+          Alcotest.test_case "congruence closure" `Quick test_congruence_basic;
+          Alcotest.test_case "complement congruence" `Quick test_not_congruence;
+          prop_congruence;
+        ] );
+      ( "saturation",
+        [ prop_saturation_equivalent; prop_cost_monotone ] );
+      ("extraction", [ prop_extraction_optimal ]);
+      ( "portfolio",
+        [
+          Alcotest.test_case "floor-1 plan serializes" `Quick test_plan_floor1;
+          Alcotest.test_case "sequential fallback stays sound" `Quick
+            test_portfolio_sequential_fallback;
+          Alcotest.test_case "table1 differential across -j" `Slow
+            test_portfolio_differential;
+        ] );
+    ]

@@ -35,6 +35,7 @@ let passes : (string * (Aig.t -> Aig.t)) list =
     ("blif", fun g -> Aig.Io.read_blif (Aig.Io.blif_to_string g));
     ("aag", fun g -> Aig.Aiger.read_aag (Aig.Aiger.aag_to_string g));
     ("renode", fun g -> Network.to_aig (Network.of_aig ~k:5 g));
+    ("egraph", fun g -> Egraph.optimize ~max_iters:2 ~cost:Egraph.Cost.levels g);
   ]
 
 let gen_scenario =
@@ -138,6 +139,91 @@ let test_faulted_smoke () =
   Alcotest.(check bool) "mfs under faults stays equivalent" true
     (Aig.Cec.equivalent g o)
 
+(* E-graph fault injection: a blowup at egraph.mk_enode or an injected
+   deadline at egraph.saturate must land on the degrade-to-best-so-far
+   rung — the run completes, stays equivalent, and the rung counter
+   records the descent. *)
+
+let egraph_faulted ~spec g =
+  Obs.reset ();
+  Obs.enable ();
+  let out =
+    Guard.Inject.arm (Result.get_ok (Guard.Inject.of_string spec));
+    Fun.protect ~finally:Guard.Inject.disarm (fun () ->
+        Egraph.optimize
+          ~guard:(Guard.create Guard.Budget.default)
+          ~cost:Egraph.Cost.levels g)
+  in
+  let snap = Obs.snapshot () in
+  Obs.disable ();
+  Obs.reset ();
+  (out, fun name -> Obs.counter_value snap name)
+
+let test_egraph_fault_rung () =
+  List.iter
+    (fun (spec, fired) ->
+      let g = random_aig ~gates:30 7 in
+      let out, c = egraph_faulted ~spec g in
+      Alcotest.(check bool) (spec ^ ": fault fired") true (c fired > 0);
+      Alcotest.(check bool) (spec ^ ": best-so-far rung taken") true
+        (c "guard.rung.egraph_best_so_far" > 0);
+      Alcotest.(check bool) (spec ^ ": stays equivalent") true
+        (Aig.Cec.equivalent g out))
+    [
+      ("bdd@20:egraph.mk_enode", "guard.injected.bdd_blowup");
+      ("deadline@1:egraph.saturate", "guard.injected.deadline");
+    ]
+
+(* Randomized variant: any seeded rule set, the governed e-graph run
+   must complete and stay equivalent. *)
+let prop_egraph_under_faults =
+  qtest ~count:25 "injected faults never break the e-graph" gen_faulted
+    (fun (seed, inject_seed) ->
+      let g = random_aig ~gates:30 (abs seed mod 100000) in
+      Guard.Inject.arm (Guard.Inject.seeded ~seed:inject_seed);
+      let out =
+        Fun.protect ~finally:Guard.Inject.disarm (fun () ->
+            Egraph.optimize
+              ~guard:(Guard.create Guard.Budget.default)
+              ~cost:Egraph.Cost.levels g)
+      in
+      Aig.Cec.equivalent g out)
+
+(* Faulted portfolio runs must stay bit-identical across -j: arm
+   contexts are divided up front with private hit counters, so the same
+   rule fires at the same tick no matter the schedule. *)
+let portfolio_faulted_at jobs ~spec g =
+  Par.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Par.set_default_jobs 0)
+    (fun () ->
+      Guard.Inject.arm (Result.get_ok (Guard.Inject.of_string spec));
+      Fun.protect ~finally:Guard.Inject.disarm (fun () ->
+          let out =
+            Egraph.Portfolio.run
+              ~options:
+                {
+                  Lookahead.Driver.default with
+                  Lookahead.Driver.time_limit_s = infinity;
+                }
+              ~cost:Egraph.Cost.levels g
+          in
+          Aig.Io.blif_to_string ~model:"faulted" out))
+
+let test_egraph_fault_det () =
+  let g = random_aig ~gates:35 11 in
+  List.iter
+    (fun spec ->
+      let seq = portfolio_faulted_at 1 ~spec g in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: identical at -j1/-j%d" spec jobs)
+            seq
+            (portfolio_faulted_at jobs ~spec g))
+        [ 2; 4 ])
+    [ "bdd@20:egraph.mk_enode"; "deadline@1:egraph.saturate" ]
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -148,5 +234,13 @@ let () =
           prop_optimize_under_faults;
           Alcotest.test_case "fixed-seed faulted smoke subset" `Quick
             test_faulted_smoke;
+        ] );
+      ( "egraph faults",
+        [
+          Alcotest.test_case "injected blowup/deadline land on best-so-far"
+            `Quick test_egraph_fault_rung;
+          prop_egraph_under_faults;
+          Alcotest.test_case "faulted portfolio identical across -j" `Slow
+            test_egraph_fault_det;
         ] );
     ]

@@ -137,6 +137,44 @@ let test_divide () =
        false
      with Invalid_argument _ -> true)
 
+(* The floor-1 path spelled out: when the arms outnumber the node
+   budget, every share is the 1-node floor and the shares over-commit
+   the whole — [divide] documents this, and [divide_overcommits] is how
+   a caller that can serialize instead (the portfolio arm splitter)
+   detects it up front. *)
+let test_divide_overcommit () =
+  quiesce ();
+  let mk ceiling =
+    Guard.create
+      {
+        Guard.Budget.bdd_node_ceiling = ceiling;
+        sat_conflict_ceiling = 0;
+        sat_conflict_budget = 0;
+      }
+  in
+  let t = mk 3 in
+  let parts = Guard.divide t 8 in
+  Alcotest.(check int) "eight parts" 8 (List.length parts);
+  List.iter
+    (fun p -> Alcotest.(check int) "each part is the floor" 1 (Guard.bdd_ceiling p))
+    parts;
+  Alcotest.(check int) "shares over-commit the 3-node whole" 8
+    (List.fold_left (fun acc p -> acc + Guard.bdd_ceiling p) 0 parts);
+  Alcotest.(check bool) "overcommit predicted" true
+    (Guard.divide_overcommits t 8);
+  Alcotest.(check bool) "n = ceiling still exact" false
+    (Guard.divide_overcommits t 3);
+  Alcotest.(check bool) "n < ceiling fine" false (Guard.divide_overcommits t 2);
+  Alcotest.(check bool) "unlimited never over-commits" false
+    (Guard.divide_overcommits (mk 0) 64);
+  Alcotest.(check bool) "ungoverned never over-commits" false
+    (Guard.divide_overcommits Guard.none 64);
+  Alcotest.(check bool) "n = 0 rejected" true
+    (try
+       ignore (Guard.divide_overcommits t 0);
+       false
+     with Invalid_argument _ -> true)
+
 let test_cumulative_sat_budget () =
   quiesce ();
   let t =
@@ -462,6 +500,8 @@ let () =
         [
           Alcotest.test_case "ceilings and caps" `Quick test_budget_limits;
           Alcotest.test_case "divide splits node budget" `Quick test_divide;
+          Alcotest.test_case "divide floor-1 over-commit detected" `Quick
+            test_divide_overcommit;
           Alcotest.test_case "cumulative sat budget" `Quick
             test_cumulative_sat_budget;
           Alcotest.test_case "cumulative budget gates the solver" `Quick
